@@ -1,0 +1,462 @@
+//! The `M×N` CAM array (paper Fig. 4b).
+//!
+//! Each row stores a reference segment as wide as the incoming read; a
+//! search drives the read onto the searchlines, every cell compares in
+//! parallel, the per-row mismatch counts land on the matchlines, and the
+//! sense amplifiers compare against `V_ref`. The sensing path is pluggable:
+//! [`CamArray::asmcap`] uses the charge-domain model,
+//! [`CamArray::edam`] the current-domain model.
+
+use crate::cell::AsmcapCell;
+use crate::driver::SlDriver;
+use asmcap_circuit::energy::{asmcap_array_search_energy, edam_array_search_energy};
+use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, Rng, SenseAmp, VrefPolicy};
+use asmcap_genome::Base;
+use std::fmt;
+
+/// The shared MUX select signal `S`: which distance the array evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MatchMode {
+    /// `S = 1`: cell matches if any of `O_L`, `O_C`, `O_R` matched (ED\*).
+    #[default]
+    EdStar,
+    /// `S = 0`: only the co-located comparison counts (Hamming distance).
+    Hamming,
+}
+
+impl fmt::Display for MatchMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchMode::EdStar => write!(f, "ED*"),
+            MatchMode::Hamming => write!(f, "HD"),
+        }
+    }
+}
+
+/// Per-search energy model of a sensing domain; implemented for the two CAM
+/// models so the array can account energy without knowing its domain.
+pub trait SearchEnergy {
+    /// Energy in joules of one search over a `rows × width` array whose
+    /// rows average `mean_n_mis` mismatched cells.
+    fn search_energy_j(&self, rows: usize, width: usize, mean_n_mis: f64) -> f64;
+}
+
+impl SearchEnergy for ChargeDomainCam {
+    fn search_energy_j(&self, rows: usize, width: usize, mean_n_mis: f64) -> f64 {
+        asmcap_array_search_energy(self.params(), rows, width, mean_n_mis)
+    }
+}
+
+impl SearchEnergy for CurrentDomainCam {
+    fn search_energy_j(&self, rows: usize, width: usize, mean_n_mis: f64) -> f64 {
+        let _ = mean_n_mis; // EDAM pre-charges and discharges regardless
+        edam_array_search_energy(self.params(), rows, width)
+    }
+}
+
+/// Error returned by [`CamArray::store_row`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreRowError {
+    /// All `M` rows are occupied.
+    ArrayFull,
+    /// The segment length differs from the array width.
+    WidthMismatch {
+        /// Configured array width.
+        expected: usize,
+        /// Length of the rejected segment.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for StoreRowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreRowError::ArrayFull => write!(f, "array is full"),
+            StoreRowError::WidthMismatch { expected, actual } => {
+                write!(f, "segment of {actual} bases does not fit {expected}-wide rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreRowError {}
+
+/// Result of sensing one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowSearchOutcome {
+    /// Row index within the array.
+    pub row: usize,
+    /// True mismatch count (`n_mis`) the matchline encodes.
+    pub n_mis: usize,
+    /// The sense amplifier's (noisy) decision.
+    pub matched: bool,
+}
+
+/// Result of one array search operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Per-row outcomes, in row order.
+    pub rows: Vec<RowSearchOutcome>,
+    /// The mode the search ran in.
+    pub mode: MatchMode,
+    /// The threshold `T` encoded on `V_ref`.
+    pub threshold: usize,
+    /// Energy consumed by this search, in joules.
+    pub energy_j: f64,
+}
+
+impl SearchOutcome {
+    /// Indices of rows the SAs declared matching.
+    #[must_use]
+    pub fn matched_rows(&self) -> Vec<usize> {
+        self.rows
+            .iter()
+            .filter(|r| r.matched)
+            .map(|r| r.row)
+            .collect()
+    }
+
+    /// Mean mismatch count across the searched rows.
+    #[must_use]
+    pub fn mean_n_mis(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.n_mis as f64).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// An `M×N` content-addressable array over sensing model `M`.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_arch::{CamArray, MatchMode};
+/// use asmcap_genome::DnaSeq;
+///
+/// let mut array = CamArray::asmcap(4, 8);
+/// array.store_row("ACGTACGT".parse::<DnaSeq>()?.as_slice())?;
+/// array.store_row("TTTTTTTT".parse::<DnaSeq>()?.as_slice())?;
+/// let mut rng = asmcap_circuit::rng(1);
+/// let read: DnaSeq = "ACGTACGA".parse()?;
+/// let outcome = array.search(read.as_slice(), 2, MatchMode::EdStar, &mut rng);
+/// assert_eq!(outcome.matched_rows(), vec![0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CamArray<M> {
+    cells: Vec<Vec<AsmcapCell>>,
+    width: usize,
+    max_rows: usize,
+    sense: SenseAmp<M>,
+    supports_hd: bool,
+}
+
+impl CamArray<ChargeDomainCam> {
+    /// An ASMCap array with the paper's charge-domain sensing and centred
+    /// `V_ref` placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rows` or `width` is zero.
+    #[must_use]
+    pub fn asmcap(max_rows: usize, width: usize) -> Self {
+        Self::with_sense(
+            max_rows,
+            width,
+            SenseAmp::new(ChargeDomainCam::paper(), VrefPolicy::Centered),
+            true,
+        )
+    }
+}
+
+impl CamArray<CurrentDomainCam> {
+    /// An EDAM array with current-domain sensing. EDAM hardware has no HD
+    /// MUX, so [`MatchMode::Hamming`] searches panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rows` or `width` is zero.
+    #[must_use]
+    pub fn edam(max_rows: usize, width: usize) -> Self {
+        Self::with_sense(
+            max_rows,
+            width,
+            SenseAmp::new(CurrentDomainCam::paper(), VrefPolicy::Centered),
+            false,
+        )
+    }
+}
+
+impl<M: MlCam + SearchEnergy> CamArray<M> {
+    /// An array with a custom sense amplifier configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rows` or `width` is zero.
+    #[must_use]
+    pub fn with_sense(max_rows: usize, width: usize, sense: SenseAmp<M>, supports_hd: bool) -> Self {
+        assert!(max_rows > 0 && width > 0, "array dimensions must be positive");
+        Self {
+            cells: Vec::new(),
+            width,
+            max_rows,
+            sense,
+            supports_hd,
+        }
+    }
+
+    /// Row width `N` in cells.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Occupied row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Maximum row count `M`.
+    #[must_use]
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Whether every row is occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.cells.len() == self.max_rows
+    }
+
+    /// The sense amplifier (and through it, the sensing model).
+    #[must_use]
+    pub fn sense(&self) -> &SenseAmp<M> {
+        &self.sense
+    }
+
+    /// Writes `segment` into the next free row and returns its row index.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreRowError::ArrayFull`] when all rows are occupied, and
+    /// [`StoreRowError::WidthMismatch`] when the segment length differs from
+    /// the array width.
+    pub fn store_row(&mut self, segment: &[Base]) -> Result<usize, StoreRowError> {
+        if segment.len() != self.width {
+            return Err(StoreRowError::WidthMismatch {
+                expected: self.width,
+                actual: segment.len(),
+            });
+        }
+        if self.is_full() {
+            return Err(StoreRowError::ArrayFull);
+        }
+        self.cells
+            .push(segment.iter().map(|&b| AsmcapCell::new(b)).collect());
+        Ok(self.cells.len() - 1)
+    }
+
+    /// The segment stored in `row`, or `None` for an unoccupied row.
+    #[must_use]
+    pub fn stored_row(&self, row: usize) -> Option<Vec<Base>> {
+        self.cells
+            .get(row)
+            .map(|cells| cells.iter().map(AsmcapCell::stored).collect())
+    }
+
+    /// The noiseless mismatch count of `read` against `row` in `mode`
+    /// (exactly what the matchline encodes before sensing noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not exist, the read width differs, or HD mode
+    /// is requested on hardware without the HD MUX.
+    #[must_use]
+    pub fn row_mismatches(&self, row: usize, read: &[Base], mode: MatchMode) -> usize {
+        assert_eq!(read.len(), self.width, "read must match the array width");
+        self.check_mode(mode);
+        let driver = SlDriver::latch(read);
+        self.cells[row]
+            .iter()
+            .zip(driver.windows())
+            .filter(|(cell, (left, center, right))| {
+                !cell.output(cell.compare(*left, *center, *right), mode)
+            })
+            .count()
+    }
+
+    /// One in-array search: all occupied rows compare against `read` in
+    /// parallel; each matchline is sensed against `V_ref(threshold)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read width differs from the array width or HD mode is
+    /// requested on hardware without the HD MUX.
+    #[must_use]
+    pub fn search(
+        &self,
+        read: &[Base],
+        threshold: usize,
+        mode: MatchMode,
+        rng: &mut Rng,
+    ) -> SearchOutcome {
+        assert_eq!(read.len(), self.width, "read must match the array width");
+        self.check_mode(mode);
+        let rows: Vec<RowSearchOutcome> = (0..self.cells.len())
+            .map(|row| {
+                let n_mis = self.row_mismatches(row, read, mode);
+                let matched = self.sense.decide(n_mis, self.width, threshold, rng);
+                RowSearchOutcome {
+                    row,
+                    n_mis,
+                    matched,
+                }
+            })
+            .collect();
+        let mean = if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().map(|r| r.n_mis as f64).sum::<f64>() / rows.len() as f64
+        };
+        let energy_j = self
+            .sense
+            .cam()
+            .search_energy_j(self.cells.len(), self.width, mean);
+        SearchOutcome {
+            rows,
+            mode,
+            threshold,
+            energy_j,
+        }
+    }
+
+    fn check_mode(&self, mode: MatchMode) {
+        assert!(
+            self.supports_hd || mode == MatchMode::EdStar,
+            "this CAM has no HD-mode MUX (EDAM hardware)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_circuit::rng;
+    use asmcap_genome::{DnaSeq, GenomeModel};
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().expect("valid test sequence")
+    }
+
+    #[test]
+    fn store_and_read_back() {
+        let mut array = CamArray::asmcap(2, 4);
+        let row = array.store_row(seq("ACGT").as_slice()).unwrap();
+        assert_eq!(row, 0);
+        assert_eq!(array.stored_row(0).unwrap(), seq("ACGT").into_bases());
+        assert!(array.stored_row(1).is_none());
+    }
+
+    #[test]
+    fn store_rejects_bad_width_and_overflow() {
+        let mut array = CamArray::asmcap(1, 4);
+        assert_eq!(
+            array.store_row(seq("ACG").as_slice()),
+            Err(StoreRowError::WidthMismatch {
+                expected: 4,
+                actual: 3
+            })
+        );
+        array.store_row(seq("ACGT").as_slice()).unwrap();
+        assert_eq!(
+            array.store_row(seq("TTTT").as_slice()),
+            Err(StoreRowError::ArrayFull)
+        );
+    }
+
+    #[test]
+    fn mismatch_counts_agree_with_metrics() {
+        let genome = GenomeModel::uniform().generate(4_000, 5);
+        let mut array = CamArray::asmcap(8, 64);
+        for i in 0..8 {
+            array
+                .store_row(&genome.as_slice()[i * 100..i * 100 + 64])
+                .unwrap();
+        }
+        let read = &genome.as_slice()[1234..1298];
+        for row in 0..8 {
+            let stored = array.stored_row(row).unwrap();
+            assert_eq!(
+                array.row_mismatches(row, read, MatchMode::EdStar),
+                asmcap_metrics::ed_star(&stored, read),
+                "ED* mismatch on row {row}"
+            );
+            assert_eq!(
+                array.row_mismatches(row, read, MatchMode::Hamming),
+                asmcap_metrics::hamming(&stored, read),
+                "HD mismatch on row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_finds_exact_row() {
+        let mut array = CamArray::asmcap(4, 32);
+        let genome = GenomeModel::uniform().generate(400, 9);
+        for i in 0..4 {
+            array
+                .store_row(&genome.as_slice()[i * 40..i * 40 + 32])
+                .unwrap();
+        }
+        let mut rng = rng(2);
+        let read = &genome.as_slice()[80..112]; // row 2's segment
+        let outcome = array.search(read, 0, MatchMode::EdStar, &mut rng);
+        assert_eq!(outcome.matched_rows(), vec![2]);
+        assert_eq!(outcome.rows[2].n_mis, 0);
+    }
+
+    #[test]
+    fn edam_array_rejects_hd_mode() {
+        let mut array = CamArray::edam(2, 8);
+        array.store_row(seq("ACGTACGT").as_slice()).unwrap();
+        let mut rng = rng(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            array.search(seq("ACGTACGT").as_slice(), 1, MatchMode::Hamming, &mut rng)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn search_reports_energy() {
+        let mut asmcap = CamArray::asmcap(4, 32);
+        let mut edam = CamArray::edam(4, 32);
+        let genome = GenomeModel::uniform().generate(200, 1);
+        for i in 0..4 {
+            asmcap.store_row(&genome.as_slice()[i * 40..i * 40 + 32]).unwrap();
+            edam.store_row(&genome.as_slice()[i * 40..i * 40 + 32]).unwrap();
+        }
+        let mut rng = rng(4);
+        let read = &genome.as_slice()[60..92];
+        let a = asmcap.search(read, 2, MatchMode::EdStar, &mut rng);
+        let e = edam.search(read, 2, MatchMode::EdStar, &mut rng);
+        assert!(a.energy_j > 0.0);
+        assert!(e.energy_j > a.energy_j, "EDAM should burn more energy per search");
+    }
+
+    #[test]
+    fn outcome_mean_n_mis() {
+        let outcome = SearchOutcome {
+            rows: vec![
+                RowSearchOutcome { row: 0, n_mis: 2, matched: true },
+                RowSearchOutcome { row: 1, n_mis: 4, matched: false },
+            ],
+            mode: MatchMode::EdStar,
+            threshold: 2,
+            energy_j: 0.0,
+        };
+        assert_eq!(outcome.mean_n_mis(), 3.0);
+    }
+}

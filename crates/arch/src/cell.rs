@@ -1,0 +1,118 @@
+//! One ASMCap cell (paper Fig. 4c).
+//!
+//! A cell stores one base in two 6T SRAM cells and compares it against the
+//! co-located read base and its two neighbors, which arrive on the six
+//! searchline pairs `SL_{2i−3} … SL_{2i+2}`. Two NMOS multiplexers driven by
+//! the shared select signal `S` choose between the ED\* output
+//! (`O = O_L + O_C + O_R`) and the HD output (`O = O_C`) — the hardware hook
+//! of the HDAC strategy.
+
+use crate::array::MatchMode;
+use asmcap_genome::Base;
+use asmcap_metrics::CellMatch;
+
+/// Functional model of a single ASMCap cell.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_arch::{AsmcapCell, MatchMode};
+/// use asmcap_genome::Base;
+///
+/// let cell = AsmcapCell::new(Base::C);
+/// let partial = cell.compare(Some(Base::C), Base::T, None);
+/// assert!(partial.left && !partial.center);
+/// // ED* mode: any partial match suffices; HD mode: only the centre counts.
+/// assert!(cell.output(partial, MatchMode::EdStar));
+/// assert!(!cell.output(partial, MatchMode::Hamming));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsmcapCell {
+    stored: Base,
+}
+
+impl AsmcapCell {
+    /// Creates a cell holding `stored` (a write through the WL/BL path).
+    #[must_use]
+    pub fn new(stored: Base) -> Self {
+        Self { stored }
+    }
+
+    /// The stored base (the SRAM state).
+    #[must_use]
+    pub fn stored(&self) -> Base {
+        self.stored
+    }
+
+    /// Rewrites the SRAM state.
+    pub fn write(&mut self, base: Base) {
+        self.stored = base;
+    }
+
+    /// The comparison logic: partial matching results against the three
+    /// searchline windows. `None` models the missing searchlines at the row
+    /// boundary (cells 0 and N−1 physically lack one neighbor pair).
+    #[must_use]
+    pub fn compare(&self, left: Option<Base>, center: Base, right: Option<Base>) -> CellMatch {
+        CellMatch {
+            left: left == Some(self.stored),
+            center: center == self.stored,
+            right: right == Some(self.stored),
+        }
+    }
+
+    /// The MUX stage: reduces partial results to the cell's matchline
+    /// contribution. Returns `true` for *match* (the capacitor bottom plate
+    /// stays at GND; a mismatch drives it to `V_DD`).
+    #[must_use]
+    pub fn output(&self, partial: CellMatch, mode: MatchMode) -> bool {
+        match mode {
+            MatchMode::EdStar => partial.any(),
+            MatchMode::Hamming => partial.center,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_and_rewrites() {
+        let mut cell = AsmcapCell::new(Base::A);
+        assert_eq!(cell.stored(), Base::A);
+        cell.write(Base::T);
+        assert_eq!(cell.stored(), Base::T);
+    }
+
+    #[test]
+    fn compare_reports_each_window() {
+        let cell = AsmcapCell::new(Base::G);
+        let p = cell.compare(Some(Base::G), Base::G, Some(Base::G));
+        assert!(p.left && p.center && p.right);
+        let p = cell.compare(Some(Base::A), Base::C, Some(Base::T));
+        assert!(!p.any());
+    }
+
+    #[test]
+    fn boundary_windows_never_match() {
+        let cell = AsmcapCell::new(Base::A);
+        let p = cell.compare(None, Base::C, Some(Base::A));
+        assert!(!p.left && p.right);
+        let p = cell.compare(Some(Base::A), Base::C, None);
+        assert!(p.left && !p.right);
+    }
+
+    #[test]
+    fn mode_mux_selects_output() {
+        let cell = AsmcapCell::new(Base::C);
+        // Neighbour-only match.
+        let p = cell.compare(Some(Base::C), Base::A, None);
+        assert!(cell.output(p, MatchMode::EdStar));
+        assert!(!cell.output(p, MatchMode::Hamming));
+        // Centre match satisfies both modes.
+        let p = cell.compare(None, Base::C, None);
+        assert!(cell.output(p, MatchMode::EdStar));
+        assert!(cell.output(p, MatchMode::Hamming));
+    }
+}

@@ -1,0 +1,77 @@
+//! The searchline buffer and driver (paper Fig. 4b).
+//!
+//! The driver latches a read and presents, for every cell index `i`, the
+//! three-base window `(R[i−1], R[i], R[i+1])` on the cell's six searchline
+//! pairs. Boundary cells receive `None` for the physically absent pair.
+
+use asmcap_genome::Base;
+
+/// A latched read presented on the searchlines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlDriver {
+    read: Vec<Base>,
+}
+
+impl SlDriver {
+    /// Latches a read into the driver.
+    #[must_use]
+    pub fn latch(read: &[Base]) -> Self {
+        Self {
+            read: read.to_vec(),
+        }
+    }
+
+    /// Row width the driver is driving.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.read.len()
+    }
+
+    /// The latched read.
+    #[must_use]
+    pub fn read(&self) -> &[Base] {
+        &self.read
+    }
+
+    /// The three-base window cell `i` sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the row.
+    #[must_use]
+    pub fn window(&self, i: usize) -> (Option<Base>, Base, Option<Base>) {
+        let left = if i > 0 { Some(self.read[i - 1]) } else { None };
+        let right = self.read.get(i + 1).copied();
+        (left, self.read[i], right)
+    }
+
+    /// Iterates all windows in cell order.
+    pub fn windows(&self) -> impl Iterator<Item = (Option<Base>, Base, Option<Base>)> + '_ {
+        (0..self.read.len()).map(|i| self.window(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_genome::DnaSeq;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().expect("valid test sequence")
+    }
+
+    #[test]
+    fn windows_cover_neighbors() {
+        let driver = SlDriver::latch(seq("ACGT").as_slice());
+        assert_eq!(driver.window(0), (None, Base::A, Some(Base::C)));
+        assert_eq!(driver.window(1), (Some(Base::A), Base::C, Some(Base::G)));
+        assert_eq!(driver.window(3), (Some(Base::G), Base::T, None));
+        assert_eq!(driver.windows().count(), 4);
+    }
+
+    #[test]
+    fn single_base_read_has_no_neighbors() {
+        let driver = SlDriver::latch(seq("G").as_slice());
+        assert_eq!(driver.window(0), (None, Base::G, None));
+    }
+}

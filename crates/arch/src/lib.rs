@@ -1,0 +1,38 @@
+//! Architecture simulator for the ASMCap reproduction (paper Fig. 4).
+//!
+//! Bottom-up, the simulated hierarchy is:
+//!
+//! * [`cell`] — one ASMCap cell: two 6T SRAM cells holding a base, the
+//!   three-way comparison logic (`O_L`/`O_C`/`O_R`), and the HDAC mode MUX;
+//! * [`driver`] — the searchline buffer/driver that turns a read into the
+//!   per-cell three-base windows;
+//! * [`registers`] — the shift registers with enable signal that rotate the
+//!   read for the TASR strategy;
+//! * [`mod@array`] — an `M×N` CAM array with matchline sensing through a
+//!   pluggable [`asmcap_circuit::MlCam`] model (charge-domain for ASMCap,
+//!   current-domain for EDAM) and sense amplifiers;
+//! * [`controller`] — the instruction sequencer with cycle accounting;
+//! * [`top`] — the full device: 512 arrays behind a global buffer and
+//!   H-tree, storing a segmented reference and searching reads against all
+//!   rows in one operation.
+//!
+//! The functional matching results are bit-exact with
+//! [`asmcap_metrics::ed_star`]; an integration test pins that equivalence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cell;
+pub mod controller;
+pub mod driver;
+pub mod registers;
+pub mod top;
+pub mod trace;
+
+pub use array::{CamArray, MatchMode, RowSearchOutcome, SearchOutcome};
+pub use cell::AsmcapCell;
+pub use controller::{Controller, Instruction, RunStats};
+pub use registers::ShiftRegisterFile;
+pub use top::{AsmcapDevice, DeviceBuilder, DeviceSearchResult, RowId};
+pub use trace::{Trace, TraceEvent};

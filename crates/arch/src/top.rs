@@ -1,0 +1,429 @@
+//! The top-level ASMCap device (paper Fig. 4a).
+//!
+//! A device is a bank of CAM arrays (the paper evaluates 512 arrays of
+//! 256×256 = 64 Mb) fed by a global buffer over an H-tree. A reference
+//! genome is segmented into row-sized windows at a configurable stride and
+//! written across the arrays; one search operation broadcasts a read to
+//! every array and senses all matchlines in parallel.
+
+use crate::array::{CamArray, MatchMode, SearchEnergy};
+use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, Rng};
+use asmcap_genome::{Base, DnaSeq};
+use std::fmt;
+
+/// Location of one stored row inside the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId {
+    /// Array index within the device.
+    pub array: usize,
+    /// Row index within the array.
+    pub row: usize,
+}
+
+/// One matching row reported by a device search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceMatch {
+    /// Which physical row matched.
+    pub id: RowId,
+    /// Genome position the row's segment was taken from.
+    pub origin: usize,
+    /// The row's noiseless mismatch count.
+    pub n_mis: usize,
+}
+
+/// Timing/energy accounting of one device search.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchStats {
+    /// Number of array-level search operations issued (all in parallel).
+    pub array_searches: usize,
+    /// Energy across all arrays, in joules.
+    pub energy_j: f64,
+    /// Wall-clock latency (arrays operate in parallel), in seconds.
+    pub latency_s: f64,
+}
+
+/// Result of searching one read against the whole device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSearchResult {
+    /// All rows whose sense amplifier fired, with their origins.
+    pub matches: Vec<DeviceMatch>,
+    /// Accounting for this search.
+    pub stats: SearchStats,
+}
+
+/// Error returned when a reference does not fit the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Rows the segmentation requires.
+    pub required_rows: usize,
+    /// Rows the device provides.
+    pub available_rows: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reference needs {} rows but the device has {}",
+            self.required_rows, self.available_rows
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Builder for [`AsmcapDevice`] (see paper §V-A for the evaluated shape).
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_arch::DeviceBuilder;
+/// let device = DeviceBuilder::new()
+///     .arrays(4)
+///     .rows_per_array(64)
+///     .row_width(128)
+///     .build_asmcap();
+/// assert_eq!(device.capacity_rows(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    arrays: usize,
+    rows: usize,
+    width: usize,
+}
+
+impl DeviceBuilder {
+    /// Starts from the paper's configuration: 512 arrays of 256×256.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            arrays: asmcap_circuit::params::ARRAY_COUNT,
+            rows: asmcap_circuit::params::ARRAY_ROWS,
+            width: asmcap_circuit::params::ARRAY_COLS,
+        }
+    }
+
+    /// Sets the number of arrays.
+    #[must_use]
+    pub fn arrays(mut self, arrays: usize) -> Self {
+        self.arrays = arrays;
+        self
+    }
+
+    /// Sets the rows per array (`M`).
+    #[must_use]
+    pub fn rows_per_array(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Sets the row width (`N`), which must equal the read length.
+    #[must_use]
+    pub fn row_width(mut self, width: usize) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Builds a charge-domain (ASMCap) device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn build_asmcap(&self) -> AsmcapDevice<ChargeDomainCam> {
+        AsmcapDevice::from_arrays(
+            (0..self.arrays)
+                .map(|_| CamArray::asmcap(self.rows, self.width))
+                .collect(),
+        )
+    }
+
+    /// Builds a current-domain (EDAM) device for baseline comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn build_edam(&self) -> AsmcapDevice<CurrentDomainCam> {
+        AsmcapDevice::from_arrays(
+            (0..self.arrays)
+                .map(|_| CamArray::edam(self.rows, self.width))
+                .collect(),
+        )
+    }
+}
+
+impl Default for DeviceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A full multi-array device over sensing model `M`.
+#[derive(Debug, Clone)]
+pub struct AsmcapDevice<M> {
+    arrays: Vec<CamArray<M>>,
+    origins: Vec<usize>, // flat, in storage order
+    width: usize,
+}
+
+impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
+    /// Wraps pre-built arrays (all must share one width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is empty or widths disagree.
+    #[must_use]
+    pub fn from_arrays(arrays: Vec<CamArray<M>>) -> Self {
+        assert!(!arrays.is_empty(), "a device needs at least one array");
+        let width = arrays[0].width();
+        assert!(
+            arrays.iter().all(|a| a.width() == width),
+            "all arrays must share one row width"
+        );
+        Self {
+            arrays,
+            origins: Vec::new(),
+            width,
+        }
+    }
+
+    /// Row width (= read length) in bases.
+    #[must_use]
+    pub fn row_width(&self) -> usize {
+        self.width
+    }
+
+    /// Total row capacity across all arrays.
+    #[must_use]
+    pub fn capacity_rows(&self) -> usize {
+        self.arrays.iter().map(CamArray::max_rows).sum()
+    }
+
+    /// Occupied rows.
+    #[must_use]
+    pub fn stored_rows(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Reference capacity in bases at stride `stride`.
+    #[must_use]
+    pub fn reference_capacity(&self, stride: usize) -> usize {
+        self.capacity_rows().saturating_sub(1) * stride + self.width
+    }
+
+    /// The arrays, for inspection.
+    #[must_use]
+    pub fn arrays(&self) -> &[CamArray<M>] {
+        &self.arrays
+    }
+
+    /// Segments `reference` into row-width windows every `stride` bases and
+    /// stores them across the arrays in order.
+    ///
+    /// Stride 1 stores every alignment offset (needed to map reads sampled
+    /// at arbitrary positions); stride = row width maximises the unique
+    /// reference a device holds (the paper's 64 Mb figure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the segmentation needs more rows than
+    /// the device has; nothing is stored in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the reference is shorter than one row.
+    pub fn store_reference(
+        &mut self,
+        reference: &DnaSeq,
+        stride: usize,
+    ) -> Result<usize, CapacityError> {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            reference.len() >= self.width,
+            "reference shorter than one row"
+        );
+        let starts: Vec<usize> = (0..=reference.len() - self.width).step_by(stride).collect();
+        let free: usize = self.capacity_rows() - self.stored_rows();
+        if starts.len() > free {
+            return Err(CapacityError {
+                required_rows: starts.len(),
+                available_rows: free,
+            });
+        }
+        for &start in &starts {
+            let segment = &reference.as_slice()[start..start + self.width];
+            let array = self
+                .arrays
+                .iter_mut()
+                .find(|a| !a.is_full())
+                .expect("capacity checked above");
+            array.store_row(segment).expect("width and capacity checked");
+            self.origins.push(start);
+        }
+        Ok(starts.len())
+    }
+
+    /// The genome origin of a stored row.
+    #[must_use]
+    pub fn origin_of(&self, id: RowId) -> Option<usize> {
+        let flat: usize = self
+            .arrays
+            .iter()
+            .take(id.array)
+            .map(CamArray::rows)
+            .sum::<usize>()
+            + id.row;
+        self.origins.get(flat).copied()
+    }
+
+    /// Broadcasts `read` to every array and senses all matchlines at
+    /// threshold `T` in `mode`. One search operation in hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read width differs from the row width.
+    #[must_use]
+    pub fn search(
+        &self,
+        read: &[Base],
+        threshold: usize,
+        mode: MatchMode,
+        rng: &mut Rng,
+    ) -> DeviceSearchResult {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        let mut matches = Vec::new();
+        let mut energy = 0.0;
+        let mut searches = 0usize;
+        let mut latency: f64 = 0.0;
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            let outcome = array.search(read, threshold, mode, rng);
+            energy += outcome.energy_j;
+            searches += 1;
+            latency = latency.max(array.sense().cam().search_time_s());
+            for row in &outcome.rows {
+                if row.matched {
+                    let id = RowId {
+                        array: array_idx,
+                        row: row.row,
+                    };
+                    matches.push(DeviceMatch {
+                        id,
+                        origin: self.origins[flat_base + row.row],
+                        n_mis: row.n_mis,
+                    });
+                }
+            }
+            flat_base += array.rows();
+        }
+        DeviceSearchResult {
+            matches,
+            stats: SearchStats {
+                array_searches: searches,
+                energy_j: energy,
+                latency_s: latency,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_circuit::rng;
+    use asmcap_genome::GenomeModel;
+
+    fn small_device() -> AsmcapDevice<ChargeDomainCam> {
+        DeviceBuilder::new()
+            .arrays(4)
+            .rows_per_array(16)
+            .row_width(64)
+            .build_asmcap()
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let device = small_device();
+        assert_eq!(device.capacity_rows(), 64);
+        assert_eq!(device.row_width(), 64);
+        assert_eq!(device.reference_capacity(64), 64 * 64);
+        assert_eq!(device.reference_capacity(1), 63 + 64);
+    }
+
+    #[test]
+    fn store_spills_across_arrays() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(40, 64, 32), 3);
+        let stored = device.store_reference(&genome, 32).unwrap();
+        assert_eq!(stored, 40);
+        assert_eq!(device.stored_rows(), 40);
+        // 16 rows per array: rows spill into the third array.
+        assert_eq!(device.arrays()[0].rows(), 16);
+        assert_eq!(device.arrays()[1].rows(), 16);
+        assert_eq!(device.arrays()[2].rows(), 8);
+    }
+
+    fn offset_len(rows: usize, width: usize, stride: usize) -> usize {
+        (rows - 1) * stride + width
+    }
+
+    #[test]
+    fn store_rejects_overflow_atomically() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(10_000, 4);
+        let err = device.store_reference(&genome, 1).unwrap_err();
+        assert!(err.required_rows > err.available_rows);
+        assert_eq!(device.stored_rows(), 0);
+    }
+
+    #[test]
+    fn search_locates_origin() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 7);
+        device.store_reference(&genome, 16).unwrap();
+        let mut rng = rng(11);
+        // Read taken exactly at row 20's origin = 20 * 16 = 320.
+        let read = genome.window(320..384);
+        let result = device.search(read.as_slice(), 0, MatchMode::EdStar, &mut rng);
+        assert!(
+            result
+                .matches
+                .iter()
+                .any(|m| m.origin == 320 && m.n_mis == 0),
+            "expected an exact match at origin 320, got {:?}",
+            result.matches
+        );
+        assert!(result.stats.energy_j > 0.0);
+        assert!(result.stats.latency_s > 0.0);
+        assert_eq!(result.stats.array_searches, 4);
+    }
+
+    #[test]
+    fn origin_of_maps_row_ids() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(20, 64, 64), 9);
+        device.store_reference(&genome, 64).unwrap();
+        assert_eq!(device.origin_of(RowId { array: 0, row: 3 }), Some(192));
+        assert_eq!(device.origin_of(RowId { array: 1, row: 2 }), Some((16 + 2) * 64));
+        assert_eq!(device.origin_of(RowId { array: 3, row: 0 }), None);
+    }
+
+    #[test]
+    fn edam_device_builds_and_searches() {
+        let mut device = DeviceBuilder::new()
+            .arrays(2)
+            .rows_per_array(8)
+            .row_width(32)
+            .build_edam();
+        let genome = GenomeModel::uniform().generate(offset_len(10, 32, 32), 5);
+        device.store_reference(&genome, 32).unwrap();
+        let mut rng = rng(13);
+        let read = genome.window(0..32);
+        let result = device.search(read.as_slice(), 1, MatchMode::EdStar, &mut rng);
+        assert!(result.matches.iter().any(|m| m.origin == 0));
+    }
+}

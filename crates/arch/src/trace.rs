@@ -1,0 +1,160 @@
+//! Execution tracing for the controller.
+//!
+//! A [`Trace`] records every instruction the controller executes, with its
+//! cycle stamp and outcome summary — the observability hook for debugging
+//! strategy schedules and for the waveform-style views hardware people
+//! expect from a simulator. Disabled (and free) by default.
+
+use crate::array::MatchMode;
+use crate::registers::RotateDirection;
+use std::fmt;
+
+/// One traced controller event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A read was latched from the global buffer.
+    Latch {
+        /// Cycle at which the latch completed.
+        cycle: u64,
+        /// Read length in bases.
+        read_len: usize,
+    },
+    /// A device-wide search was issued.
+    Search {
+        /// Cycle at which the search completed.
+        cycle: u64,
+        /// Threshold `T` on `V_ref`.
+        threshold: usize,
+        /// Distance mode (MUX signal `S`).
+        mode: MatchMode,
+        /// Number of rows whose SA fired.
+        matches: usize,
+        /// Energy of this search, joules.
+        energy_j: f64,
+    },
+    /// The shift registers rotated one base.
+    Rotate {
+        /// Cycle stamp (rotations are folded into the next search cycle).
+        cycle: u64,
+        /// Rotation direction.
+        direction: RotateDirection,
+    },
+    /// The original read was re-latched.
+    Reload {
+        /// Cycle stamp.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Latch { cycle, read_len } => {
+                write!(f, "[{cycle:>6}] latch {read_len} bases")
+            }
+            TraceEvent::Search {
+                cycle,
+                threshold,
+                mode,
+                matches,
+                energy_j,
+            } => write!(
+                f,
+                "[{cycle:>6}] search {mode} T={threshold}: {matches} match(es), {:.2} pJ",
+                energy_j * 1e12
+            ),
+            TraceEvent::Rotate { cycle, direction } => {
+                write!(f, "[{cycle:>6}] rotate {direction}")
+            }
+            TraceEvent::Reload { cycle } => write!(f, "[{cycle:>6}] reload read"),
+        }
+    }
+}
+
+/// An instruction trace. Created disabled; enabling starts recording.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts/stops recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for event in &self.events {
+            writeln!(f, "{event}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace = Trace::new();
+        trace.record(TraceEvent::Reload { cycle: 1 });
+        assert!(trace.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_renders() {
+        let mut trace = Trace::new();
+        trace.set_enabled(true);
+        trace.record(TraceEvent::Latch {
+            cycle: 1,
+            read_len: 256,
+        });
+        trace.record(TraceEvent::Search {
+            cycle: 2,
+            threshold: 8,
+            mode: MatchMode::EdStar,
+            matches: 3,
+            energy_j: 5e-12,
+        });
+        assert_eq!(trace.events().len(), 2);
+        let rendered = trace.to_string();
+        assert!(rendered.contains("latch 256 bases"));
+        assert!(rendered.contains("search ED* T=8: 3 match(es)"));
+        trace.clear();
+        assert!(trace.events().is_empty());
+    }
+}

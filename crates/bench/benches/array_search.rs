@@ -1,0 +1,68 @@
+//! Architecture-layer benchmarks: in-array search across array sizes and
+//! device-level search (the operation Fig. 8's throughput model counts).
+
+use asmcap_arch::{CamArray, DeviceBuilder, MatchMode};
+use asmcap_bench::genome;
+use asmcap_circuit::rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_array_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_search");
+    for (rows, width) in [(64usize, 64usize), (256, 256)] {
+        let reference = genome(rows * width + width);
+        let mut array = CamArray::asmcap(rows, width);
+        for i in 0..rows {
+            array
+                .store_row(&reference.as_slice()[i * width..(i + 1) * width])
+                .unwrap();
+        }
+        let read = reference.window(32..32 + width);
+        let mut r = rng(4);
+        group.throughput(Throughput::Elements((rows * width) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ed_star", format!("{rows}x{width}")),
+            &rows,
+            |bencher, _| {
+                bencher.iter(|| {
+                    array.search(black_box(read.as_slice()), 8, MatchMode::EdStar, &mut r)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hamming", format!("{rows}x{width}")),
+            &rows,
+            |bencher, _| {
+                bencher.iter(|| {
+                    array.search(black_box(read.as_slice()), 8, MatchMode::Hamming, &mut r)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_device_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_search");
+    group.sample_size(10);
+    let width = 256usize;
+    let arrays = 16usize;
+    // 16 arrays x 256 rows hold exactly 4096 stride-1 windows.
+    let reference = genome(arrays * 256 + width - 1);
+    let mut device = DeviceBuilder::new()
+        .arrays(arrays)
+        .rows_per_array(256)
+        .row_width(width)
+        .build_asmcap();
+    device.store_reference(&reference, 1).unwrap();
+    let read = reference.window(1000..1000 + width);
+    let mut r = rng(5);
+    group.throughput(Throughput::Elements(device.stored_rows() as u64));
+    group.bench_function("asmcap_16_arrays_stride1", |bencher| {
+        bencher.iter(|| device.search(black_box(read.as_slice()), 8, MatchMode::EdStar, &mut r));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_search, bench_device_search);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Distance-kernel benchmarks (backs Fig. 2 and the CM-CPU model): HD,
+//! ED (DP / banded / Myers), and ED* across read lengths.
+
+use asmcap_bench::{decoy_pair, pair};
+use asmcap_genome::{ErrorProfile, PackedSeq};
+use asmcap_metrics::{
+    ed_star, edit_distance, edit_distance_banded, edit_distance_myers, hamming, hamming_packed,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming");
+    for len in [64usize, 256, 1024] {
+        let (a, b) = decoy_pair(len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("naive", len), &len, |bencher, _| {
+            bencher.iter(|| hamming(black_box(a.as_slice()), black_box(b.as_slice())));
+        });
+        let pa = PackedSeq::from_seq(&a);
+        let pb = PackedSeq::from_seq(&b);
+        group.bench_with_input(BenchmarkId::new("packed", len), &len, |bencher, _| {
+            bencher.iter(|| hamming_packed(black_box(&pa), black_box(&pb)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_distance");
+    group.sample_size(20);
+    for len in [64usize, 256, 1024] {
+        let (a, b) = pair(len, ErrorProfile::condition_b());
+        group.throughput(Throughput::Elements((len * len) as u64));
+        group.bench_with_input(BenchmarkId::new("dp", len), &len, |bencher, _| {
+            bencher.iter(|| edit_distance(black_box(a.as_slice()), black_box(b.as_slice())));
+        });
+        group.bench_with_input(BenchmarkId::new("banded_t16", len), &len, |bencher, _| {
+            bencher.iter(|| {
+                edit_distance_banded(black_box(a.as_slice()), black_box(b.as_slice()), 16)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("myers", len), &len, |bencher, _| {
+            bencher
+                .iter(|| edit_distance_myers(black_box(a.as_slice()), black_box(b.as_slice())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ed_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ed_star");
+    for len in [64usize, 256, 1024] {
+        let (segment, read) = pair(len, ErrorProfile::condition_a());
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bencher, _| {
+            bencher.iter(|| ed_star(black_box(segment.as_slice()), black_box(read.as_slice())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hamming, bench_edit_distance, bench_ed_star);
+criterion_main!(benches);

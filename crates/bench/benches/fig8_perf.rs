@@ -1,0 +1,37 @@
+//! Fig. 8 benchmarks: the performance-model evaluation itself, plus the
+//! honest host-side DP cell rate (our machine's CM-CPU equivalent, recorded
+//! in EXPERIMENTS.md next to the calibrated i9 constant).
+
+use asmcap_baselines::perf::{PerfReport, Workload};
+use asmcap_baselines::CmCpuAligner;
+use asmcap_genome::GenomeModel;
+use asmcap_metrics::edit_distance_myers;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_model");
+    let workload = Workload::paper(1.07, 107.5);
+    group.bench_function("six_system_report", |bencher| {
+        bencher.iter(|| PerfReport::fig8(black_box(&workload)));
+    });
+    group.finish();
+}
+
+fn bench_host_dp_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cm_cpu_host");
+    let a = GenomeModel::uniform().generate(256, 1);
+    let b = GenomeModel::uniform().generate(256, 2);
+    group.throughput(Throughput::Elements((256 * 256) as u64));
+    group.bench_function("myers_256x256", |bencher| {
+        bencher.iter(|| edit_distance_myers(black_box(a.as_slice()), black_box(b.as_slice())));
+    });
+    group.bench_function("banded_t16_256", |bencher| {
+        let cpu = CmCpuAligner::new();
+        bencher.iter(|| cpu.distance_within(black_box(a.as_slice()), black_box(b.as_slice()), 16));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model, bench_host_dp_rate);
+criterion_main!(benches);

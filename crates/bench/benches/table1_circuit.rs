@@ -1,0 +1,62 @@
+//! Circuit-model benchmarks (backs Table I and Fig. 3): sensing draws for
+//! both ML-CAM domains, exact capacitor-bank charge sharing, and the
+//! Monte-Carlo misjudgment kernel.
+
+use asmcap_circuit::charge::CapacitorBank;
+use asmcap_circuit::montecarlo::MonteCarlo;
+use asmcap_circuit::sense::SenseAmp;
+use asmcap_circuit::{rng, ChargeDomainCam, CurrentDomainCam, MlCam, VrefPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sensing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensing_measure");
+    let charge = ChargeDomainCam::paper();
+    let current = CurrentDomainCam::paper();
+    let mut r = rng(1);
+    for n_mis in [8usize, 108] {
+        group.bench_with_input(
+            BenchmarkId::new("charge_domain", n_mis),
+            &n_mis,
+            |bencher, &k| {
+                bencher.iter(|| charge.measure(black_box(k), 256, &mut r));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("current_domain", n_mis),
+            &n_mis,
+            |bencher, &k| {
+                bencher.iter(|| current.measure(black_box(k), 256, &mut r));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_capacitor_bank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacitor_bank");
+    let mut r = rng(2);
+    group.bench_function("sample_256", |bencher| {
+        bencher.iter(|| CapacitorBank::sample(256, 2e-15, 0.014, &mut r));
+    });
+    let bank = CapacitorBank::sample(256, 2e-15, 0.014, &mut r);
+    let mismatched: Vec<bool> = (0..256).map(|i| i % 3 == 0).collect();
+    group.bench_function("matchline_voltage_256", |bencher| {
+        bencher.iter(|| bank.matchline_voltage(black_box(&mismatched), 1.2));
+    });
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    let mc = MonteCarlo::new(2_000, 3);
+    let sa = SenseAmp::new(CurrentDomainCam::paper(), VrefPolicy::Centered);
+    group.bench_function("match_rate_2000_trials", |bencher| {
+        bencher.iter(|| mc.match_rate(black_box(&sa), 9, 256, 8));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensing, bench_capacitor_bank, bench_monte_carlo);
+criterion_main!(benches);

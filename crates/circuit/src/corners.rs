@@ -1,0 +1,130 @@
+//! Supply-voltage corner analysis (extension experiment E12).
+//!
+//! The paper argues the charge domain is "linear and stable" while
+//! current-domain sensing is "inherently vulnerable to device and
+//! timing-control variations". Supply droop makes the asymmetry concrete:
+//!
+//! * **Charge domain** — `V_ML/V_DD = Σ C_mis/ΣC` and `V_ref/V_DD = T/N`
+//!   are both *ratiometric* in the supply, so a droop cancels exactly; only
+//!   the SA's fixed-voltage input offset grows in state units (∝ 1/V_DD).
+//! * **Current domain** — the discharge current scales with the transistor
+//!   overdrive, roughly `I ∝ (V_DD − V_th)²`, but the sampling instant
+//!   `t_s` is a fixed timer: the sampled drop acquires a *systematic gain
+//!   error* `g = ((V_DD − V_th)/(V_DD,nom − V_th))²` on top of the larger
+//!   relative offset.
+//!
+//! [`charge_cam_at`]/[`current_cam_at`] build corner-adjusted models; the
+//! `corners` binary in `asmcap-eval` sweeps the droop and reports
+//! misjudgment probabilities.
+
+use crate::params::{AsmcapParams, EdamParams};
+use crate::{ChargeDomainCam, CurrentDomainCam};
+
+/// Nominal supply of the paper's 65 nm design, volts.
+pub const VDD_NOMINAL: f64 = 1.2;
+
+/// Assumed NMOS threshold voltage for the overdrive model, volts.
+/// ASSUMPTION: a typical 65 nm regular-Vt device.
+pub const VTH: f64 = 0.4;
+
+/// The current-domain gain error at a given supply:
+/// `((vdd − V_th)/(V_DD,nom − V_th))²`.
+///
+/// # Panics
+///
+/// Panics unless `VTH < vdd ≤ VDD_NOMINAL` (the droop regime).
+#[must_use]
+pub fn discharge_gain(vdd: f64) -> f64 {
+    assert!(
+        vdd > VTH && vdd <= VDD_NOMINAL,
+        "corner supply must lie in ({VTH}, {VDD_NOMINAL}] V"
+    );
+    ((vdd - VTH) / (VDD_NOMINAL - VTH)).powi(2)
+}
+
+/// The ASMCap charge-domain model at a drooped supply: device statistics
+/// are unchanged (ratiometric); the SA offset grows ∝ 1/V_DD.
+#[must_use]
+pub fn charge_cam_at(vdd: f64) -> ChargeDomainCam {
+    assert!(
+        vdd > VTH && vdd <= VDD_NOMINAL,
+        "corner supply must lie in ({VTH}, {VDD_NOMINAL}] V"
+    );
+    let mut params = AsmcapParams::paper();
+    params.sa_offset_states *= VDD_NOMINAL / vdd;
+    params.vdd = vdd;
+    ChargeDomainCam::new(params)
+}
+
+/// The EDAM current-domain model at a drooped supply: systematic discharge
+/// gain error plus the ∝ 1/V_DD offset growth.
+#[must_use]
+pub fn current_cam_at(vdd: f64) -> CurrentDomainCam {
+    let gain = discharge_gain(vdd);
+    let mut params = EdamParams::paper();
+    params.gain_error = gain;
+    params.sa_offset_states *= VDD_NOMINAL / vdd;
+    params.vdd = vdd;
+    CurrentDomainCam::new(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sense::SenseAmp;
+    use crate::{MlCam, VrefPolicy};
+
+    #[test]
+    fn nominal_corner_is_identity() {
+        assert!((discharge_gain(VDD_NOMINAL) - 1.0).abs() < 1e-12);
+        let charge = charge_cam_at(VDD_NOMINAL);
+        assert_eq!(
+            charge.params().sa_offset_states,
+            AsmcapParams::paper().sa_offset_states
+        );
+        let current = current_cam_at(VDD_NOMINAL);
+        assert_eq!(current.mean_states(10, 256), 10.0);
+    }
+
+    #[test]
+    fn gain_drops_quadratically_with_droop() {
+        let g_mild = discharge_gain(1.1);
+        let g_deep = discharge_gain(0.9);
+        assert!(g_mild < 1.0 && g_deep < g_mild);
+        // 0.9 V: overdrive halves-ish: ((0.5)/(0.8))^2 ≈ 0.39.
+        assert!((g_deep - 0.390_625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn droop_biases_edam_towards_false_positives() {
+        // A gain < 1 makes high-n_mis rows read low: near-threshold
+        // non-matching rows cross V_ref and become false positives.
+        let nominal = SenseAmp::new(current_cam_at(VDD_NOMINAL), VrefPolicy::Centered);
+        let drooped = SenseAmp::new(current_cam_at(1.0), VrefPolicy::Centered);
+        let t = 8usize;
+        let fp_nominal = nominal.match_probability(t + 4, 256, t);
+        let fp_drooped = drooped.match_probability(t + 4, 256, t);
+        assert!(
+            fp_drooped > fp_nominal * 1.5,
+            "droop should inflate FP: {fp_nominal} -> {fp_drooped}"
+        );
+    }
+
+    #[test]
+    fn charge_domain_is_nearly_corner_immune() {
+        let nominal = SenseAmp::new(charge_cam_at(VDD_NOMINAL), VrefPolicy::Centered);
+        let drooped = SenseAmp::new(charge_cam_at(1.0), VrefPolicy::Centered);
+        let t = 8usize;
+        // Both essentially zero; droop must not create a visible FP rate.
+        assert!(drooped.match_probability(t + 4, 256, t) < 1e-6);
+        assert!(nominal.match_probability(t + 4, 256, t) < 1e-6);
+        // And the true-match probability stays essentially one.
+        assert!(drooped.match_probability(t.saturating_sub(2), 256, t) > 0.999_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "corner supply")]
+    fn rejects_supply_below_threshold() {
+        let _ = discharge_gain(0.3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Gaussian sampling for the variation models.
+//!
+//! `rand` 0.8 ships only uniform-family distributions; the normal draws the
+//! variation models need are generated here with the Box–Muller transform,
+//! avoiding an extra dependency for one function.
+
+use crate::Rng;
+use rand::Rng as _;
+
+/// Draws one standard-normal sample (`N(0, 1)`).
+///
+/// # Examples
+///
+/// ```
+/// let mut rng = asmcap_circuit::rng(1);
+/// let x = asmcap_circuit::noise::standard_normal(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[must_use]
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    // Box–Muller; u1 bounded away from 0 so ln() is finite.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws one `N(mean, sigma²)` sample.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+#[must_use]
+pub fn normal(mean: f64, sigma: f64, rng: &mut Rng) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    mean + sigma * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut rng = rng(11);
+        let n = 50_000usize;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn tail_mass_is_gaussian() {
+        let mut rng = rng(13);
+        let n = 100_000usize;
+        let beyond_2sigma = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        let rate = beyond_2sigma as f64 / n as f64;
+        // True mass beyond 2 sigma is ~4.55%.
+        assert!((rate - 0.0455).abs() < 0.005, "2-sigma tail rate {rate}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = rng(17);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(5.0, 2.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert_eq!(normal(3.0, 0.0, &mut rng), 3.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            standard_normal(&mut rng(19)),
+            standard_normal(&mut rng(19))
+        );
+    }
+}

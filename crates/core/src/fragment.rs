@@ -1,0 +1,302 @@
+//! Long-read support: k-mer fragmentation and position voting.
+//!
+//! The paper's top architecture notes that "the global buffer can fetch the
+//! entire reads or k-mers for the subsequent match according to the read
+//! length" (§III-A): short reads are matched whole, while reads longer than
+//! the row width are split into row-width fragments. Because ED\* tolerates
+//! intra-fragment edits, the fragments can be far longer than classical
+//! seeds — which is exactly the paper's argument for why EDAM-style matching
+//! "can support much larger k".
+//!
+//! [`LongReadMapper`] matches every fragment through the device and votes:
+//! each matching row implies a candidate origin for the whole read
+//! (`row origin − fragment offset`); consistent candidates accumulate votes
+//! and the read maps where enough fragments agree.
+
+use crate::mapper::{MapperConfig, ReadMapper};
+use asmcap_arch::AsmcapDevice;
+use asmcap_circuit::ChargeDomainCam;
+use asmcap_genome::DnaSeq;
+
+/// Configuration of the long-read fragment voter.
+#[derive(Debug, Clone)]
+pub struct FragmentConfig {
+    /// Per-fragment matching configuration (threshold, strategies).
+    pub mapper: MapperConfig,
+    /// Fragment stride along the read; defaults to the row width
+    /// (non-overlapping fragments). Smaller strides add redundancy.
+    pub stride: usize,
+    /// Votes required to call a mapping, as a fraction of the fragments
+    /// issued (e.g. 0.5 = majority).
+    pub min_vote_fraction: f64,
+    /// Two fragment candidates vote together if their implied origins are
+    /// within this distance (absorbs indel-induced drift along the read).
+    pub origin_tolerance: usize,
+}
+
+impl FragmentConfig {
+    /// A sensible default: paper mapper config, non-overlapping fragments,
+    /// majority voting, ±8 bases of drift tolerance.
+    #[must_use]
+    pub fn new(mapper: MapperConfig, row_width: usize) -> Self {
+        Self {
+            mapper,
+            stride: row_width,
+            min_vote_fraction: 0.5,
+            origin_tolerance: 8,
+        }
+    }
+}
+
+/// One called mapping of a long read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LongReadMapping {
+    /// Called origin of the whole read in the reference.
+    pub origin: usize,
+    /// Votes this origin received.
+    pub votes: usize,
+    /// Fragments issued in total.
+    pub fragments: usize,
+}
+
+/// Maps reads longer than the row width by fragment voting.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap::fragment::{FragmentConfig, LongReadMapper};
+/// use asmcap::MapperConfig;
+/// use asmcap_arch::DeviceBuilder;
+/// use asmcap_genome::GenomeModel;
+///
+/// let genome = GenomeModel::uniform().generate(3_000, 1);
+/// let mut device = DeviceBuilder::new()
+///     .arrays(12).rows_per_array(256).row_width(128)
+///     .build_asmcap();
+/// device.store_reference(&genome, 1)?;
+/// let config = FragmentConfig::new(MapperConfig::plain(4), 128);
+/// let mut mapper = LongReadMapper::new(device, config, 7);
+/// // A 512-base "long read" = 4 fragments, error-free here.
+/// let read = genome.window(1000..1512);
+/// let mapping = mapper.map_long_read(&read).expect("maps");
+/// assert_eq!(mapping.origin, 1000);
+/// assert_eq!(mapping.fragments, 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct LongReadMapper {
+    inner: ReadMapper,
+    config: FragmentConfig,
+    width: usize,
+}
+
+impl LongReadMapper {
+    /// Wraps a loaded device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config stride is zero.
+    #[must_use]
+    pub fn new(
+        device: AsmcapDevice<ChargeDomainCam>,
+        config: FragmentConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(config.stride > 0, "fragment stride must be positive");
+        let width = device.row_width();
+        Self {
+            inner: ReadMapper::new(device, config.mapper.clone(), seed),
+            config,
+            width,
+        }
+    }
+
+    /// Cumulative device statistics.
+    #[must_use]
+    pub fn stats(&self) -> asmcap_arch::RunStats {
+        self.inner.stats()
+    }
+
+    /// Splits `read` into row-width fragments at the configured stride
+    /// (the final window is anchored to the read end so no suffix is lost).
+    #[must_use]
+    pub fn fragments(&self, read: &DnaSeq) -> Vec<(usize, DnaSeq)> {
+        let width = self.width;
+        if read.len() <= width {
+            return vec![(0, read.clone())];
+        }
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            if offset + width >= read.len() {
+                let start = read.len() - width;
+                out.push((start, read.window(start..read.len())));
+                break;
+            }
+            out.push((offset, read.window(offset..offset + width)));
+            offset += self.config.stride;
+        }
+        out
+    }
+
+    /// Maps one long read: fragment, match each fragment through the
+    /// device, vote on consistent origins. Returns `None` when no origin
+    /// reaches the vote threshold.
+    ///
+    /// With stride-1 storage a fragment also matches the rows one base to
+    /// either side of its true origin (ED\* tolerates the shift), so each
+    /// fragment's hits are first collapsed into tolerance-bounded groups and
+    /// each group contributes *one* vote at its median implied origin; the
+    /// called origin is the median of the winning cluster's samples.
+    pub fn map_long_read(&mut self, read: &DnaSeq) -> Option<LongReadMapping> {
+        let fragments = self.fragments(read);
+        let issued = fragments.len();
+        struct Cluster {
+            representative: usize,
+            samples: Vec<usize>,
+        }
+        let mut clusters: Vec<Cluster> = Vec::new();
+        let tolerance = self.config.origin_tolerance;
+        for (offset, fragment) in &fragments {
+            let mapped = self.inner.map_read(fragment);
+            // Implied whole-read origins from this fragment, ascending
+            // (map_read returns sorted positions).
+            let implied: Vec<usize> = mapped
+                .positions
+                .iter()
+                .filter_map(|p| p.checked_sub(*offset))
+                .collect();
+            // Collapse this fragment's hits into tolerance-bounded runs.
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for origin in implied {
+                match groups.last_mut() {
+                    Some(group) if origin - *group.last().expect("non-empty") <= tolerance => {
+                        group.push(origin);
+                    }
+                    _ => groups.push(vec![origin]),
+                }
+            }
+            for group in groups {
+                let median = group[group.len() / 2];
+                match clusters
+                    .iter_mut()
+                    .find(|c| c.representative.abs_diff(median) <= tolerance)
+                {
+                    Some(cluster) => cluster.samples.push(median),
+                    None => clusters.push(Cluster {
+                        representative: median,
+                        samples: vec![median],
+                    }),
+                }
+            }
+        }
+        let required = (((issued as f64) * self.config.min_vote_fraction).ceil() as usize).max(1);
+        clusters
+            .into_iter()
+            .filter(|c| c.samples.len() >= required)
+            .max_by_key(|c| c.samples.len())
+            .map(|mut cluster| {
+                cluster.samples.sort_unstable();
+                LongReadMapping {
+                    origin: cluster.samples[cluster.samples.len() / 2],
+                    votes: cluster.samples.len(),
+                    fragments: issued,
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_arch::DeviceBuilder;
+    use asmcap_genome::{ErrorModel, ErrorProfile, GenomeModel, ReadSampler};
+
+    fn loaded_device(genome: &DnaSeq, width: usize) -> AsmcapDevice<ChargeDomainCam> {
+        let positions = genome.len() - width + 1;
+        let mut device = DeviceBuilder::new()
+            .arrays(positions.div_ceil(256))
+            .rows_per_array(256)
+            .row_width(width)
+            .build_asmcap();
+        device.store_reference(genome, 1).unwrap();
+        device
+    }
+
+    #[test]
+    fn fragments_cover_the_whole_read() {
+        let genome = GenomeModel::uniform().generate(4_096, 1);
+        let device = loaded_device(&genome, 128);
+        let mapper = LongReadMapper::new(
+            device,
+            FragmentConfig::new(MapperConfig::plain(4), 128),
+            1,
+        );
+        let read = genome.window(0..500); // not a multiple of 128
+        let fragments = mapper.fragments(&read);
+        assert_eq!(fragments.len(), 4);
+        assert_eq!(fragments[0].0, 0);
+        assert_eq!(fragments.last().unwrap().0, 500 - 128);
+        assert!(fragments.iter().all(|(_, f)| f.len() == 128));
+        // Short reads pass through unfragmented.
+        let short = genome.window(0..100);
+        assert_eq!(mapper.fragments(&short).len(), 1);
+    }
+
+    #[test]
+    fn error_free_long_read_maps_exactly() {
+        let genome = GenomeModel::uniform().generate(6_000, 2);
+        let device = loaded_device(&genome, 128);
+        let mut mapper = LongReadMapper::new(
+            device,
+            FragmentConfig::new(MapperConfig::plain(2), 128),
+            2,
+        );
+        let read = genome.window(2_345..2_345 + 640);
+        let mapping = mapper.map_long_read(&read).expect("should map");
+        assert_eq!(mapping.origin, 2_345);
+        assert_eq!(mapping.votes, mapping.fragments);
+    }
+
+    #[test]
+    fn erroneous_long_read_maps_by_majority() {
+        // A TGS-flavoured long read: 1024 bases with heavy mixed errors.
+        let genome = GenomeModel::uniform().generate(8_192, 3);
+        let profile = ErrorProfile::new(0.02, 0.01, 0.01); // 4% total
+        let model = ErrorModel::Bursty {
+            profile,
+            mean_burst_len: 2.0,
+        };
+        let sampler = ReadSampler::with_model(1024, model);
+        let mut rng = asmcap_genome::rng(4);
+        let read = sampler.sample_at(&genome, 3_000, &mut rng);
+
+        let device = loaded_device(&genome, 256);
+        let config = FragmentConfig {
+            mapper: MapperConfig::paper(24, profile),
+            stride: 256,
+            min_vote_fraction: 0.5,
+            origin_tolerance: 48,
+        };
+        let mut mapper = LongReadMapper::new(device, config, 5);
+        let mapping = mapper.map_long_read(&read.bases).expect("should map");
+        assert!(
+            mapping.origin.abs_diff(3_000) <= 48,
+            "mapped to {} (true 3000)",
+            mapping.origin
+        );
+    }
+
+    #[test]
+    fn unrelated_long_read_does_not_map() {
+        let genome = GenomeModel::uniform().generate(6_000, 6);
+        let device = loaded_device(&genome, 128);
+        let mut mapper = LongReadMapper::new(
+            device,
+            FragmentConfig::new(MapperConfig::plain(6), 128),
+            7,
+        );
+        let foreign = GenomeModel::uniform().generate(512, 999);
+        assert!(mapper.map_long_read(&foreign).is_none());
+    }
+}

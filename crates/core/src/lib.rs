@@ -1,0 +1,70 @@
+//! # ASMCap
+//!
+//! A from-scratch reproduction of *“ASMCap: An Approximate String Matching
+//! Accelerator for Genome Sequence Analysis Based on Capacitive Content
+//! Addressable Memory”* (DAC 2023).
+//!
+//! ASMCap matches DNA reads against stored reference segments with the
+//! neighbor-tolerant **ED\*** distance evaluated in one shot by a capacitive
+//! multi-level CAM, and corrects ED\*'s two systematic misjudgments with
+//! two hardware-friendly strategies:
+//!
+//! * [`hdac`] — **Hamming-Distance Aid Correction** for
+//!   substitution-dominant edits (paper Algorithm 1);
+//! * [`tasr`] — **Threshold-Aware Sequence Rotation** for consecutive
+//!   indels (paper Algorithm 2).
+//!
+//! The crate exposes three levels of API:
+//!
+//! * [`matcher`] — the [`AsmMatcher`] trait plus reference matchers (exact
+//!   edit distance, noiseless ED\*);
+//! * [`engine`] — [`AsmcapEngine`] and [`EdamEngine`]: per-pair matchers
+//!   with full analog sensing models, used by the accuracy evaluation;
+//! * [`mapper`] — [`ReadMapper`]: the end-to-end path through the simulated
+//!   512-array device, including instruction streams, cycle accounting, and
+//!   energy.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asmcap::{AsmcapEngine, AsmMatcher};
+//! use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
+//!
+//! // A synthetic reference and a read with Condition-A errors.
+//! let genome = GenomeModel::uniform().generate(10_000, 1);
+//! let sampler = ReadSampler::new(256, ErrorProfile::condition_a());
+//! let read = sampler.sample(&genome, 42);
+//! let segment = read.aligned_segment(&genome);
+//!
+//! // The full ASMCap engine: charge-domain sensing + HDAC + TASR.
+//! let mut engine = AsmcapEngine::paper(ErrorProfile::condition_a(), 7);
+//! let outcome = engine.matches(segment.as_slice(), read.bases.as_slice(), 8);
+//! assert!(outcome.matched);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod fragment;
+pub mod hdac;
+pub mod mapper;
+pub mod matcher;
+pub mod tasr;
+
+pub use config::{AsmcapConfig, EdamConfig};
+pub use engine::{AsmcapEngine, EdamEngine};
+pub use fragment::{FragmentConfig, LongReadMapper, LongReadMapping};
+pub use hdac::{Hdac, HdacParams};
+pub use matcher::{AsmMatcher, ExactEdMatcher, MatchOutcome, NoiselessEdStarMatcher};
+pub use mapper::{MappedRead, MapperConfig, ReadMapper};
+pub use tasr::{RotationSchedule, Tasr, TasrParams};
+
+/// Deterministic RNG shared across the workspace (ChaCha8).
+pub type Rng = asmcap_circuit::Rng;
+
+/// Creates the workspace-standard deterministic RNG from a `u64` seed.
+pub fn rng(seed: u64) -> Rng {
+    asmcap_circuit::rng(seed)
+}

@@ -1,0 +1,307 @@
+//! End-to-end read mapping through the simulated multi-array device.
+//!
+//! [`ReadMapper`] drives an [`asmcap_arch::AsmcapDevice`] through its
+//! controller with the exact instruction streams the strategies require:
+//! an ED\* search, an optional HD-mode search (HDAC), and optional rotated
+//! searches (TASR). This is the path the examples and the virus-screening
+//! workload use; the statistically equivalent but much faster per-pair path
+//! used by the accuracy sweeps lives in [`crate::engine`].
+//!
+//! One hardware-faithful difference from the pair engines: HDAC draws its
+//! random number **once per read** (a host-side draw steering the result
+//! MUX for all rows), rather than once per pair.
+
+use crate::hdac::HdacParams;
+use crate::tasr::TasrParams;
+use crate::Rng;
+use asmcap_arch::{AsmcapDevice, Controller, Instruction, MatchMode, RowId};
+use asmcap_circuit::ChargeDomainCam;
+use asmcap_genome::{DnaSeq, ErrorProfile};
+use rand::Rng as _;
+use std::collections::BTreeMap;
+
+/// Configuration of a device-level mapping run.
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Edit-distance threshold `T`.
+    pub threshold: usize,
+    /// Expected error profile (parameterises HDAC and TASR).
+    pub profile: ErrorProfile,
+    /// HDAC parameters, or `None` to disable.
+    pub hdac: Option<HdacParams>,
+    /// TASR parameters, or `None` to disable.
+    pub tasr: Option<TasrParams>,
+}
+
+impl MapperConfig {
+    /// The paper's full configuration at a given threshold.
+    #[must_use]
+    pub fn paper(threshold: usize, profile: ErrorProfile) -> Self {
+        Self {
+            threshold,
+            profile,
+            hdac: Some(HdacParams::paper()),
+            tasr: Some(TasrParams::paper()),
+        }
+    }
+
+    /// Plain ED\* matching at a given threshold (no strategies).
+    #[must_use]
+    pub fn plain(threshold: usize) -> Self {
+        Self {
+            threshold,
+            profile: ErrorProfile::error_free(),
+            hdac: None,
+            tasr: None,
+        }
+    }
+}
+
+/// Result of mapping one read against the stored reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedRead {
+    /// Genome origins of all matching rows, sorted ascending.
+    pub positions: Vec<usize>,
+    /// Search cycles this read consumed (1 + HDAC + TASR rotations).
+    pub cycles: u64,
+    /// Search operations issued device-wide.
+    pub searches: u64,
+}
+
+/// Maps reads against a reference stored in an ASMCap device.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap::{MapperConfig, ReadMapper};
+/// use asmcap_arch::DeviceBuilder;
+/// use asmcap_genome::{ErrorProfile, GenomeModel};
+///
+/// let mut device = DeviceBuilder::new()
+///     .arrays(2).rows_per_array(32).row_width(64)
+///     .build_asmcap();
+/// let genome = GenomeModel::uniform().generate(64 * 64, 1);
+/// device.store_reference(&genome, 64)?;
+///
+/// let mut mapper = ReadMapper::new(device, MapperConfig::plain(2), 9);
+/// let read = genome.window(128..192); // row 2's segment
+/// let mapped = mapper.map_read(&read);
+/// assert_eq!(mapped.positions, vec![128]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ReadMapper {
+    controller: Controller<ChargeDomainCam>,
+    config: MapperConfig,
+    host_rng: Rng,
+}
+
+impl ReadMapper {
+    /// Wraps a loaded device. `seed` controls both sensing noise and the
+    /// host-side HDAC draws.
+    #[must_use]
+    pub fn new(
+        device: AsmcapDevice<ChargeDomainCam>,
+        config: MapperConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            controller: Controller::new(device, seed),
+            config,
+            host_rng: crate::rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Cumulative controller statistics across all mapped reads.
+    #[must_use]
+    pub fn stats(&self) -> asmcap_arch::RunStats {
+        self.controller.stats()
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn device(&self) -> &AsmcapDevice<ChargeDomainCam> {
+        self.controller.device()
+    }
+
+    /// Maps one read: ED\* search plus the configured strategies, returning
+    /// every matching stored-row origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read length differs from the device row width.
+    pub fn map_read(&mut self, read: &DnaSeq) -> MappedRead {
+        let t = self.config.threshold;
+        let before = self.controller.stats();
+
+        // Cycle 1: the ED* search.
+        let base = self.controller.run(&[
+            Instruction::LatchRead(read.clone()),
+            Instruction::Search {
+                threshold: t,
+                mode: MatchMode::EdStar,
+            },
+        ]);
+        let mut matched: BTreeMap<RowId, usize> = collect(&base[0]);
+
+        // HDAC: one HD-mode search, one host-side draw for the result MUX.
+        if let Some(hdac) = self.config.hdac {
+            if hdac.enabled(&self.config.profile, t) {
+                let hd = self.controller.run(&[Instruction::Search {
+                    threshold: t,
+                    mode: MatchMode::Hamming,
+                }]);
+                let p = hdac.probability(&self.config.profile, t);
+                if self.host_rng.gen::<f64>() < p {
+                    matched = collect(&hd[0]);
+                }
+            }
+        }
+
+        // TASR: N_R rotated ED* searches, OR-ed into the result set.
+        if let Some(tasr) = self.config.tasr {
+            if tasr.active(&self.config.profile, read.len(), t) {
+                for i in 1..=tasr.rotations {
+                    let (direction, amount) = tasr.schedule.step(i);
+                    let mut program = vec![Instruction::ReloadRead];
+                    program.extend((0..amount).map(|_| Instruction::Rotate(direction)));
+                    program.push(Instruction::Search {
+                        threshold: t,
+                        mode: MatchMode::EdStar,
+                    });
+                    let rotated = self.controller.run(&program);
+                    for (id, n_mis) in collect(&rotated[0]) {
+                        matched.entry(id).or_insert(n_mis);
+                    }
+                }
+            }
+        }
+
+        let after = self.controller.stats();
+        let mut positions: Vec<usize> = matched
+            .keys()
+            .filter_map(|&id| self.controller.device().origin_of(id))
+            .collect();
+        positions.sort_unstable();
+        positions.dedup();
+        MappedRead {
+            positions,
+            cycles: after.cycles - before.cycles,
+            searches: after.searches - before.searches,
+        }
+    }
+
+}
+
+fn collect(result: &asmcap_arch::DeviceSearchResult) -> BTreeMap<RowId, usize> {
+    result
+        .matches
+        .iter()
+        .map(|m| (m.id, m.n_mis))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_arch::DeviceBuilder;
+    use asmcap_genome::{GenomeModel, ReadSampler};
+
+    fn loaded_device(
+        genome: &DnaSeq,
+        width: usize,
+        stride: usize,
+    ) -> AsmcapDevice<ChargeDomainCam> {
+        let rows_needed = (genome.len() - width) / stride + 1;
+        let mut device = DeviceBuilder::new()
+            .arrays(rows_needed.div_ceil(32))
+            .rows_per_array(32)
+            .row_width(width)
+            .build_asmcap();
+        device.store_reference(genome, stride).unwrap();
+        device
+    }
+
+    #[test]
+    fn exact_read_maps_to_its_origin() {
+        let genome = GenomeModel::uniform().generate(4096, 31);
+        let device = loaded_device(&genome, 64, 1);
+        let mut mapper = ReadMapper::new(device, MapperConfig::plain(0), 1);
+        let read = genome.window(777..841);
+        let mapped = mapper.map_read(&read);
+        assert_eq!(mapped.positions, vec![777]);
+        assert_eq!(mapped.cycles, 2); // latch + search
+    }
+
+    #[test]
+    fn erroneous_read_maps_with_paper_config() {
+        let genome = GenomeModel::uniform().generate(8192, 32);
+        let device = loaded_device(&genome, 256, 1);
+        let profile = ErrorProfile::condition_a();
+        let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile), 2);
+        let sampler = ReadSampler::new(256, profile);
+        let mut rng = asmcap_genome::rng(5);
+        let read = sampler.sample_at(&genome, 1000, &mut rng);
+        let mapped = mapper.map_read(&read.bases);
+        assert!(
+            mapped.positions.contains(&1000),
+            "expected origin 1000 among {:?}",
+            mapped.positions
+        );
+    }
+
+    #[test]
+    fn hdac_spends_its_cycle_only_when_armed() {
+        let genome = GenomeModel::uniform().generate(2048, 33);
+        let profile = ErrorProfile::condition_a();
+        // T=1: HDAC armed in Condition A; TASR gated off (T_l = 52).
+        let device = loaded_device(&genome, 256, 256);
+        let mut mapper = ReadMapper::new(device, MapperConfig::paper(1, profile), 3);
+        let read = genome.window(0..256);
+        let mapped = mapper.map_read(&read);
+        assert_eq!(mapped.searches, 2); // ED* + HD
+
+        // Condition B: HDAC disabled, T=8 >= T_l=6 arms TASR (2 rotations).
+        let profile_b = ErrorProfile::condition_b();
+        let device = loaded_device(&genome, 256, 256);
+        let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile_b), 4);
+        let mapped = mapper.map_read(&read);
+        assert_eq!(mapped.searches, 3); // ED* + 2 rotated
+    }
+
+    #[test]
+    fn tasr_recovers_shifted_reads_on_device() {
+        let genome = GenomeModel::uniform().generate(4096, 34);
+        let profile = ErrorProfile::condition_b();
+        let width = 256usize;
+        // Read with two consecutive deletions at its origin 500.
+        let mut bases = genome.window(500..500 + width).into_bases();
+        bases.drain(30..32);
+        bases.extend_from_slice(&genome.as_slice()[500 + width..500 + width + 2]);
+        let read = DnaSeq::from_bases(bases);
+
+        let device = loaded_device(&genome, width, 1);
+        let mut plain = ReadMapper::new(device, MapperConfig::plain(8), 5);
+        let without = plain.map_read(&read);
+
+        let device = loaded_device(&genome, width, 1);
+        let mut with = ReadMapper::new(device, MapperConfig::paper(8, profile), 6);
+        let recovered = with.map_read(&read);
+
+        assert!(
+            !without.positions.contains(&500),
+            "plain ED* should miss the shifted read"
+        );
+        assert!(
+            recovered.positions.contains(&500),
+            "TASR should recover origin 500, got {:?}",
+            recovered.positions
+        );
+    }
+}

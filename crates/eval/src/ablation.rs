@@ -1,0 +1,222 @@
+//! Design-space ablations for the HDAC and TASR strategies (§IV calls both
+//! spaces "huge"; these sweeps regenerate the neighbourhood of the paper's
+//! chosen constants).
+
+use crate::dataset::{Condition, EvalDataset};
+use crate::report::Table;
+use asmcap::{AsmcapConfig, HdacParams, RotationSchedule, TasrParams};
+
+/// Sweeps HDAC's `(α, β)` on a Condition-A dataset, reporting mean F1 over
+/// the threshold sweep for each setting.
+#[must_use]
+pub fn hdac_sweep(dataset: &EvalDataset, alphas: &[f64], betas: &[f64], seed: u64) -> Table {
+    let mut header = vec!["alpha \\ beta".to_owned()];
+    header.extend(betas.iter().map(|b| format!("{b:.2}")));
+    let mut table = Table::new(header.iter().map(String::as_str).collect());
+    let thresholds = Condition::A.thresholds();
+    for &alpha in alphas {
+        let mut row = vec![format!("{alpha:.0}")];
+        for &beta in betas {
+            let mut engine = AsmcapConfig::new(Condition::A.profile())
+                .hdac(Some(HdacParams {
+                    alpha,
+                    beta,
+                    ..HdacParams::paper()
+                }))
+                .tasr(None)
+                .seed(seed)
+                .build();
+            let mean: f64 = thresholds
+                .iter()
+                .map(|&t| dataset.evaluate(&mut engine, t).0.f1())
+                .sum::<f64>()
+                / thresholds.len() as f64;
+            row.push(format!("{:.1}", mean * 100.0));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Sweeps TASR's `(γ, N_R)` on a Condition-B dataset, with plain SR
+/// (γ = 0, gate off) as the first row for contrast.
+#[must_use]
+pub fn tasr_sweep(dataset: &EvalDataset, gammas: &[f64], rotation_counts: &[usize], seed: u64) -> Table {
+    let mut header = vec!["gamma \\ N_R".to_owned()];
+    header.extend(rotation_counts.iter().map(ToString::to_string));
+    let mut table = Table::new(header.iter().map(String::as_str).collect());
+    let thresholds = Condition::B.thresholds();
+    let mut sweep_row = |label: String, params_for: &dyn Fn(usize) -> TasrParams| {
+        let mut row = vec![label];
+        for &nr in rotation_counts {
+            let mut engine = AsmcapConfig::new(Condition::B.profile())
+                .hdac(None)
+                .tasr(Some(params_for(nr)))
+                .seed(seed)
+                .build();
+            let mean: f64 = thresholds
+                .iter()
+                .map(|&t| dataset.evaluate(&mut engine, t).0.f1())
+                .sum::<f64>()
+                / thresholds.len() as f64;
+            row.push(format!("{:.1}", mean * 100.0));
+        }
+        table.row(row);
+    };
+    sweep_row("plain SR".to_owned(), &|nr| TasrParams::plain_sr(nr));
+    for &gamma in gammas {
+        sweep_row(format!("{gamma:.1e}"), &|nr| TasrParams {
+            gamma,
+            rotations: nr,
+            schedule: RotationSchedule::Alternate,
+            threshold_aware: true,
+        });
+    }
+    table
+}
+
+/// Stress-tests TASR against indel burstiness: datasets regenerated with
+/// the bursty error model at several mean run lengths (total indel mass
+/// constant), comparing ASMCap without TASR and with TASR at two rotation
+/// depths. The paper's Fig. 6 motivates TASR with *consecutive* indels;
+/// this sweep shows both the gain and its saturation: the alternating
+/// schedule with `N_R` rotations re-aligns net shifts up to
+/// `±(⌈N_R/2⌉ + 1)`, so longer runs need deeper rotation.
+#[must_use]
+pub fn burst_sweep(
+    mean_burst_lens: &[f64],
+    reads: usize,
+    decoys: usize,
+    read_len: usize,
+    genome_len: usize,
+    seed: u64,
+) -> Table {
+    let mut table = Table::new(vec![
+        "mean indel run",
+        "w/o TASR F1 (%)",
+        "TASR N_R=2 (%)",
+        "TASR N_R=6 (%)",
+        "gain (N_R=6)",
+    ]);
+    let profile = Condition::B.profile();
+    let thresholds = Condition::B.thresholds();
+    for &mean_len in mean_burst_lens {
+        let model = asmcap_genome::ErrorModel::Bursty {
+            profile,
+            mean_burst_len: mean_len,
+        };
+        let dataset =
+            EvalDataset::build_with_model(model, reads, decoys, read_len, genome_len, seed);
+        let mean = |engine: &mut asmcap::AsmcapEngine| {
+            thresholds
+                .iter()
+                .map(|&t| dataset.evaluate(engine, t).0.f1())
+                .sum::<f64>()
+                / thresholds.len() as f64
+        };
+        let mut without = AsmcapConfig::new(profile)
+            .hdac(None)
+            .tasr(None)
+            .seed(seed ^ 2)
+            .build();
+        let mut nr2 = AsmcapConfig::new(profile)
+            .hdac(None)
+            .tasr(Some(TasrParams::paper()))
+            .seed(seed ^ 3)
+            .build();
+        let mut nr6 = AsmcapConfig::new(profile)
+            .hdac(None)
+            .tasr(Some(TasrParams {
+                rotations: 6,
+                ..TasrParams::paper()
+            }))
+            .seed(seed ^ 4)
+            .build();
+        let f1_without = mean(&mut without);
+        let f1_nr2 = mean(&mut nr2);
+        let f1_nr6 = mean(&mut nr6);
+        table.row(vec![
+            format!("{mean_len:.1}"),
+            format!("{:.1}", f1_without * 100.0),
+            format!("{:.1}", f1_nr2 * 100.0),
+            format!("{:.1}", f1_nr6 * 100.0),
+            format!("{:.2}x", f1_nr6 / f1_without.max(1e-9)),
+        ]);
+    }
+    table
+}
+
+/// Compares the three rotation schedules at the paper's TASR setting.
+#[must_use]
+pub fn schedule_sweep(dataset: &EvalDataset, seed: u64) -> Table {
+    let mut table = Table::new(vec!["schedule", "mean F1 (%)"]);
+    let thresholds = Condition::B.thresholds();
+    for (name, schedule) in [
+        ("alternate", RotationSchedule::Alternate),
+        ("left only", RotationSchedule::LeftOnly),
+        ("right only", RotationSchedule::RightOnly),
+    ] {
+        let mut engine = AsmcapConfig::new(Condition::B.profile())
+            .hdac(None)
+            .tasr(Some(TasrParams {
+                schedule,
+                ..TasrParams::paper()
+            }))
+            .seed(seed)
+            .build();
+        let mean: f64 = thresholds
+            .iter()
+            .map(|&t| dataset.evaluate(&mut engine, t).0.f1())
+            .sum::<f64>()
+            / thresholds.len() as f64;
+        table.row(vec![name.into(), format!("{:.1}", mean * 100.0)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_render_grids() {
+        let ds = EvalDataset::build(Condition::A, 20, 4, 128, 30_000, 3);
+        let grid = hdac_sweep(&ds, &[100.0, 200.0], &[0.25, 0.5], 1);
+        assert_eq!(grid.len(), 2);
+        let ds_b = EvalDataset::build(Condition::B, 20, 4, 128, 30_000, 4);
+        let grid = tasr_sweep(&ds_b, &[2e-4], &[0, 2], 2);
+        assert_eq!(grid.len(), 2); // plain SR + one gamma
+        let schedules = schedule_sweep(&ds_b, 5);
+        assert_eq!(schedules.len(), 3);
+    }
+
+    #[test]
+    fn burst_sweep_deeper_rotation_wins_on_long_runs() {
+        let table = burst_sweep(&[1.0, 3.0], 40, 5, 256, 80_000, 7);
+        assert_eq!(table.len(), 2);
+        let rows: Vec<Vec<f64>> = table
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| {
+                l.split(',')
+                    .skip(1)
+                    .map(|c| c.trim_end_matches('x').parse().unwrap())
+                    .collect()
+            })
+            .collect();
+        // Columns: w/o, NR=2, NR=6, gain. TASR always helps...
+        for row in &rows {
+            assert!(row[1] >= row[0] - 0.5, "NR=2 should not hurt: {row:?}");
+            assert!(row[2] >= row[1] - 0.5, "NR=6 should not hurt: {row:?}");
+        }
+        // ...and at mean run length 3, deeper rotation must add accuracy
+        // beyond NR=2 (net shifts of 3+ need rotations of 2+).
+        let bursty = &rows[1];
+        assert!(
+            bursty[2] > bursty[1] + 1.0,
+            "NR=6 should beat NR=2 on long runs: {bursty:?}"
+        );
+        assert!(bursty[3] > 1.05, "bursty TASR gain too small: {bursty:?}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Design-space ablations for HDAC and TASR.
+//!
+//! Usage: `ablation [hdac|tasr|schedule|all] [--smoke]`.
+
+use asmcap_eval::{Condition, EvalDataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("all", String::as_str);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (reads, decoys, genome) = if smoke {
+        (40, 6, 60_000)
+    } else {
+        (150, 12, 200_000)
+    };
+
+    if what == "hdac" || what == "all" {
+        let ds = EvalDataset::build(Condition::A, reads, decoys, 256, genome, 0xAB1A);
+        println!("HDAC ablation — mean F1 (%) over T=1..8, Condition A\n");
+        println!(
+            "{}",
+            asmcap_eval::ablation::hdac_sweep(
+                &ds,
+                &[50.0, 100.0, 200.0, 400.0],
+                &[0.1, 0.25, 0.5, 1.0],
+                1
+            )
+        );
+        println!("(paper constants: alpha=200, beta=0.5)\n");
+    }
+    if what == "tasr" || what == "all" {
+        let ds = EvalDataset::build(Condition::B, reads, decoys, 256, genome, 0xAB1B);
+        println!("TASR ablation — mean F1 (%) over T=2..16, Condition B\n");
+        println!(
+            "{}",
+            asmcap_eval::ablation::tasr_sweep(&ds, &[0.5e-4, 1e-4, 2e-4, 4e-4, 8e-4], &[0, 1, 2, 4], 2)
+        );
+        println!("(paper constants: gamma=2e-4, N_R=2; 'plain SR' = EDAM-style ungated rotation)\n");
+    }
+    if what == "schedule" || what == "all" {
+        let ds = EvalDataset::build(Condition::B, reads, decoys, 256, genome, 0xAB1C);
+        println!("TASR rotation-schedule comparison, Condition B\n");
+        println!("{}", asmcap_eval::ablation::schedule_sweep(&ds, 3));
+        println!();
+    }
+    if what == "burst" || what == "all" {
+        println!("TASR vs indel burstiness — mean F1 (%) over T=2..16, Condition-B rates\n");
+        println!(
+            "{}",
+            asmcap_eval::ablation::burst_sweep(&[1.0, 2.0, 3.0, 4.0], reads, decoys, 256, genome, 4)
+        );
+        println!("(constant indel mass; longer runs are exactly the Fig. 6 misjudgment)");
+    }
+}

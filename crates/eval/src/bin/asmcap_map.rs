@@ -1,0 +1,136 @@
+//! `asmcap-map` — map FASTQ reads against a FASTA reference on the
+//! simulated ASMCap device, emitting TSV.
+//!
+//! ```text
+//! asmcap-map --reference ref.fasta --reads reads.fastq [options]
+//! asmcap-map --demo                      # run on generated data
+//!
+//! options:
+//!   --threshold T     edit-distance threshold (default 8)
+//!   --profile a|b     expected error mix, Condition A or B (default a)
+//!   --no-hdac         disable Hamming-Distance Aid Correction
+//!   --no-tasr         disable Threshold-Aware Sequence Rotation
+//!   --stride S        reference segmentation stride (default 1)
+//!   --row-width W     CAM row width = read length (default 256)
+//!   --seed N          sensing seed (default 0)
+//! ```
+//!
+//! Output columns: `read_id  n_candidates  positions(;)  cycles`.
+
+use asmcap_eval::cli::{map_reads, MapOptions};
+use asmcap_genome::{fasta, fastq, DnaSeq, ErrorProfile};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("asmcap-map: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", HELP);
+        return Ok(());
+    }
+    let mut options = MapOptions::default();
+    if let Some(t) = flag_value(&args, "--threshold") {
+        options.threshold = t.parse().map_err(|_| format!("bad threshold '{t}'"))?;
+    }
+    if let Some(p) = flag_value(&args, "--profile") {
+        options.profile = match p.as_str() {
+            "a" | "A" => ErrorProfile::condition_a(),
+            "b" | "B" => ErrorProfile::condition_b(),
+            other => return Err(format!("unknown profile '{other}' (use a or b)")),
+        };
+    }
+    options.hdac = !args.iter().any(|a| a == "--no-hdac");
+    options.tasr = !args.iter().any(|a| a == "--no-tasr");
+    if let Some(s) = flag_value(&args, "--stride") {
+        options.stride = s.parse().map_err(|_| format!("bad stride '{s}'"))?;
+    }
+    if let Some(w) = flag_value(&args, "--row-width") {
+        options.row_width = w.parse().map_err(|_| format!("bad row width '{w}'"))?;
+    }
+    if let Some(n) = flag_value(&args, "--seed") {
+        options.seed = n.parse().map_err(|_| format!("bad seed '{n}'"))?;
+    }
+
+    let (reference, reads) = if args.iter().any(|a| a == "--demo") {
+        demo_data(options.row_width)
+    } else {
+        let ref_path = flag_value(&args, "--reference")
+            .ok_or("missing --reference (or use --demo)")?;
+        let reads_path = flag_value(&args, "--reads").ok_or("missing --reads (or use --demo)")?;
+        let ref_file = std::fs::File::open(&ref_path)
+            .map_err(|e| format!("cannot open {ref_path}: {e}"))?;
+        let records =
+            fasta::read_fasta(BufReader::new(ref_file)).map_err(|e| e.to_string())?;
+        let reference = records
+            .into_iter()
+            .next()
+            .ok_or("reference FASTA contains no records")?
+            .seq;
+        let reads_file = std::fs::File::open(&reads_path)
+            .map_err(|e| format!("cannot open {reads_path}: {e}"))?;
+        let reads = fastq::read_fastq(BufReader::new(reads_file)).map_err(|e| e.to_string())?;
+        (reference, reads)
+    };
+
+    let rows = map_reads(&reference, &reads, &options).map_err(|e| e.to_string())?;
+    println!("#read_id\tn_candidates\tpositions\tcycles");
+    for row in rows {
+        println!("{row}");
+    }
+    Ok(())
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn demo_data(row_width: usize) -> (DnaSeq, Vec<fastq::FastqRecord>) {
+    use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
+    let genome = GenomeModel::human_like().generate(20_000, 7);
+    let sampler = ReadSampler::new(row_width, ErrorProfile::condition_a());
+    let reads = sampler
+        .sample_many(&genome, 10, 11)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| fastq::FastqRecord {
+            id: format!("demo_read_{i}_origin_{}", r.origin),
+            quals: vec![38; r.bases.len()],
+            seq: r.bases,
+        })
+        .collect();
+    (genome, reads)
+}
+
+const HELP: &str = "\
+asmcap-map: map FASTQ reads against a FASTA reference on the simulated
+ASMCap accelerator.
+
+usage:
+  asmcap-map --reference ref.fasta --reads reads.fastq [options]
+  asmcap-map --demo [options]
+
+options:
+  --threshold T     edit-distance threshold (default 8)
+  --profile a|b     expected error mix, Condition A or B (default a)
+  --no-hdac         disable Hamming-Distance Aid Correction
+  --no-tasr         disable Threshold-Aware Sequence Rotation
+  --stride S        reference segmentation stride (default 1)
+  --row-width W     CAM row width = read length (default 256)
+  --seed N          sensing seed (default 0)
+  --demo            generate a reference and reads instead of reading files
+
+output (TSV): read_id  n_candidates  positions(;-separated, * if unmapped)  cycles
+";

@@ -1,0 +1,8 @@
+//! Regenerates §V-B: area and power breakdown of a 256×256 ASMCap array.
+
+fn main() {
+    println!("Section V-B — area breakdown (paper: 1.58 mm^2, cells > 99%)\n");
+    println!("{}", asmcap_eval::breakdown::area_table());
+    println!("\nSection V-B — power breakdown (paper: 7.67 mW, 75/19/6%)\n");
+    println!("{}", asmcap_eval::breakdown::power_table());
+}

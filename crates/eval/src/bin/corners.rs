@@ -1,0 +1,20 @@
+//! Supply-corner study (extension): V_DD droop vs sensing reliability.
+//!
+//! Usage: `corners [--smoke]`.
+
+use asmcap_eval::{Condition, EvalDataset};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let vdds = [1.2, 1.1, 1.0, 0.9];
+    println!("Supply-corner study — misjudgment vs V_DD (N=256, T=8, analytic)\n");
+    println!("{}", asmcap_eval::corners::misjudgment_table(&vdds, 256, 8));
+
+    let (reads, decoys, genome) = if smoke { (40, 6, 60_000) } else { (150, 12, 200_000) };
+    let ds = EvalDataset::build(Condition::A, reads, decoys, 256, genome, 0xC0);
+    println!("\nEnd-to-end F1 across corners (Condition A, strategies off)\n");
+    println!("{}", asmcap_eval::corners::f1_table(&ds, &vdds, 1));
+    println!("The charge domain is ratiometric in V_DD, so ASMCap holds its");
+    println!("accuracy under droop while EDAM's fixed-time sampling acquires a");
+    println!("systematic gain error and collapses.");
+}

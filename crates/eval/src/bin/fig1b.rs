@@ -1,0 +1,19 @@
+//! Regenerates Fig. 1(b): the accuracy-vs-energy-efficiency landscape.
+//!
+//! Usage: `fig1b [--smoke]`.
+
+use asmcap_eval::Fig7Config;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        Fig7Config::smoke()
+    } else {
+        Fig7Config::paper()
+    };
+    println!("Fig. 1(b) — ASM accelerators: accuracy vs energy efficiency\n");
+    let points = asmcap_eval::fig1b::run(&config);
+    println!("{}", asmcap_eval::fig1b::table(&points));
+    println!("(ReSMA computes exact distances -> top accuracy, bottom efficiency;");
+    println!(" ASMCap w/ H&T recovers most of the accuracy at CAM-class efficiency.)");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 2: HD vs ED\* vs ED on the paper's example pairs.
+
+fn main() {
+    println!("Fig. 2 — the adopted matching method (paper examples)\n");
+    println!("{}", asmcap_eval::fig2::table());
+    println!("ED is the anchored semi-global distance (reference end gaps free);");
+    println!("the second printed sequence acts as the stored CAM row.");
+}

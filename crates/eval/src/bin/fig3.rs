@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3: current-domain vs charge-domain matchline behaviour.
+
+fn main() {
+    println!("Fig. 3(a) — current-domain (EDAM) V_ML(t), time-dependent\n");
+    println!("{}", asmcap_eval::fig3::current_domain_traces(256, 13));
+    println!("\nFig. 3(b) — charge-domain (ASMCap) V_ML vs n_mis, time-independent\n");
+    println!("{}", asmcap_eval::fig3::charge_domain_levels(256, 8));
+    println!("\nSensing variation comparison (state units, N = 256)\n");
+    println!("{}", asmcap_eval::fig3::variation_comparison(256));
+}

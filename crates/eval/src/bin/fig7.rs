@@ -1,0 +1,75 @@
+//! Regenerates Fig. 7: F1 accuracy comparison (absolute and
+//! Kraken2-normalised) under Conditions A and B.
+//!
+//! Usage: `fig7 [--smoke] [--csv DIR]` — `--smoke` runs a reduced dataset
+//! for quick iteration; `--csv DIR` additionally writes the tables as CSV.
+
+use asmcap_eval::{Condition, Fig7Config};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let csv_dir = asmcap_eval::report::csv_dir_from_args();
+    let config = if smoke {
+        Fig7Config::smoke()
+    } else {
+        Fig7Config::paper()
+    };
+    println!(
+        "Fig. 7 — accuracy comparison ({} reads x {} pairs per condition)\n",
+        config.reads,
+        config.decoys + 1
+    );
+    let mut mean_with = Vec::new();
+    let mut mean_without = Vec::new();
+    let mut mean_edam = Vec::new();
+    for condition in [Condition::A, Condition::B] {
+        let result = asmcap_eval::fig7::run(condition, &config);
+        println!("== {} ==\n", condition.label());
+        println!("F1 (%):\n{}", result.f1_table());
+        println!("Normalized F1 (vs Kraken2 exact matching):\n{}", result.normalized_table());
+        if let Some(dir) = &csv_dir {
+            let tag = match condition {
+                Condition::A => "a",
+                Condition::B => "b",
+            };
+            let written =
+                asmcap_eval::report::write_csv(dir, &format!("fig7_condition_{tag}_f1"), &result.f1_table())
+                    .and_then(|_| {
+                        asmcap_eval::report::write_csv(
+                            dir,
+                            &format!("fig7_condition_{tag}_normalized"),
+                            &result.normalized_table(),
+                        )
+                    });
+            match written {
+                Ok(path) => println!("(CSV written next to {})\n", path.display()),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+        }
+        let edam = result.series("EDAM").expect("series").mean_f1();
+        let without = result.series("ASMCap w/o H&T").expect("series").mean_f1();
+        let with = result.series("ASMCap w/ H&T").expect("series").mean_f1();
+        println!(
+            "means: EDAM {:.1}% | ASMCap w/o {:.1}% ({:.2}x) | ASMCap w/ {:.1}% ({:.2}x)\n",
+            edam * 100.0,
+            without * 100.0,
+            without / edam,
+            with * 100.0,
+            with / edam
+        );
+        mean_edam.push(edam);
+        mean_without.push(without);
+        mean_with.push(with);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "Across conditions: ASMCap w/ H&T {:.1}% vs EDAM {:.1}% -> {:.2}x (paper: 87.6% vs 74.7% -> 1.2x)",
+        avg(&mean_with) * 100.0,
+        avg(&mean_edam) * 100.0,
+        avg(&mean_with) / avg(&mean_edam)
+    );
+    println!(
+        "ASMCap w/o strategies vs EDAM: {:.2}x (paper: 1.12x)",
+        avg(&mean_without) / avg(&mean_edam)
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 8: speedup and energy efficiency of the six systems.
+//!
+//! Usage: `fig8 [--smoke] [--csv DIR]`.
+
+use asmcap_eval::Fig7Config;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        Fig7Config::smoke()
+    } else {
+        Fig7Config::paper()
+    };
+    println!("Fig. 8 — speedup & energy efficiency (512 arrays x 256x256, 256-base reads)\n");
+    let (report, inputs) = asmcap_eval::fig8::run(&config);
+    println!(
+        "measured strategy overhead: {:.2} extra cycles/read; mean n_mis: {:.1}\n",
+        inputs.extra_cycles, inputs.mean_n_mis
+    );
+    let table = asmcap_eval::fig8::table(&report);
+    if let Some(dir) = asmcap_eval::report::csv_dir_from_args() {
+        match asmcap_eval::report::write_csv(&dir, "fig8", &table) {
+            Ok(path) => println!("(CSV written to {})\n", path.display()),
+            Err(e) => eprintln!("failed to write CSV: {e}"),
+        }
+    }
+    println!("{table}");
+    println!("Model mechanics: cycles from the functional engines; per-op");
+    println!("latency/energy from each paper (calibrated constants documented");
+    println!("in asmcap_baselines::perf::calib).");
+}

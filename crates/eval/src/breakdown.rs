@@ -1,0 +1,79 @@
+//! §V-B: area and power breakdown of a 256×256 ASMCap array.
+
+use crate::report::Table;
+use asmcap_circuit::area::{asmcap_array_area_mm2, AreaBreakdown};
+use asmcap_circuit::energy::{asmcap_array_power_w, PowerBreakdown};
+use asmcap_circuit::params::{AsmcapParams, ARRAY_COLS, ARRAY_ROWS};
+
+/// The area breakdown table (paper: 1.58 mm², cells > 99 %).
+#[must_use]
+pub fn area_table() -> Table {
+    let params = AsmcapParams::paper();
+    let breakdown = AreaBreakdown::for_array(params.cell_area_um2, ARRAY_ROWS, ARRAY_COLS);
+    let total = asmcap_array_area_mm2(&params, ARRAY_ROWS, ARRAY_COLS);
+    let mut table = Table::new(vec!["component", "area (mm^2)", "fraction"]);
+    table.row(vec![
+        "ASMCap cells".into(),
+        format!("{:.3}", breakdown.cells_mm2),
+        format!("{:.1}%", breakdown.cell_fraction() * 100.0),
+    ]);
+    table.row(vec![
+        "periphery (decoder, drivers, SAs, shift regs)".into(),
+        format!("{:.3}", breakdown.periphery_mm2),
+        format!("{:.1}%", (1.0 - breakdown.cell_fraction()) * 100.0),
+    ]);
+    table.row(vec![
+        "total (incl. HDAC+TASR overhead)".into(),
+        format!("{total:.3}"),
+        "100.0%".into(),
+    ]);
+    table
+}
+
+/// The power breakdown table (paper: 7.67 mW; cells/shift/SAs = 75/19/6 %).
+#[must_use]
+pub fn power_table() -> Table {
+    let params = AsmcapParams::paper();
+    let total = asmcap_array_power_w(&params, ARRAY_ROWS, ARRAY_COLS);
+    let split = PowerBreakdown::from_total(total);
+    let mut table = Table::new(vec!["component", "power (mW)", "fraction"]);
+    table.row(vec![
+        "ASMCap cells".into(),
+        format!("{:.2}", split.cells_w * 1e3),
+        "75%".into(),
+    ]);
+    table.row(vec![
+        "shift registers".into(),
+        format!("{:.2}", split.shift_registers_w * 1e3),
+        "19%".into(),
+    ]);
+    table.row(vec![
+        "sense amplifiers".into(),
+        format!("{:.2}", split.sense_amps_w * 1e3),
+        "6%".into(),
+    ]);
+    table.row(vec![
+        "total".into(),
+        format!("{:.2}", split.total_w() * 1e3),
+        "100%".into(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn area_table_matches_paper_total() {
+        let rendered = super::area_table().to_string();
+        assert!(rendered.contains("1.58"), "expected ~1.58 mm² in:\n{rendered}");
+        assert!(rendered.contains("99."), "cells should be >99%");
+    }
+
+    #[test]
+    fn power_table_fractions() {
+        let rendered = super::power_table().to_string();
+        assert!(rendered.contains("75%"));
+        assert!(rendered.contains("19%"));
+        assert!(rendered.contains("6%"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The `asmcap-map` command-line mapper: FASTA reference + FASTQ reads in,
+//! TSV mappings out — the adoption path for running the simulated
+//! accelerator on real data.
+
+use asmcap::{MapperConfig, ReadMapper};
+use asmcap_arch::DeviceBuilder;
+use asmcap_genome::fastq::FastqRecord;
+use asmcap_genome::{DnaSeq, ErrorProfile};
+use std::fmt;
+
+/// Mapping options (mirrors the CLI flags).
+#[derive(Debug, Clone)]
+pub struct MapOptions {
+    /// Edit-distance threshold `T`.
+    pub threshold: usize,
+    /// Expected error profile (drives HDAC/TASR parameters).
+    pub profile: ErrorProfile,
+    /// Enable HDAC.
+    pub hdac: bool,
+    /// Enable TASR.
+    pub tasr: bool,
+    /// Reference segmentation stride (1 = every offset).
+    pub stride: usize,
+    /// Row width; reads shorter than this are rejected, longer reads are
+    /// truncated to it (fragmented mapping is available via the library's
+    /// `asmcap::fragment`).
+    pub row_width: usize,
+    /// Sensing seed.
+    pub seed: u64,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        Self {
+            threshold: 8,
+            profile: ErrorProfile::condition_a(),
+            hdac: true,
+            tasr: true,
+            stride: 1,
+            row_width: 256,
+            seed: 0,
+        }
+    }
+}
+
+/// One output row of the mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingRow {
+    /// Read identifier from the FASTQ header.
+    pub read_id: String,
+    /// Candidate reference positions (ascending). Empty = unmapped.
+    pub positions: Vec<usize>,
+    /// Search cycles spent on this read.
+    pub cycles: u64,
+}
+
+impl fmt::Display for MappingRow {
+    /// TSV: `read_id <tab> n_candidates <tab> positions(;) <tab> cycles`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let positions = if self.positions.is_empty() {
+            "*".to_owned()
+        } else {
+            self.positions
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(";")
+        };
+        write!(
+            f,
+            "{}\t{}\t{}\t{}",
+            self.read_id,
+            self.positions.len(),
+            positions,
+            self.cycles
+        )
+    }
+}
+
+/// Error produced by [`map_reads`].
+#[derive(Debug)]
+pub enum MapError {
+    /// The reference is shorter than one row.
+    ReferenceTooShort {
+        /// Reference length in bases.
+        reference: usize,
+        /// Configured row width.
+        row_width: usize,
+    },
+    /// A read is shorter than the row width.
+    ReadTooShort {
+        /// The offending read's id.
+        read_id: String,
+        /// Its length.
+        len: usize,
+        /// Configured row width.
+        row_width: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::ReferenceTooShort { reference, row_width } => write!(
+                f,
+                "reference of {reference} bases is shorter than one {row_width}-base row"
+            ),
+            MapError::ReadTooShort { read_id, len, row_width } => write!(
+                f,
+                "read '{read_id}' has {len} bases, below the {row_width}-base row width"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Maps FASTQ reads against a reference through the simulated device.
+///
+/// Reads longer than the row width are truncated to it (with a note in the
+/// row id); shorter reads are an error.
+///
+/// # Errors
+///
+/// Returns [`MapError`] for a too-short reference or read.
+pub fn map_reads(
+    reference: &DnaSeq,
+    reads: &[FastqRecord],
+    options: &MapOptions,
+) -> Result<Vec<MappingRow>, MapError> {
+    let width = options.row_width;
+    if reference.len() < width {
+        return Err(MapError::ReferenceTooShort {
+            reference: reference.len(),
+            row_width: width,
+        });
+    }
+    let rows = (reference.len() - width) / options.stride + 1;
+    let mut device = DeviceBuilder::new()
+        .arrays(rows.div_ceil(256))
+        .rows_per_array(256)
+        .row_width(width)
+        .build_asmcap();
+    device
+        .store_reference(reference, options.stride)
+        .expect("device sized for the reference");
+    let config = MapperConfig {
+        threshold: options.threshold,
+        profile: options.profile,
+        hdac: options.hdac.then(asmcap::HdacParams::paper),
+        tasr: options.tasr.then(asmcap::TasrParams::paper),
+    };
+    let mut mapper = ReadMapper::new(device, config, options.seed);
+    let mut out = Vec::with_capacity(reads.len());
+    for record in reads {
+        if record.seq.len() < width {
+            return Err(MapError::ReadTooShort {
+                read_id: record.id.clone(),
+                len: record.seq.len(),
+                row_width: width,
+            });
+        }
+        let read = if record.seq.len() > width {
+            record.seq.window(0..width)
+        } else {
+            record.seq.clone()
+        };
+        let mapped = mapper.map_read(&read);
+        out.push(MappingRow {
+            read_id: record.id.clone(),
+            positions: mapped.positions,
+            cycles: mapped.cycles,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_genome::{GenomeModel, ReadSampler};
+
+    fn fastq_reads(genome: &DnaSeq, count: usize, len: usize) -> Vec<FastqRecord> {
+        let sampler = ReadSampler::new(len, ErrorProfile::condition_a());
+        sampler
+            .sample_many(genome, count, 5)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| FastqRecord {
+                id: format!("read{}@{}", i, r.origin),
+                quals: vec![40; r.bases.len()],
+                seq: r.bases,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn maps_synthetic_fastq_against_reference() {
+        let genome = GenomeModel::uniform().generate(8_000, 1);
+        let reads = fastq_reads(&genome, 6, 128);
+        let options = MapOptions {
+            row_width: 128,
+            ..MapOptions::default()
+        };
+        let rows = map_reads(&genome, &reads, &options).unwrap();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            let origin: usize = row.read_id.split('@').nth(1).unwrap().parse().unwrap();
+            assert!(
+                row.positions.contains(&origin),
+                "{} missing origin {origin}: {:?}",
+                row.read_id,
+                row.positions
+            );
+            let rendered = row.to_string();
+            assert!(rendered.contains('\t'));
+        }
+    }
+
+    #[test]
+    fn rejects_short_reference_and_reads() {
+        let genome = GenomeModel::uniform().generate(100, 2);
+        let err = map_reads(&genome, &[], &MapOptions::default()).unwrap_err();
+        assert!(matches!(err, MapError::ReferenceTooShort { .. }));
+
+        let genome = GenomeModel::uniform().generate(8_000, 3);
+        let short = vec![FastqRecord {
+            id: "tiny".into(),
+            seq: genome.window(0..50),
+            quals: vec![40; 50],
+        }];
+        let err = map_reads(&genome, &short, &MapOptions::default()).unwrap_err();
+        assert!(matches!(err, MapError::ReadTooShort { .. }));
+    }
+
+    #[test]
+    fn unmapped_reads_render_star() {
+        let genome = GenomeModel::uniform().generate(8_000, 4);
+        let foreign = GenomeModel::uniform().generate(8_000, 99);
+        let reads = fastq_reads(&foreign, 2, 128);
+        let options = MapOptions {
+            row_width: 128,
+            threshold: 4,
+            ..MapOptions::default()
+        };
+        let rows = map_reads(&genome, &reads, &options).unwrap();
+        for row in rows {
+            assert!(row.positions.is_empty());
+            assert!(row.to_string().contains("\t*\t"));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Fig. 1(b): the accuracy-vs-energy-efficiency landscape of ASM
+//! accelerators, assembled from the measured F1 (Fig. 7 machinery, plus the
+//! functional baselines) and the modelled energy efficiency (Fig. 8).
+
+use crate::dataset::{Condition, EvalDataset};
+use crate::fig7::Fig7Config;
+use crate::report::Table;
+use asmcap::AsmMatcher;
+use asmcap_baselines::perf::PerfReport;
+use asmcap_baselines::{ResmaAccelerator, SaviAccelerator, Workload};
+
+/// One point of the scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPoint {
+    /// System name.
+    pub system: String,
+    /// Mean F1 across both conditions' sweeps, in `[0, 1]`.
+    pub f1: f64,
+    /// Energy efficiency normalised to CM-CPU.
+    pub energy_efficiency: f64,
+}
+
+/// Builds the scatter: CM-class (exact) systems score on their own
+/// functional matchers; CAM systems reuse the Fig. 7 engines.
+#[must_use]
+pub fn run(config: &Fig7Config) -> Vec<ScatterPoint> {
+    let mut f1 = std::collections::BTreeMap::<String, Vec<f64>>::new();
+    let mut fig7_inputs = Vec::new();
+    for condition in [Condition::A, Condition::B] {
+        let dataset = EvalDataset::build(
+            condition,
+            config.reads,
+            config.decoys,
+            config.read_len,
+            config.genome_len,
+            config.seed,
+        );
+        let result = crate::fig7::run_on(condition, config, &dataset);
+        for series in &result.series {
+            f1.entry(series.system.clone())
+                .or_default()
+                .push(series.mean_f1());
+        }
+        fig7_inputs.push(result);
+
+        // Functional baselines on the same dataset. ReSMA/CM-CPU compute
+        // exact distances; scored against the bare segment they are very
+        // close to the oracle (small context effects only).
+        let mut resma = ResmaAccelerator::paper();
+        let mut savi = SaviAccelerator::paper();
+        for (name, matcher) in [
+            ("ReSMA", &mut resma as &mut dyn AsmMatcher),
+            ("SaVI", &mut savi as &mut dyn AsmMatcher),
+        ] {
+            let mut scores = Vec::new();
+            for &t in &condition.thresholds() {
+                let (cm, _) = dataset.evaluate(matcher, t);
+                scores.push(cm.f1());
+            }
+            f1.entry(name.to_owned())
+                .or_default()
+                .push(scores.iter().sum::<f64>() / scores.len() as f64);
+        }
+    }
+
+    let inputs = crate::fig8::measured_inputs(&fig7_inputs[0], &fig7_inputs[1]);
+    let report = PerfReport::fig8(&Workload::paper(inputs.extra_cycles, inputs.mean_n_mis));
+    let mut points = Vec::new();
+    for (system, scores) in f1 {
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let ee = report
+            .row(match system.as_str() {
+                "ReSMA" => "ReSMA",
+                "SaVI" => "SaVI",
+                "EDAM" => "EDAM",
+                "ASMCap w/o H&T" => "ASMCap w/o H&T",
+                _ => "ASMCap w/ H&T",
+            })
+            .map_or(f64::NAN, |r| r.energy_efficiency);
+        points.push(ScatterPoint {
+            system,
+            f1: mean,
+            energy_efficiency: ee,
+        });
+    }
+    points
+}
+
+/// Renders the scatter as a table (the figure's axes as columns).
+#[must_use]
+pub fn table(points: &[ScatterPoint]) -> Table {
+    let mut table = Table::new(vec!["system", "mean F1", "energy efficiency (vs CM-CPU)"]);
+    for point in points {
+        table.row(vec![
+            point.system.clone(),
+            format!("{:.1}%", point.f1 * 100.0),
+            format!("{:.2e}", point.energy_efficiency),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_includes_all_systems() {
+        let points = run(&Fig7Config::smoke());
+        let names: Vec<&str> = points.iter().map(|p| p.system.as_str()).collect();
+        for expected in ["EDAM", "ASMCap w/o H&T", "ASMCap w/ H&T", "ReSMA", "SaVI"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        // ReSMA (exact matching) should have the best F1 of the bunch.
+        let resma = points.iter().find(|p| p.system == "ReSMA").unwrap();
+        let edam = points.iter().find(|p| p.system == "EDAM").unwrap();
+        assert!(resma.f1 >= edam.f1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Fig. 3: matchline behaviour of the two ML-CAM families — the
+//! time-dependent current-domain discharge vs the time-independent
+//! charge-domain level, and their variation.
+
+use crate::report::Table;
+use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam};
+
+/// Fig. 3(a): current-domain `V_ML(t)` traces for a few mismatch counts.
+#[must_use]
+pub fn current_domain_traces(n: usize, points: usize) -> Table {
+    let cam = CurrentDomainCam::paper();
+    let counts = [0usize, n / 8, n / 4, n / 2, n];
+    let mut header = vec!["t (ns)".to_owned()];
+    header.extend(counts.iter().map(|c| format!("V_ML @ n_mis={c}")));
+    let mut table = Table::new(header.iter().map(String::as_str).collect());
+    let traces: Vec<Vec<(f64, f64)>> = counts
+        .iter()
+        .map(|&c| cam.discharge_trace(c, n, points))
+        .collect();
+    for k in 0..points {
+        let mut row = vec![format!("{:.2}", traces[0][k].0 * 1e9)];
+        for trace in &traces {
+            row.push(format!("{:.3}", trace[k].1));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Fig. 3(b): charge-domain `V_ML` vs matched-cell count (linear, static).
+#[must_use]
+pub fn charge_domain_levels(n: usize, steps: usize) -> Table {
+    let cam = ChargeDomainCam::paper();
+    let mut table = Table::new(vec!["n_mis", "V_ML (V)", "sigma (mV)"]);
+    for k in 0..=steps {
+        let n_mis = k * n / steps;
+        table.row(vec![
+            n_mis.to_string(),
+            format!("{:.4}", cam.vml_mean(n_mis, n)),
+            format!("{:.3}", cam.vml_sigma(n_mis, n) * 1e3),
+        ]);
+    }
+    table
+}
+
+/// The variation comparison: sensing sigma (in states) across occupancy for
+/// both domains — the quantitative core of Fig. 3's "ultra-low variation"
+/// annotation.
+#[must_use]
+pub fn variation_comparison(n: usize) -> Table {
+    let charge = ChargeDomainCam::paper();
+    let current = CurrentDomainCam::paper();
+    let mut table = Table::new(vec![
+        "n_mis",
+        "ASMCap sigma (states)",
+        "EDAM sigma (states)",
+        "ratio",
+    ]);
+    for &n_mis in &[1usize, 4, 16, 64, 128, 192, 255] {
+        let a = charge.sigma_states(n_mis, n);
+        let e = current.sigma_states(n_mis, n);
+        table.row(vec![
+            n_mis.to_string(),
+            format!("{a:.3}"),
+            format!("{e:.3}"),
+            format!("{:.1}", e / a),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_tables_have_expected_shape() {
+        let t = current_domain_traces(256, 16);
+        assert_eq!(t.len(), 16);
+        let levels = charge_domain_levels(256, 8);
+        assert_eq!(levels.len(), 9);
+    }
+
+    #[test]
+    fn variation_table_shows_edam_noisier() {
+        let rendered = variation_comparison(256).to_string();
+        // At n_mis = 128 the EDAM/ASMCap sigma ratio is far above 1; just
+        // check the table renders and includes the ratio column.
+        assert!(rendered.contains("ratio"));
+        let charge = ChargeDomainCam::paper();
+        let current = CurrentDomainCam::paper();
+        assert!(current.sigma_states(128, 256) > 5.0 * charge.sigma_states(128, 256));
+    }
+}

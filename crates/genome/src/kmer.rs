@@ -1,0 +1,238 @@
+//! k-mer extraction and indexing.
+//!
+//! Several systems in the reproduction are built on exact k-mer lookup: the
+//! SaVI seed-and-vote baseline, ReSMA's CAM pre-filter, the Kraken2-style
+//! classifier, and the long-read fragment voter. They share this index.
+//!
+//! k-mers are packed into a `u64` (2 bits/base, `k ≤ 32`) so lookups hash an
+//! integer instead of a slice.
+
+use crate::base::Base;
+use std::collections::HashMap;
+
+/// A 2-bit-packed k-mer code. Only meaningful together with its length.
+pub type KmerCode = u64;
+
+/// Packs `bases` (length ≤ 32) into a [`KmerCode`].
+///
+/// # Panics
+///
+/// Panics if `bases` is longer than 32.
+#[must_use]
+pub fn pack_kmer(bases: &[Base]) -> KmerCode {
+    assert!(bases.len() <= 32, "k-mers are limited to 32 bases");
+    bases
+        .iter()
+        .fold(0u64, |acc, &b| (acc << 2) | u64::from(b.code()))
+}
+
+/// Iterates the packed codes of every overlapping k-mer of `seq`, paired
+/// with its start position.
+///
+/// Rolling implementation: each step shifts in one base, so the whole scan
+/// is `O(len)` regardless of `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or greater than 32.
+pub fn kmers(seq: &[Base], k: usize) -> impl Iterator<Item = (usize, KmerCode)> + '_ {
+    assert!(k > 0 && k <= 32, "k must be in 1..=32");
+    let mask: u64 = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    let mut code: u64 = 0;
+    let mut filled = 0usize;
+    seq.iter().enumerate().filter_map(move |(i, &b)| {
+        code = ((code << 2) | u64::from(b.code())) & mask;
+        filled += 1;
+        if filled >= k {
+            Some((i + 1 - k, code))
+        } else {
+            None
+        }
+    })
+}
+
+/// An exact-match k-mer index over one sequence.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::{kmer::KmerIndex, DnaSeq};
+/// let reference: DnaSeq = "ACGTACGTAC".parse()?;
+/// let index = KmerIndex::build(reference.as_slice(), 4);
+/// let query: DnaSeq = "GTAC".parse()?;
+/// assert_eq!(index.positions_of(query.as_slice()), &[2, 6]);
+/// assert!(index.contains(query.as_slice()));
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    positions: HashMap<KmerCode, Vec<usize>>,
+    total_kmers: usize,
+}
+
+impl KmerIndex {
+    /// Indexes every overlapping k-mer of `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or greater than 32.
+    #[must_use]
+    pub fn build(seq: &[Base], k: usize) -> Self {
+        let mut positions: HashMap<KmerCode, Vec<usize>> = HashMap::new();
+        let mut total = 0usize;
+        for (pos, code) in kmers(seq, k) {
+            positions.entry(code).or_default().push(pos);
+            total += 1;
+        }
+        Self {
+            k,
+            positions,
+            total_kmers: total,
+        }
+    }
+
+    /// The indexed k-mer length.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of k-mers indexed (with multiplicity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total_kmers
+    }
+
+    /// Whether the index is empty (sequence shorter than `k`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_kmers == 0
+    }
+
+    /// Number of *distinct* k-mers.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// All start positions of an exact k-mer, empty if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.len() != k`.
+    #[must_use]
+    pub fn positions_of(&self, kmer: &[Base]) -> &[usize] {
+        assert_eq!(kmer.len(), self.k, "query length must equal the indexed k");
+        self.positions_of_code(pack_kmer(kmer))
+    }
+
+    /// All start positions of a packed k-mer code.
+    #[must_use]
+    pub fn positions_of_code(&self, code: KmerCode) -> &[usize] {
+        self.positions.get(&code).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the exact k-mer occurs at least once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.len() != k`.
+    #[must_use]
+    pub fn contains(&self, kmer: &[Base]) -> bool {
+        !self.positions_of(kmer).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::DnaSeq;
+    use crate::synth::GenomeModel;
+    use proptest::prelude::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().expect("valid test sequence")
+    }
+
+    #[test]
+    fn pack_is_injective_for_fixed_k() {
+        let a = pack_kmer(seq("ACGT").as_slice());
+        let b = pack_kmer(seq("ACGA").as_slice());
+        let c = pack_kmer(seq("ACGT").as_slice());
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn kmers_yield_all_windows() {
+        let s = seq("ACGTA");
+        let collected: Vec<(usize, KmerCode)> = kmers(s.as_slice(), 3).collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[0], (0, pack_kmer(seq("ACG").as_slice())));
+        assert_eq!(collected[2], (2, pack_kmer(seq("GTA").as_slice())));
+    }
+
+    #[test]
+    fn kmers_shorter_than_k_yield_nothing() {
+        let s = seq("AC");
+        assert_eq!(kmers(s.as_slice(), 3).count(), 0);
+        let index = KmerIndex::build(s.as_slice(), 3);
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn index_reports_positions_in_order() {
+        let s = seq("ACGTACGTAC");
+        let index = KmerIndex::build(s.as_slice(), 4);
+        assert_eq!(index.positions_of(seq("ACGT").as_slice()), &[0, 4]);
+        assert_eq!(index.positions_of(seq("GTAC").as_slice()), &[2, 6]);
+        assert!(!index.contains(seq("TTTT").as_slice()));
+        assert_eq!(index.len(), 7);
+    }
+
+    #[test]
+    fn k32_boundary_works() {
+        let genome = GenomeModel::uniform().generate(100, 1);
+        let index = KmerIndex::build(genome.as_slice(), 32);
+        let window = &genome.as_slice()[10..42];
+        assert!(index.positions_of(window).contains(&10));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn k_over_32_panics() {
+        let genome = GenomeModel::uniform().generate(100, 2);
+        let _ = KmerIndex::build(genome.as_slice(), 33);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rolling_matches_naive_pack(
+            codes in proptest::collection::vec(0u8..4, 1..80),
+            k in 1usize..=16
+        ) {
+            let s: DnaSeq = codes.into_iter().map(Base::from_code).collect();
+            if s.len() >= k {
+                let rolled: Vec<(usize, KmerCode)> = kmers(s.as_slice(), k).collect();
+                for (pos, code) in &rolled {
+                    prop_assert_eq!(*code, pack_kmer(&s.as_slice()[*pos..*pos + k]));
+                }
+                prop_assert_eq!(rolled.len(), s.len() - k + 1);
+            }
+        }
+
+        #[test]
+        fn prop_every_indexed_kmer_is_found(
+            codes in proptest::collection::vec(0u8..4, 8..60),
+            k in 2usize..=8
+        ) {
+            let s: DnaSeq = codes.into_iter().map(Base::from_code).collect();
+            let index = KmerIndex::build(s.as_slice(), k);
+            for start in 0..=(s.len() - k) {
+                let window = &s.as_slice()[start..start + k];
+                prop_assert!(index.positions_of(window).contains(&start));
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Genome sequence substrate for the ASMCap reproduction.
+//!
+//! This crate provides everything the ASMCap evaluation (DAC 2023) needs from
+//! the genomics side, built from scratch:
+//!
+//! * [`Base`] and [`DnaSeq`] — the four-letter DNA alphabet and owned
+//!   sequences over it;
+//! * [`PackedSeq`] — a 2-bit packed encoding mirroring the two 6T SRAM cells
+//!   that store one base in an ASMCap cell;
+//! * [`fasta`] — a minimal FASTA reader/writer;
+//! * [`synth`] — seeded synthetic genome generators (the reproduction's
+//!   substitute for the NCBI human genome; see `DESIGN.md` §2);
+//! * [`errors`] — the sequencing-error model with the paper's Condition A
+//!   (substitution-dominant) and Condition B (indel-dominant) profiles;
+//! * [`reads`] — read sampling from a reference genome;
+//! * [`dataset`] — (read, reference-segment) pair datasets with exact
+//!   edit-distance ground truth, the unit of the Fig. 7 accuracy evaluation.
+//!
+//! # Examples
+//!
+//! Generate a genome, sample an erroneous read, and inspect the edits:
+//!
+//! ```
+//! use asmcap_genome::{synth::GenomeModel, errors::ErrorProfile, reads::ReadSampler};
+//!
+//! let genome = GenomeModel::uniform().generate(10_000, 7);
+//! let sampler = ReadSampler::new(256, ErrorProfile::condition_a());
+//! let read = sampler.sample(&genome, 42);
+//! assert_eq!(read.bases.len(), 256);
+//! // Condition A injects ~1% substitutions, so a few edits are expected.
+//! assert!(read.edits.total() < 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod dataset;
+pub mod errors;
+pub mod fasta;
+pub mod fastq;
+pub mod kmer;
+pub mod packed;
+pub mod reads;
+pub mod seq;
+pub mod synth;
+
+pub use base::Base;
+pub use dataset::{PairDataset, ReadPair};
+pub use errors::{EditKind, EditLog, ErrorModel, ErrorProfile};
+pub use kmer::KmerIndex;
+pub use packed::PackedSeq;
+pub use reads::{ReadSampler, SampledRead};
+pub use seq::DnaSeq;
+pub use synth::GenomeModel;
+
+/// Deterministic RNG used across the workspace.
+///
+/// `rand::rngs::StdRng` is documented as non-portable across `rand` versions,
+/// so experiments seed a ChaCha8 stream instead: the same seed reproduces the
+/// same dataset and the same Monte-Carlo draws on any toolchain.
+pub type Rng = rand_chacha::ChaCha8Rng;
+
+/// Creates the workspace-standard deterministic RNG from a `u64` seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng as _;
+/// let mut a = asmcap_genome::rng(1);
+/// let mut b = asmcap_genome::rng(1);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn rng(seed: u64) -> Rng {
+    use rand::SeedableRng;
+    Rng::seed_from_u64(seed)
+}

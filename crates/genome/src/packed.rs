@@ -1,0 +1,219 @@
+//! 2-bit packed sequence encoding.
+//!
+//! One DNA base occupies two bits, exactly as in the two 6T SRAM cells of an
+//! ASMCap cell (paper Fig. 4c). Packing 32 bases per `u64` word also enables
+//! the XOR/popcount Hamming-distance kernel in `asmcap-metrics`.
+
+use crate::base::Base;
+use crate::seq::DnaSeq;
+use std::fmt;
+
+const BASES_PER_WORD: usize = 32;
+
+/// A DNA sequence packed at 2 bits per base, 32 bases per `u64` word.
+///
+/// Bases are stored little-endian within each word: base `i` occupies bits
+/// `2*(i % 32) ..= 2*(i % 32) + 1` of word `i / 32`. Unused high bits of the
+/// final word are zero — an invariant relied on by the word-level kernels.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::{DnaSeq, PackedSeq};
+/// let seq: DnaSeq = "ACGTACGT".parse()?;
+/// let packed = PackedSeq::from_seq(&seq);
+/// assert_eq!(packed.len(), 8);
+/// assert_eq!(packed.to_seq(), seq);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PackedSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Packs a [`DnaSeq`].
+    #[must_use]
+    pub fn from_seq(seq: &DnaSeq) -> Self {
+        Self::from_bases(seq.as_slice())
+    }
+
+    /// Packs a base slice.
+    #[must_use]
+    pub fn from_bases(bases: &[Base]) -> Self {
+        let mut words = vec![0u64; bases.len().div_ceil(BASES_PER_WORD)];
+        for (i, base) in bases.iter().enumerate() {
+            let word = i / BASES_PER_WORD;
+            let shift = 2 * (i % BASES_PER_WORD);
+            words[word] |= u64::from(base.code()) << shift;
+        }
+        Self {
+            words,
+            len: bases.len(),
+        }
+    }
+
+    /// Number of bases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the base at `index`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Base> {
+        if index >= self.len {
+            return None;
+        }
+        let word = self.words[index / BASES_PER_WORD];
+        let shift = 2 * (index % BASES_PER_WORD);
+        Some(Base::from_code((word >> shift) as u8))
+    }
+
+    /// Borrows the packed words.
+    ///
+    /// Unused high bits of the last word are guaranteed zero.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Unpacks into a [`DnaSeq`].
+    #[must_use]
+    pub fn to_seq(&self) -> DnaSeq {
+        (0..self.len)
+            .map(|i| self.get(i).expect("index within length"))
+            .collect()
+    }
+
+    /// Counts positions where `self` and `other` hold different bases.
+    ///
+    /// This is the word-parallel Hamming kernel: XOR the 2-bit lanes, then
+    /// OR the two bits of each lane together and popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences have different lengths.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &PackedSeq) -> usize {
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal-length sequences"
+        );
+        const LOW_BITS: u64 = 0x5555_5555_5555_5555;
+        let mut distance = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            let diff = a ^ b;
+            // A lane differs iff either of its two bits differs.
+            let lane_mismatch = (diff | (diff >> 1)) & LOW_BITS;
+            distance += lane_mismatch.count_ones() as usize;
+        }
+        distance
+    }
+}
+
+impl From<&DnaSeq> for PackedSeq {
+    fn from(seq: &DnaSeq) -> Self {
+        Self::from_seq(seq)
+    }
+}
+
+impl From<&PackedSeq> for DnaSeq {
+    fn from(packed: &PackedSeq) -> Self {
+        packed.to_seq()
+    }
+}
+
+impl fmt::Display for PackedSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_seq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().expect("valid test sequence")
+    }
+
+    #[test]
+    fn roundtrip_short() {
+        let s = seq("ACGTACGTA");
+        assert_eq!(PackedSeq::from_seq(&s).to_seq(), s);
+    }
+
+    #[test]
+    fn roundtrip_word_boundaries() {
+        for len in [0, 1, 31, 32, 33, 63, 64, 65, 256] {
+            let bases: Vec<Base> = (0..len).map(|i| Base::from_code(i as u8)).collect();
+            let s = DnaSeq::from_bases(bases);
+            let packed = PackedSeq::from_seq(&s);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.to_seq(), s);
+        }
+    }
+
+    #[test]
+    fn get_past_end_is_none() {
+        let packed = PackedSeq::from_seq(&seq("ACG"));
+        assert_eq!(packed.get(2), Some(Base::G));
+        assert_eq!(packed.get(3), None);
+    }
+
+    #[test]
+    fn hamming_simple() {
+        let a = PackedSeq::from_seq(&seq("ACGT"));
+        let b = PackedSeq::from_seq(&seq("ACGA"));
+        assert_eq!(a.hamming_distance(&b), 1);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hamming_length_mismatch_panics() {
+        let a = PackedSeq::from_seq(&seq("ACGT"));
+        let b = PackedSeq::from_seq(&seq("ACG"));
+        let _ = a.hamming_distance(&b);
+    }
+
+    #[test]
+    fn unused_bits_are_zero() {
+        let packed = PackedSeq::from_seq(&seq("TTT"));
+        // 3 bases -> 6 bits used; rest must be zero.
+        assert_eq!(packed.as_words()[0] >> 6, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(codes in proptest::collection::vec(0u8..4, 0..300)) {
+            let s = DnaSeq::from_bases(codes.iter().map(|&c| Base::from_code(c)).collect());
+            prop_assert_eq!(PackedSeq::from_seq(&s).to_seq(), s);
+        }
+
+        #[test]
+        fn prop_hamming_matches_naive(
+            pairs in proptest::collection::vec((0u8..4, 0u8..4), 0..300)
+        ) {
+            let a = DnaSeq::from_bases(pairs.iter().map(|&(x, _)| Base::from_code(x)).collect());
+            let b = DnaSeq::from_bases(pairs.iter().map(|&(_, y)| Base::from_code(y)).collect());
+            let naive = a
+                .iter()
+                .zip(b.iter())
+                .filter(|(x, y)| x != y)
+                .count();
+            let packed = PackedSeq::from_seq(&a).hamming_distance(&PackedSeq::from_seq(&b));
+            prop_assert_eq!(packed, naive);
+        }
+    }
+}

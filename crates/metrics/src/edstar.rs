@@ -1,0 +1,321 @@
+//! ED\* — the neighbor-tolerant distance evaluated by EDAM/ASMCap arrays.
+//!
+//! Cell `i` of an array row stores reference base `S[i]` and receives the
+//! read bases `R[i−1], R[i], R[i+1]` on its searchlines (paper Fig. 4c). In
+//! ED\* mode (MUX select `S = 1`) the cell *matches* iff the stored base
+//! equals any of the three; in HD mode (`S = 0`) only the co-located
+//! comparison counts. ED\* is the number of mismatched cells, `n_mis`, and
+//! the matchline settles at `V_ML = n_mis/N · V_DD`.
+//!
+//! Boundary cells see only the two searchline pairs that physically exist.
+//!
+//! # Which sequence goes where?
+//!
+//! ED\* is *not* symmetric: a base **deleted from the read** leaves a stored
+//! base that appears nowhere in its window (cost 1), whereas a base
+//! **inserted into the read** costs nothing locally (every stored base is
+//! still within ±1 of its partner). The paper's Fig. 2 numeric examples
+//! (`HD=5, ED*=1, ED=1` and `HD=5, ED*=0, ED=1`) come out exactly when the
+//! *second* printed sequence is the stored row — the convention the tests in
+//! this module encode.
+
+use asmcap_genome::Base;
+
+/// The three partial matching results of one ASMCap cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellMatch {
+    /// `O_L`: stored base equals the read base one position to the left.
+    pub left: bool,
+    /// `O_C`: stored base equals the co-located read base.
+    pub center: bool,
+    /// `O_R`: stored base equals the read base one position to the right.
+    pub right: bool,
+}
+
+impl CellMatch {
+    /// ED\*-mode cell output: match iff any partial result matched
+    /// (`O = O_C + O_L + O_R` with MUX select `S = 1`).
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.left || self.center || self.right
+    }
+}
+
+/// Per-cell matching profile of one row search: everything the array's
+/// comparison logic produces before the capacitors aggregate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdStarProfile {
+    cells: Vec<CellMatch>,
+}
+
+impl EdStarProfile {
+    /// The per-cell partial results, one entry per stored base.
+    #[must_use]
+    pub fn cells(&self) -> &[CellMatch] {
+        &self.cells
+    }
+
+    /// ED\*: number of cells with no partial match (`n_mis` in ED\* mode).
+    #[must_use]
+    pub fn ed_star(&self) -> usize {
+        self.cells.iter().filter(|c| !c.any()).count()
+    }
+
+    /// Hamming distance: number of cells whose co-located comparison failed
+    /// (`n_mis` in HD mode, MUX select `S = 0`).
+    #[must_use]
+    pub fn hamming(&self) -> usize {
+        self.cells.iter().filter(|c| !c.center).count()
+    }
+
+    /// Row width (number of cells).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the row is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Computes the full per-cell profile of searching `read` against a row
+/// storing `stored`.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths — a CAM row is exactly as
+/// wide as the read it is searched with.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::DnaSeq;
+/// use asmcap_metrics::ed_star_profile;
+/// let stored: DnaSeq = "ACCA".parse()?;
+/// let read: DnaSeq = "CACA".parse()?;
+/// let profile = ed_star_profile(stored.as_slice(), read.as_slice());
+/// assert!(profile.cells()[0].right); // A found to the right
+/// assert_eq!(profile.ed_star(), 0);
+/// assert_eq!(profile.hamming(), 2);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[must_use]
+pub fn ed_star_profile(stored: &[Base], read: &[Base]) -> EdStarProfile {
+    assert_eq!(
+        stored.len(),
+        read.len(),
+        "ED* compares a read against an equally wide stored row"
+    );
+    let cells = stored
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| CellMatch {
+            left: i > 0 && read[i - 1] == s,
+            center: read[i] == s,
+            right: i + 1 < read.len() && read[i + 1] == s,
+        })
+        .collect();
+    EdStarProfile { cells }
+}
+
+/// ED\* between a stored row and a read: the mismatched-cell count `n_mis`.
+///
+/// Equivalent to [`ed_star_profile`]`().ed_star()` without materialising the
+/// per-cell profile.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::DnaSeq;
+/// // Paper Fig. 2, second example: stored = AGCATGAG, read = AGCTGAGA.
+/// let stored: DnaSeq = "AGCATGAG".parse()?;
+/// let read: DnaSeq = "AGCTGAGA".parse()?;
+/// assert_eq!(asmcap_metrics::ed_star(stored.as_slice(), read.as_slice()), 1);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[must_use]
+pub fn ed_star(stored: &[Base], read: &[Base]) -> usize {
+    assert_eq!(
+        stored.len(),
+        read.len(),
+        "ED* compares a read against an equally wide stored row"
+    );
+    stored
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| {
+            let left = i > 0 && read[i - 1] == s;
+            let center = read[i] == s;
+            let right = i + 1 < read.len() && read[i + 1] == s;
+            !(left || center || right)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::edit_distance;
+    use asmcap_genome::DnaSeq;
+    use proptest::prelude::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().expect("valid test sequence")
+    }
+
+    fn star(stored: &str, read: &str) -> usize {
+        ed_star(seq(stored).as_slice(), seq(read).as_slice())
+    }
+
+    #[test]
+    fn fig2_numeric_examples() {
+        // Fig. 2 prints (S1, S2) pairs with HD/ED*/ED; the second sequence is
+        // the stored row (see module docs).
+        // Example 1: substitutions only -> HD=2, ED*=2.
+        assert_eq!(star("ATCTGCGA", "AGCTGAGA"), 2);
+        assert_eq!(
+            hamming(seq("ATCTGCGA").as_slice(), seq("AGCTGAGA").as_slice()),
+            2
+        );
+        // Example 2: read deleted one base relative to the stored row ->
+        // HD=5, ED*=1.
+        assert_eq!(star("AGCATGAG", "AGCTGAGA"), 1);
+        assert_eq!(
+            hamming(seq("AGCATGAG").as_slice(), seq("AGCTGAGA").as_slice()),
+            5
+        );
+        // Example 3: read inserted one base -> HD=5, ED*=0.
+        assert_eq!(star("AGTGAGAA", "AGCTGAGA"), 0);
+        assert_eq!(
+            hamming(seq("AGTGAGAA").as_slice(), seq("AGCTGAGA").as_slice()),
+            5
+        );
+    }
+
+    #[test]
+    fn fig2_partial_match_labels() {
+        // Top row of Fig. 2: middle cell of a 3-base row storing "C".
+        let profile = ed_star_profile(seq("ACC").as_slice(), seq("CTA").as_slice());
+        assert!(profile.cells()[1].left && !profile.cells()[1].center);
+        let profile = ed_star_profile(seq("ACC").as_slice(), seq("GCT").as_slice());
+        assert!(profile.cells()[1].center);
+        let profile = ed_star_profile(seq("ACC").as_slice(), seq("AGC").as_slice());
+        assert!(profile.cells()[1].right && !profile.cells()[1].center);
+        let profile = ed_star_profile(seq("ACC").as_slice(), seq("TGA").as_slice());
+        assert!(!profile.cells()[1].any());
+    }
+
+    #[test]
+    fn identical_rows_match_everywhere() {
+        let s = seq("ACGTACGTAC");
+        assert_eq!(ed_star(s.as_slice(), s.as_slice()), 0);
+        let profile = ed_star_profile(s.as_slice(), s.as_slice());
+        assert!(profile.cells().iter().all(|c| c.center));
+    }
+
+    #[test]
+    fn single_substitution_may_hide() {
+        // Stored ACA, read AAA: the substituted centre cell still matches via
+        // its neighbours? stored C vs window {A,A,A} -> mismatch here.
+        assert_eq!(star("ACA", "AAA"), 1);
+        // Stored ACA, read ACC -> cell 2 stores A, window {C,C} -> mismatch;
+        // cell 1 stores C, window {A,C,C} -> match.
+        assert_eq!(star("ACA", "ACC"), 1);
+        // Hidden substitution: stored CAG, read CGA -> cell 1 stores A, window
+        // {C,G,A} matches right; cell 2 stores G, window {G,A} matches left.
+        assert_eq!(star("CAG", "CGA"), 0);
+    }
+
+    #[test]
+    fn boundary_cells_have_truncated_windows() {
+        let profile = ed_star_profile(seq("AC").as_slice(), seq("CA").as_slice());
+        // Cell 0 stores A, window {C, A}: right matches.
+        assert!(!profile.cells()[0].left && profile.cells()[0].right);
+        // Cell 1 stores C, window {C, A}: left matches.
+        assert!(profile.cells()[1].left && !profile.cells()[1].right);
+        assert_eq!(profile.ed_star(), 0);
+        assert_eq!(profile.hamming(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally wide")]
+    fn length_mismatch_panics() {
+        let _ = ed_star(seq("ACG").as_slice(), seq("AC").as_slice());
+    }
+
+    #[test]
+    fn empty_rows_have_zero_distance() {
+        assert_eq!(ed_star(&[], &[]), 0);
+    }
+
+    #[test]
+    fn consecutive_deletions_break_ed_star() {
+        // Read lost two consecutive bases relative to the stored row: the
+        // tail shifts by 2, beyond the ±1 window, so ED* blows up while the
+        // true edit distance stays small. This is the TASR misjudgment
+        // (Fig. 6). A non-repetitive sequence is required, otherwise the
+        // shifted tail can still match coincidentally.
+        let stored = asmcap_genome::GenomeModel::uniform().generate(32, 77);
+        let mut read_bases = stored.clone().into_bases();
+        read_bases.drain(8..10); // two consecutive deletions
+        read_bases.extend([asmcap_genome::Base::A, asmcap_genome::Base::A]);
+        let read = DnaSeq::from_bases(read_bases);
+        let e_star = ed_star(stored.as_slice(), read.as_slice());
+        let e_d = edit_distance(stored.as_slice(), read.as_slice());
+        assert!(
+            e_star > e_d + 2,
+            "expected ED* ({e_star}) to exceed ED ({e_d}) after consecutive deletions"
+        );
+    }
+
+    use crate::hamming::hamming;
+    use asmcap_genome::Base;
+
+    fn arbitrary_pairs(max_len: usize) -> impl Strategy<Value = (DnaSeq, DnaSeq)> {
+        proptest::collection::vec((0u8..4, 0u8..4), 1..max_len).prop_map(|pairs| {
+            let a = pairs.iter().map(|&(x, _)| Base::from_code(x)).collect();
+            let b = pairs.iter().map(|&(_, y)| Base::from_code(y)).collect();
+            (a, b)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ed_star_bounded_by_hamming((stored, read) in arbitrary_pairs(200)) {
+            let profile = ed_star_profile(stored.as_slice(), read.as_slice());
+            prop_assert!(profile.ed_star() <= profile.hamming());
+            prop_assert_eq!(profile.hamming(), hamming(stored.as_slice(), read.as_slice()));
+            prop_assert_eq!(profile.ed_star(), ed_star(stored.as_slice(), read.as_slice()));
+        }
+
+        #[test]
+        fn prop_self_distance_zero(codes in proptest::collection::vec(0u8..4, 0..200)) {
+            let s: DnaSeq = codes.into_iter().map(Base::from_code).collect();
+            prop_assert_eq!(ed_star(s.as_slice(), s.as_slice()), 0);
+        }
+
+        #[test]
+        fn prop_single_insertion_costs_nothing_locally(
+            codes in proptest::collection::vec(0u8..4, 8..100),
+            pos in 1usize..7,
+            extra in 0u8..4
+        ) {
+            // Insert a base into the read: every stored base is still within
+            // ±1 of its partner up to the row end, so ED* stays small (only
+            // the final stored base can fall off the end).
+            let stored: DnaSeq = codes.iter().copied().map(Base::from_code).collect();
+            let mut read_bases: Vec<Base> = codes.iter().copied().map(Base::from_code).collect();
+            read_bases.insert(pos, Base::from_code(extra));
+            read_bases.truncate(stored.len());
+            let read = DnaSeq::from_bases(read_bases);
+            prop_assert!(ed_star(stored.as_slice(), read.as_slice()) <= 1);
+        }
+    }
+}

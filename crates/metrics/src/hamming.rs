@@ -1,0 +1,101 @@
+//! Hamming distance between equal-length sequences.
+
+use asmcap_genome::{Base, PackedSeq};
+
+/// Counts positions where `a` and `b` differ.
+///
+/// This is the distance an ASMCap array computes in HD mode (MUX select
+/// `S = 0`, paper Fig. 4c), used by the HDAC strategy.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::DnaSeq;
+/// let a: DnaSeq = "AGCTGAGA".parse()?;
+/// let b: DnaSeq = "ATCTGCGA".parse()?;
+/// assert_eq!(asmcap_metrics::hamming(a.as_slice(), b.as_slice()), 2);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[must_use]
+pub fn hamming(a: &[Base], b: &[Base]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Word-parallel Hamming distance over 2-bit packed sequences.
+///
+/// Equivalent to [`hamming`] but ~16× faster on long sequences; used by the
+/// software baselines and the benchmark kernels.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+#[must_use]
+pub fn hamming_packed(a: &PackedSeq, b: &PackedSeq) -> usize {
+    a.hamming_distance(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_genome::DnaSeq;
+    use proptest::prelude::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().expect("valid test sequence")
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let s = seq("ACGTACGT");
+        assert_eq!(hamming(s.as_slice(), s.as_slice()), 0);
+    }
+
+    #[test]
+    fn fig2_first_example() {
+        // Paper Fig. 2: S1=AGCTGAGA, S2=ATCTGCGA -> HD=2.
+        assert_eq!(
+            hamming(seq("AGCTGAGA").as_slice(), seq("ATCTGCGA").as_slice()),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(hamming(&[], &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let _ = hamming(seq("ACG").as_slice(), seq("AC").as_slice());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_packed_agrees_with_naive(
+            pairs in proptest::collection::vec((0u8..4, 0u8..4), 0..400)
+        ) {
+            let a: DnaSeq = pairs.iter().map(|&(x, _)| Base::from_code(x)).collect();
+            let b: DnaSeq = pairs.iter().map(|&(_, y)| Base::from_code(y)).collect();
+            prop_assert_eq!(
+                hamming(a.as_slice(), b.as_slice()),
+                hamming_packed(&PackedSeq::from_seq(&a), &PackedSeq::from_seq(&b))
+            );
+        }
+
+        #[test]
+        fn prop_symmetric(pairs in proptest::collection::vec((0u8..4, 0u8..4), 0..200)) {
+            let a: DnaSeq = pairs.iter().map(|&(x, _)| Base::from_code(x)).collect();
+            let b: DnaSeq = pairs.iter().map(|&(_, y)| Base::from_code(y)).collect();
+            prop_assert_eq!(
+                hamming(a.as_slice(), b.as_slice()),
+                hamming(b.as_slice(), a.as_slice())
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! String distance metrics for the ASMCap reproduction.
+//!
+//! Approximate string matching in the paper revolves around three distances
+//! over DNA sequences (paper Fig. 2):
+//!
+//! * **HD** — [`mod@hamming`]: position-wise mismatches;
+//! * **ED** — [`edit`]: Levenshtein edit distance, the ground truth. Three
+//!   implementations with identical results: full dynamic programming,
+//!   threshold-banded (Ukkonen), and Myers' bit-parallel algorithm;
+//! * **ED\*** — [`edstar`]: the neighbor-tolerant distance an EDAM/ASMCap
+//!   CAM array evaluates in one shot, where each stored base also matches
+//!   the read base's left and right neighbors.
+//!
+//! [`confusion`] provides the TP/FP/FN/TN bookkeeping and the F1 score used
+//! throughout the evaluation (paper Eq. 3–4), and [`stats`] small numeric
+//! helpers shared by the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod edit;
+pub mod edstar;
+pub mod hamming;
+pub mod stats;
+
+pub use confusion::ConfusionMatrix;
+pub use edit::{edit_distance, edit_distance_banded, edit_distance_myers};
+pub use edstar::{ed_star, ed_star_profile, CellMatch, EdStarProfile};
+pub use hamming::{hamming, hamming_packed};

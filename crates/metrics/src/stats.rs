@@ -1,0 +1,316 @@
+//! Small numeric helpers shared by the experiment harness and the circuit
+//! Monte-Carlo code: running mean/variance, histograms, and percentiles.
+
+use std::fmt;
+
+/// Streaming mean and variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_metrics::stats::Accumulator;
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.5);
+/// assert!((acc.variance() - 5.0 / 3.0).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 for an empty accumulator.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// An integer histogram over `0..len`, used for `n_mis` distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with bins `0..len`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            bins: vec![0; len],
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation; values past the last bin count as overflow.
+    pub fn record(&mut self, value: usize) {
+        match self.bins.get_mut(value) {
+            Some(bin) => *bin += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bin `value`.
+    #[must_use]
+    pub fn count(&self, value: usize) -> u64 {
+        self.bins.get(value).copied().unwrap_or(0)
+    }
+
+    /// Observations beyond the last bin.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Mean of the recorded values (overflow excluded).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(value, &count)| value as f64 * count as f64)
+            .sum();
+        weighted / total as f64
+    }
+
+    /// Iterates `(value, count)` over non-empty bins.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(value, &count)| (value, count))
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(asmcap_metrics::stats::quantile(&xs, 0.5), 2.5);
+/// assert_eq!(asmcap_metrics::stats::quantile(&xs, 0.0), 1.0);
+/// assert_eq!(asmcap_metrics::stats::quantile(&xs, 1.0), 4.0);
+/// ```
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in quantile input"));
+    let position = q * (sorted.len() - 1) as f64;
+    let lower = position.floor() as usize;
+    let upper = position.ceil() as usize;
+    let weight = position - lower as f64;
+    sorted[lower] * (1.0 - weight) + sorted[upper] * weight
+}
+
+/// Geometric mean of strictly positive values — the standard way to average
+/// the speedup/efficiency ratios in Fig. 8.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of an empty sample");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accumulator_basic_moments() {
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(acc.mean(), 5.0);
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn accumulator_empty_and_single() {
+        let empty = Accumulator::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+        let single: Accumulator = [3.0].into_iter().collect();
+        assert_eq!(single.mean(), 3.0);
+        assert_eq!(single.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_records_and_overflows() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+        assert!((h.mean() - 1.25).abs() < 1e-12);
+        assert_eq!(h.iter().count(), 3);
+    }
+
+    #[test]
+    fn quantile_median_of_odd_sample() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[10.0, 1000.0]) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_accumulator_matches_naive(xs in proptest::collection::vec(-100.0f64..100.0, 2..50)) {
+            let acc: Accumulator = xs.iter().copied().collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            prop_assert!((acc.mean() - mean).abs() < 1e-9);
+            prop_assert!((acc.variance() - var).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_quantile_within_range(
+            xs in proptest::collection::vec(-50.0f64..50.0, 1..40),
+            q in 0.0f64..=1.0
+        ) {
+            let value = quantile(&xs, q);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(value >= lo - 1e-9 && value <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Accuracy sweep: a compact Fig. 7 — F1 vs threshold for EDAM and ASMCap
+//! under both error conditions, printed as tables.
+//!
+//! Run with: `cargo run --release -p asmcap-eval --example accuracy_sweep`
+
+use asmcap_eval::{Condition, Fig7Config};
+
+fn main() {
+    let config = Fig7Config {
+        reads: 150,
+        decoys: 12,
+        read_len: 256,
+        genome_len: 200_000,
+        seed: 0xACC,
+    };
+    for condition in [Condition::A, Condition::B] {
+        let result = asmcap_eval::fig7::run(condition, &config);
+        println!("== {} ==\n", condition.label());
+        println!("{}", result.f1_table());
+        let edam = result.series("EDAM").unwrap().mean_f1();
+        let with = result.series("ASMCap w/ H&T").unwrap().mean_f1();
+        println!(
+            "ASMCap w/ H&T improves mean F1 by {:.2}x over EDAM\n",
+            with / edam
+        );
+        assert!(with > edam, "ASMCap should beat EDAM on mean F1");
+    }
+    println!("accuracy sweep OK");
+}

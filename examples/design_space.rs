@@ -1,0 +1,28 @@
+//! Design-space exploration: how sensitive are the HDAC and TASR gains to
+//! their constants? (The paper calls both spaces "huge"; §IV.)
+//!
+//! Run with: `cargo run --release -p asmcap-eval --example design_space`
+
+use asmcap_eval::{Condition, EvalDataset};
+
+fn main() {
+    let reads = 80;
+    let decoys = 8;
+    let ds_a = EvalDataset::build(Condition::A, reads, decoys, 256, 120_000, 0xD51A);
+    println!("HDAC (alpha, beta) sweep — mean F1 (%), Condition A\n");
+    println!(
+        "{}",
+        asmcap_eval::ablation::hdac_sweep(&ds_a, &[50.0, 200.0, 400.0], &[0.25, 0.5, 1.0], 1)
+    );
+
+    let ds_b = EvalDataset::build(Condition::B, reads, decoys, 256, 120_000, 0xD51B);
+    println!("TASR (gamma, N_R) sweep — mean F1 (%), Condition B\n");
+    println!(
+        "{}",
+        asmcap_eval::ablation::tasr_sweep(&ds_b, &[1e-4, 2e-4, 4e-4], &[0, 2, 4], 2)
+    );
+
+    println!("Rotation schedule comparison, Condition B\n");
+    println!("{}", asmcap_eval::ablation::schedule_sweep(&ds_b, 3));
+    println!("design space exploration OK");
+}

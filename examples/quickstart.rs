@@ -1,0 +1,63 @@
+//! Quickstart: store a reference in a simulated ASMCap device, map an
+//! erroneous read, and inspect the result.
+//!
+//! Run with: `cargo run -p asmcap-eval --example quickstart`
+
+use asmcap::{AsmMatcher, AsmcapEngine, MapperConfig, ReadMapper};
+use asmcap_arch::DeviceBuilder;
+use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
+
+fn main() {
+    // 1. A synthetic reference genome (stand-in for an NCBI sequence).
+    let genome = GenomeModel::human_like().generate(50_000, 42);
+    println!(
+        "reference: {} bases, GC content {:.1}%",
+        genome.len(),
+        genome.gc_content() * 100.0
+    );
+
+    // 2. A 256-base read sampled with Condition-A sequencing errors.
+    let profile = ErrorProfile::condition_a();
+    let sampler = ReadSampler::new(256, profile);
+    let read = sampler.sample(&genome, 7);
+    println!(
+        "read: origin {}, injected edits: {}",
+        read.origin, read.edits
+    );
+
+    // 3a. Pair-level decision with the full ASMCap engine.
+    let segment = read.aligned_segment(&genome);
+    let mut engine = AsmcapEngine::paper(profile, 1);
+    let outcome = engine.matches(segment.as_slice(), read.bases.as_slice(), 8);
+    println!(
+        "engine decision vs true segment at T=8: {} ({} cycles)",
+        if outcome.matched { "match" } else { "no match" },
+        outcome.cycles
+    );
+
+    // 4. Device-level mapping: store the genome at stride 1 across arrays
+    //    (small device: 256-row arrays, enough rows for 50k positions).
+    let positions = genome.len() - 256 + 1;
+    let mut device = DeviceBuilder::new()
+        .arrays(positions.div_ceil(256))
+        .rows_per_array(256)
+        .row_width(256)
+        .build_asmcap();
+    device
+        .store_reference(&genome, 1)
+        .expect("device sized for the genome");
+    let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile), 2);
+    let mapped = mapper.map_read(&read.bases);
+    println!(
+        "device mapping at T=8: {} candidate position(s), {:?} (true origin {}), {} search cycles",
+        mapped.positions.len(),
+        &mapped.positions[..mapped.positions.len().min(5)],
+        read.origin,
+        mapped.cycles
+    );
+    assert!(
+        mapped.positions.contains(&read.origin),
+        "the true origin must be recovered"
+    );
+    println!("quickstart OK");
+}

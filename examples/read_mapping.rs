@@ -1,0 +1,72 @@
+//! Read mapping: map a batch of erroneous reads against a reference and
+//! report candidate positions plus a CIGAR-style alignment at the best hit.
+//!
+//! Run with: `cargo run --release -p asmcap-eval --example read_mapping`
+
+use asmcap::{MapperConfig, ReadMapper};
+use asmcap_arch::DeviceBuilder;
+use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
+use asmcap_metrics::edit::align;
+
+fn main() {
+    let genome = GenomeModel::human_like().generate(100_000, 5);
+    let profile = ErrorProfile::condition_a();
+    let width = 256usize;
+
+    let positions = genome.len() - width + 1;
+    let mut device = DeviceBuilder::new()
+        .arrays(positions.div_ceil(256))
+        .rows_per_array(256)
+        .row_width(width)
+        .build_asmcap();
+    device.store_reference(&genome, 1).expect("device fits genome");
+
+    let sampler = ReadSampler::new(width, profile);
+    let reads = sampler.sample_many(&genome, 25, 21);
+    let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile), 4);
+
+    let mut recovered = 0usize;
+    let mut candidate_total = 0usize;
+    for (i, read) in reads.iter().enumerate() {
+        let mapped = mapper.map_read(&read.bases);
+        let hit = mapped.positions.contains(&read.origin);
+        recovered += usize::from(hit);
+        candidate_total += mapped.positions.len();
+        if i < 5 {
+            // Show an alignment against the best (closest) candidate.
+            let best = mapped
+                .positions
+                .iter()
+                .min_by_key(|&&p| p.abs_diff(read.origin))
+                .copied();
+            match best {
+                Some(p) => {
+                    let segment = genome.window(p..p + width);
+                    let alignment = align(read.bases.as_slice(), segment.as_slice());
+                    println!(
+                        "read {i}: origin {} -> {} candidate(s), best {} (ED {}), CIGAR {}",
+                        read.origin,
+                        mapped.positions.len(),
+                        p,
+                        alignment.distance,
+                        alignment.cigar()
+                    );
+                }
+                None => println!("read {i}: origin {} -> unmapped", read.origin),
+            }
+        }
+    }
+    println!(
+        "\nmapped {recovered}/{} reads to their true origin ({:.1} candidates/read avg)",
+        reads.len(),
+        candidate_total as f64 / reads.len() as f64
+    );
+    let stats = mapper.stats();
+    println!(
+        "device activity: {} cycles, {:.2} uJ",
+        stats.cycles,
+        stats.energy_j * 1e6
+    );
+    assert!(recovered >= reads.len() * 9 / 10, "mapping rate too low");
+    println!("read mapping OK");
+}

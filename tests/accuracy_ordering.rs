@@ -1,0 +1,78 @@
+//! Integration test: the Fig. 7 accuracy ordering holds on a reduced
+//! dataset — ASMCap w/ strategies ≥ ASMCap w/o ≥ EDAM (mean F1), with the
+//! strategy gains appearing in the conditions they target.
+
+use asmcap_eval::{Condition, Fig7Config};
+
+fn config() -> Fig7Config {
+    Fig7Config {
+        reads: 120,
+        decoys: 10,
+        read_len: 256,
+        genome_len: 150_000,
+        seed: 0x0D3, // overridden per test
+    }
+}
+
+#[test]
+fn condition_a_ordering() {
+    let mut cfg = config();
+    cfg.seed = 0xA11CE;
+    let result = asmcap_eval::fig7::run(Condition::A, &cfg);
+    let edam = result.series("EDAM").unwrap().mean_f1();
+    let without = result.series("ASMCap w/o H&T").unwrap().mean_f1();
+    let with = result.series("ASMCap w/ H&T").unwrap().mean_f1();
+    assert!(
+        without > edam,
+        "charge-domain sensing alone should beat EDAM: {without:.3} vs {edam:.3}"
+    );
+    assert!(
+        with > without,
+        "HDAC should add accuracy in Condition A: {with:.3} vs {without:.3}"
+    );
+}
+
+#[test]
+fn condition_b_ordering() {
+    let mut cfg = config();
+    cfg.seed = 0xB0B;
+    let result = asmcap_eval::fig7::run(Condition::B, &cfg);
+    let edam = result.series("EDAM").unwrap().mean_f1();
+    let without = result.series("ASMCap w/o H&T").unwrap().mean_f1();
+    let with = result.series("ASMCap w/ H&T").unwrap().mean_f1();
+    assert!(without > edam);
+    assert!(
+        with > without,
+        "TASR should add accuracy in Condition B: {with:.3} vs {without:.3}"
+    );
+}
+
+#[test]
+fn normalized_f1_is_well_above_kraken() {
+    let mut cfg = config();
+    cfg.seed = 0xCAFE;
+    let result = asmcap_eval::fig7::run(Condition::A, &cfg);
+    let with = result.series("ASMCap w/ H&T").unwrap();
+    let mean_norm: f64 =
+        with.points.iter().map(|p| p.normalized).sum::<f64>() / with.points.len() as f64;
+    // Paper: 4.5x over Kraken2 in Condition A on average.
+    assert!(
+        mean_norm > 2.0,
+        "normalized F1 should be well above 1, got {mean_norm:.2}"
+    );
+}
+
+#[test]
+fn biggest_gain_is_at_small_t_in_condition_a() {
+    // Paper: up to 1.8x at T=1 (46.3% -> 81.2%).
+    let mut cfg = config();
+    cfg.seed = 0x71;
+    let result = asmcap_eval::fig7::run(Condition::A, &cfg);
+    let edam = &result.series("EDAM").unwrap().points;
+    let with = &result.series("ASMCap w/ H&T").unwrap().points;
+    let gain_t1 = with[0].f1 / edam[0].f1.max(1e-9);
+    assert!(
+        gain_t1 > 1.2,
+        "expected a large gain at T=1, got {gain_t1:.2}x"
+    );
+}

@@ -1,0 +1,128 @@
+//! Integration test: the end-to-end device path — genome → arrays →
+//! controller → strategies — is consistent with the metrics layer and
+//! recovers read origins.
+
+use asmcap::{MapperConfig, ReadMapper};
+use asmcap_arch::{CamArray, DeviceBuilder, MatchMode};
+use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, ReadSampler};
+
+#[test]
+fn array_mismatch_counts_equal_metrics_distances() {
+    let genome = GenomeModel::human_like().generate(5_000, 1);
+    let mut array = CamArray::asmcap(16, 128);
+    for i in 0..16 {
+        array
+            .store_row(&genome.as_slice()[i * 200..i * 200 + 128])
+            .unwrap();
+    }
+    let read = genome.window(1_000..1_128);
+    for row in 0..16 {
+        let stored = array.stored_row(row).unwrap();
+        assert_eq!(
+            array.row_mismatches(row, read.as_slice(), MatchMode::EdStar),
+            asmcap_metrics::ed_star(&stored, read.as_slice())
+        );
+        assert_eq!(
+            array.row_mismatches(row, read.as_slice(), MatchMode::Hamming),
+            asmcap_metrics::hamming(&stored, read.as_slice())
+        );
+    }
+}
+
+#[test]
+fn device_recovers_origins_for_erroneous_reads() {
+    let genome = GenomeModel::uniform().generate(20_000, 2);
+    let profile = ErrorProfile::condition_a();
+    let width = 256usize;
+    let positions = genome.len() - width + 1;
+    let mut device = DeviceBuilder::new()
+        .arrays(positions.div_ceil(256))
+        .rows_per_array(256)
+        .row_width(width)
+        .build_asmcap();
+    device.store_reference(&genome, 1).unwrap();
+
+    let sampler = ReadSampler::new(width, profile);
+    let reads = sampler.sample_many(&genome, 15, 3);
+    let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile), 4);
+    let mut recovered = 0usize;
+    for read in &reads {
+        let mapped = mapper.map_read(&read.bases);
+        recovered += usize::from(mapped.positions.contains(&read.origin));
+    }
+    assert!(
+        recovered >= 14,
+        "only {recovered}/15 origins recovered at T=8"
+    );
+}
+
+#[test]
+fn consecutive_deletions_need_tasr_on_device() {
+    let genome = GenomeModel::uniform().generate(8_192, 3);
+    let width = 256usize;
+    // A read with two consecutive deletions relative to its origin at 512.
+    let mut bases = genome.window(512..512 + width).into_bases();
+    bases.drain(64..66);
+    bases.extend_from_slice(&genome.as_slice()[512 + width..512 + width + 2]);
+    let read = DnaSeq::from_bases(bases);
+
+    let build = || {
+        let positions = genome.len() - width + 1;
+        let mut device = DeviceBuilder::new()
+            .arrays(positions.div_ceil(256))
+            .rows_per_array(256)
+            .row_width(width)
+            .build_asmcap();
+        device.store_reference(&genome, 1).unwrap();
+        device
+    };
+
+    let mut plain = ReadMapper::new(build(), MapperConfig::plain(8), 5);
+    let mut with_tasr = ReadMapper::new(
+        build(),
+        MapperConfig::paper(8, ErrorProfile::condition_b()),
+        6,
+    );
+    let before = plain.map_read(&read);
+    let after = with_tasr.map_read(&read);
+    assert!(!before.positions.contains(&512), "plain ED* should miss");
+    assert!(after.positions.contains(&512), "TASR should recover");
+    assert!(after.cycles > before.cycles, "rotations must cost cycles");
+}
+
+#[test]
+fn engine_and_mapper_agree_on_clean_decisions() {
+    // Far from the threshold boundary, the pair engine and the device path
+    // must agree (noise only matters near the boundary).
+    use asmcap::{AsmMatcher, AsmcapEngine};
+    let genome = GenomeModel::uniform().generate(4_096, 7);
+    let width = 128usize;
+    let segment = genome.window(100..100 + width);
+    let mut engine = AsmcapEngine::paper(ErrorProfile::condition_a(), 8);
+
+    let positions = genome.len() - width + 1;
+    let mut device = DeviceBuilder::new()
+        .arrays(positions.div_ceil(256))
+        .rows_per_array(256)
+        .row_width(width)
+        .build_asmcap();
+    device.store_reference(&genome, 1).unwrap();
+    let mut mapper = ReadMapper::new(
+        device,
+        MapperConfig::paper(4, ErrorProfile::condition_a()),
+        9,
+    );
+
+    // Exact copy: both must match at T=4.
+    let outcome = engine.matches(segment.as_slice(), segment.as_slice(), 4);
+    assert!(outcome.matched);
+    let mapped = mapper.map_read(&segment);
+    assert!(mapped.positions.contains(&100));
+
+    // Unrelated read: both must reject.
+    let decoy = GenomeModel::uniform().generate(width, 99);
+    let outcome = engine.matches(segment.as_slice(), decoy.as_slice(), 4);
+    assert!(!outcome.matched);
+    let mapped = mapper.map_read(&decoy);
+    assert!(mapped.positions.is_empty());
+}

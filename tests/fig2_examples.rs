@@ -1,0 +1,40 @@
+//! Integration test: the paper's Fig. 2 examples reproduce exactly across
+//! the metrics crate and the evaluation harness.
+
+use asmcap_eval::fig2;
+
+#[test]
+fn fig2_values_match_the_paper() {
+    for (i, example) in fig2::examples().iter().enumerate() {
+        let measured = fig2::measure(example);
+        assert_eq!(
+            measured,
+            example.paper,
+            "Fig. 2 example {} disagrees",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn edstar_is_never_above_hamming_on_fig2_pairs() {
+    for example in fig2::examples() {
+        let (hd, star, _) = fig2::measure(&example);
+        assert!(star <= hd);
+    }
+}
+
+#[test]
+fn array_level_search_agrees_with_fig2() {
+    use asmcap_arch::{CamArray, MatchMode};
+
+    for example in fig2::examples() {
+        let width = example.s2.len();
+        let mut array = CamArray::asmcap(1, width);
+        array.store_row(example.s2.as_slice()).unwrap();
+        let ed_star = array.row_mismatches(0, example.s1.as_slice(), MatchMode::EdStar);
+        let hd = array.row_mismatches(0, example.s1.as_slice(), MatchMode::Hamming);
+        assert_eq!(ed_star, example.paper.1, "array ED* disagrees with Fig. 2");
+        assert_eq!(hd, example.paper.0, "array HD disagrees with Fig. 2");
+    }
+}

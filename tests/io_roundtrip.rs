@@ -1,0 +1,78 @@
+//! Integration test: the full user path — write a reference as FASTA and
+//! reads as FASTQ, read both back, and map through the simulated device.
+
+use asmcap_eval::cli::{map_reads, MapOptions};
+use asmcap_genome::{fasta, fastq, ErrorProfile, GenomeModel, ReadSampler};
+
+#[test]
+fn fasta_fastq_to_mapping_roundtrip() {
+    // 1. Reference genome, serialised as FASTA and parsed back.
+    let genome = GenomeModel::human_like().generate(10_000, 21);
+    let mut fasta_bytes = Vec::new();
+    fasta::write_fasta(
+        &mut fasta_bytes,
+        &[fasta::FastaRecord {
+            id: "ref1 synthetic".to_owned(),
+            seq: genome.clone(),
+        }],
+        70,
+    )
+    .unwrap();
+    let parsed = fasta::read_fasta(&fasta_bytes[..]).unwrap();
+    assert_eq!(parsed[0].seq, genome);
+
+    // 2. Reads with condition-A errors, serialised as FASTQ and parsed back.
+    let sampler = ReadSampler::new(128, ErrorProfile::condition_a());
+    let sampled = sampler.sample_many(&genome, 8, 31);
+    let records: Vec<fastq::FastqRecord> = sampled
+        .iter()
+        .enumerate()
+        .map(|(i, r)| fastq::FastqRecord {
+            id: format!("r{i}_origin_{}", r.origin),
+            seq: r.bases.clone(),
+            quals: vec![37; r.bases.len()],
+        })
+        .collect();
+    let mut fastq_bytes = Vec::new();
+    fastq::write_fastq(&mut fastq_bytes, &records).unwrap();
+    let parsed_reads = fastq::read_fastq(&fastq_bytes[..]).unwrap();
+    assert_eq!(parsed_reads, records);
+
+    // 3. Map the parsed reads against the parsed reference.
+    let options = MapOptions {
+        row_width: 128,
+        threshold: 8,
+        ..MapOptions::default()
+    };
+    let rows = map_reads(&parsed[0].seq, &parsed_reads, &options).unwrap();
+    assert_eq!(rows.len(), records.len());
+    for (row, read) in rows.iter().zip(&sampled) {
+        assert!(
+            row.positions.contains(&read.origin),
+            "{} did not map to origin {}: {:?}",
+            row.read_id,
+            read.origin,
+            row.positions
+        );
+    }
+}
+
+#[test]
+fn sanitized_real_world_reference_loads() {
+    // References with ambiguity codes must be loadable after sanitising.
+    let dirty = b">chrN\nACGTNNNNRYACGT\n";
+    assert!(fasta::read_fasta(&dirty[..]).is_err());
+    let mut clean_bytes = Vec::new();
+    // Sanitise just the sequence line.
+    let text = String::from_utf8_lossy(dirty);
+    for line in text.lines() {
+        if line.starts_with('>') {
+            clean_bytes.extend_from_slice(line.as_bytes());
+        } else {
+            clean_bytes.extend_from_slice(&fasta::sanitize(line.as_bytes()));
+        }
+        clean_bytes.push(b'\n');
+    }
+    let parsed = fasta::read_fasta(&clean_bytes[..]).unwrap();
+    assert_eq!(parsed[0].seq.len(), 14);
+}

@@ -1,0 +1,68 @@
+//! Integration test: the Fig. 8 performance model reproduces the paper's
+//! ratios (within calibration tolerance) and its internal mechanics are
+//! consistent.
+
+use asmcap_baselines::perf::{PerfReport, Workload};
+
+fn report() -> PerfReport {
+    PerfReport::fig8(&Workload::paper(1.07, 0.42 * 256.0))
+}
+
+#[test]
+fn speedup_bars_match_paper() {
+    let report = report();
+    let s = |n: &str| report.row(n).unwrap().speedup;
+    // Paper (normalised to CM-CPU): 9.7e4, 4.7e4, ~3.46e4, 770, 268, 1.
+    assert!((s("ASMCap w/o H&T") / 9.7e4 - 1.0).abs() < 0.15);
+    assert!((s("ASMCap w/ H&T") / 4.7e4 - 1.0).abs() < 0.20);
+    assert!((s("EDAM") / 3.46e4 - 1.0).abs() < 0.15);
+    assert!((s("SaVI") / 770.0 - 1.0).abs() < 0.15);
+    assert!((s("ReSMA") / 268.0 - 1.0).abs() < 0.15);
+}
+
+#[test]
+fn energy_bars_keep_paper_ordering_and_scale() {
+    let report = report();
+    let e = |n: &str| report.row(n).unwrap().energy_efficiency;
+    // Ordering of Fig. 8's right panel.
+    assert!(e("ASMCap w/o H&T") > e("ASMCap w/ H&T"));
+    assert!(e("ASMCap w/ H&T") > e("EDAM"));
+    assert!(e("EDAM") > e("SaVI"));
+    assert!(e("SaVI") > e("ReSMA"));
+    assert!(e("ReSMA") > 1.0);
+    // Scale: ASMCap w/o sits in the 1e6 decade (paper: 5.1e6; our Eq.-1
+    // energy is calibrated to Table I instead, landing ~3e6 — same decade).
+    assert!(e("ASMCap w/o H&T") > 1e6 && e("ASMCap w/o H&T") < 2e7);
+}
+
+#[test]
+fn headline_ratios_vs_edam() {
+    let report = report();
+    let with = report.row("ASMCap w/ H&T").unwrap();
+    let edam = report.row("EDAM").unwrap();
+    // Paper: 1.4x speedup and 10.8x energy efficiency over EDAM.
+    let speedup = with.speedup / edam.speedup;
+    let ee = with.energy_efficiency / edam.energy_efficiency;
+    assert!((1.1..1.8).contains(&speedup), "speedup vs EDAM {speedup:.2}");
+    assert!((7.0..16.0).contains(&ee), "energy efficiency vs EDAM {ee:.1}");
+}
+
+#[test]
+fn strategies_scale_latency_linearly() {
+    let plain = PerfReport::fig8(&Workload::paper(0.0, 107.0));
+    let heavy = PerfReport::fig8(&Workload::paper(2.0, 107.0));
+    let p = plain.row("ASMCap w/ H&T").unwrap().latency_s;
+    let h = heavy.row("ASMCap w/ H&T").unwrap().latency_s;
+    assert!((h / p - 3.0).abs() < 1e-9, "3 cycles vs 1 cycle");
+}
+
+#[test]
+fn host_dp_rate_is_measured_not_assumed() {
+    // The calibrated i9 constant is documented; the harness can also
+    // measure the actual host. Sanity: the measured rate is positive and
+    // the calibration constant is within a plausible CPU range.
+    let measured = asmcap_baselines::CmCpuAligner::new().measured_cell_rate(256, 50);
+    assert!(measured > 1e7);
+    let calibrated = asmcap_baselines::perf::calib::CM_CPU_CELL_RATE;
+    assert!(calibrated > 1e9 && calibrated < 1e12);
+}

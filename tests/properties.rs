@@ -1,0 +1,135 @@
+//! Cross-crate property tests: invariants that must hold across the whole
+//! stack, from random inputs.
+
+use asmcap::{AsmMatcher, AsmcapEngine, ExactEdMatcher, NoiselessEdStarMatcher};
+use asmcap_arch::{CamArray, MatchMode};
+use asmcap_genome::{Base, DnaSeq, ErrorProfile};
+use proptest::prelude::*;
+
+fn arbitrary_seq(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..4, len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+fn equal_length_pair(max_len: usize) -> impl Strategy<Value = (DnaSeq, DnaSeq)> {
+    proptest::collection::vec((0u8..4, 0u8..4), 8..max_len).prop_map(|pairs| {
+        (
+            pairs.iter().map(|&(a, _)| Base::from_code(a)).collect(),
+            pairs.iter().map(|&(_, b)| Base::from_code(b)).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CAM array's mismatch counts are bit-exact with the metrics
+    /// crate, in both MUX modes, for arbitrary stored/read pairs.
+    #[test]
+    fn array_counts_equal_metrics((stored, read) in equal_length_pair(120)) {
+        let mut array = CamArray::asmcap(1, stored.len());
+        array.store_row(stored.as_slice()).unwrap();
+        prop_assert_eq!(
+            array.row_mismatches(0, read.as_slice(), MatchMode::EdStar),
+            asmcap_metrics::ed_star(stored.as_slice(), read.as_slice())
+        );
+        prop_assert_eq!(
+            array.row_mismatches(0, read.as_slice(), MatchMode::Hamming),
+            asmcap_metrics::hamming(stored.as_slice(), read.as_slice())
+        );
+    }
+
+    /// Engine cycle accounting: cycles = 1 + HD search + rotations, always.
+    #[test]
+    fn engine_cycles_decompose(
+        (segment, read) in equal_length_pair(120),
+        t in 0usize..16,
+        seed in 0u64..100
+    ) {
+        let mut engine = AsmcapEngine::paper(ErrorProfile::condition_a(), seed);
+        let outcome = engine.matches(segment.as_slice(), read.as_slice(), t);
+        prop_assert_eq!(
+            u64::from(outcome.cycles),
+            1 + u64::from(outcome.used_hd) + u64::from(outcome.rotations)
+        );
+        let mut engine_b = AsmcapEngine::paper(ErrorProfile::condition_b(), seed);
+        let outcome = engine_b.matches(segment.as_slice(), read.as_slice(), t);
+        prop_assert_eq!(
+            u64::from(outcome.cycles),
+            1 + u64::from(outcome.used_hd) + u64::from(outcome.rotations)
+        );
+    }
+
+    /// The noiseless ED* matcher is monotone in the threshold: once a pair
+    /// matches at T it matches at every T' >= T.
+    #[test]
+    fn noiseless_decisions_monotone_in_threshold((segment, read) in equal_length_pair(100)) {
+        let mut matcher = NoiselessEdStarMatcher::new();
+        let mut previous = false;
+        for t in 0..segment.len() {
+            let matched = matcher.matches(segment.as_slice(), read.as_slice(), t).matched;
+            prop_assert!(!previous || matched, "match lost when raising T to {t}");
+            previous = matched;
+        }
+        // At T = len the pair always matches (ED* <= len).
+        prop_assert!(matcher.matches(segment.as_slice(), read.as_slice(), segment.len()).matched);
+    }
+
+    /// The exact-ED oracle agrees with the ReSMA wavefront and the CM-CPU
+    /// banded DP on every pair and threshold.
+    #[test]
+    fn exact_matchers_agree((segment, read) in equal_length_pair(80), t in 0usize..12) {
+        let mut oracle = ExactEdMatcher::new();
+        let mut resma = asmcap_baselines::ResmaAccelerator::with_filter_k(4);
+        let mut cpu = asmcap_baselines::CmCpuAligner::new();
+        let expected = oracle.matches(segment.as_slice(), read.as_slice(), t).matched;
+        prop_assert_eq!(
+            cpu.matches(segment.as_slice(), read.as_slice(), t).matched,
+            expected
+        );
+        // ReSMA's wavefront is exact whenever the filter passes; with a
+        // 4-base filter at these lengths a filter miss implies a large
+        // distance, so disagreement is only allowed in the no-match
+        // direction.
+        let resma_says = resma.matches(segment.as_slice(), read.as_slice(), t).matched;
+        if resma_says != expected {
+            prop_assert!(!resma_says, "ReSMA may only under-match via its filter");
+            prop_assert!(
+                !resma.filter_passes(segment.as_slice(), read.as_slice(), t),
+                "wavefront disagreed with the oracle despite a filter hit"
+            );
+        }
+    }
+
+    /// ED* is invariant under the engine's own rotation round-trip: rotating
+    /// a read right then left restores the original decision inputs.
+    #[test]
+    fn rotation_round_trip(read in arbitrary_seq(8..100), amount in 1usize..5) {
+        let rotated = read.rotated_right(amount).rotated_left(amount);
+        prop_assert_eq!(rotated, read);
+    }
+
+    /// Device search finds an exact stored row at T=1 regardless of where
+    /// it lands across arrays. (T=0 is a knife-edge by design: the V_ref
+    /// boundary sits only ~3.3σ of SA offset above a perfect row, so a
+    /// ~4e-4 miss rate is *expected* there — searching at T ≥ 1 restores a
+    /// 10σ margin.)
+    #[test]
+    fn device_always_finds_exact_rows(seed in 0u64..50, row in 0usize..24) {
+        let width = 32usize;
+        let genome = asmcap_genome::GenomeModel::uniform().generate(24 * width, seed);
+        let mut device = asmcap_arch::DeviceBuilder::new()
+            .arrays(3)
+            .rows_per_array(8)
+            .row_width(width)
+            .build_asmcap();
+        device.store_reference(&genome, width).unwrap();
+        let mut rng = asmcap_circuit::rng(seed ^ 0xF00D);
+        let read = genome.window(row * width..(row + 1) * width);
+        let result = device.search(read.as_slice(), 1, MatchMode::EdStar, &mut rng);
+        prop_assert!(
+            result.matches.iter().any(|m| m.origin == row * width && m.n_mis == 0),
+            "row {row} not found"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Integration test: §V-D distinguishable-state claims (44 vs 566).
+
+use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam};
+
+#[test]
+fn analytic_state_counts_match_paper() {
+    assert_eq!(ChargeDomainCam::paper().distinguishable_states(), 566);
+    assert_eq!(CurrentDomainCam::paper().distinguishable_states(), 44);
+}
+
+#[test]
+fn empirical_states_bracket_the_claims() {
+    let counts = asmcap_eval::states::analyze(256, 4_000, 0xD15C);
+    assert_eq!(counts.asmcap_empirical, 256, "charge domain must resolve a full row");
+    assert!(
+        (25..70).contains(&counts.edam_empirical),
+        "current domain should collapse near 44, got {}",
+        counts.edam_empirical
+    );
+}
+
+#[test]
+fn asmcap_worst_case_covers_256_wide_rows() {
+    // 566 > 2 * 256: the paper's "even with the worst case" claim.
+    let states = ChargeDomainCam::paper().distinguishable_states();
+    assert!(states > 2 * 256);
+}

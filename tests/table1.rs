@@ -1,0 +1,26 @@
+//! Integration test: Table I values and ratios, plus the §V-B breakdowns.
+
+use asmcap_circuit::area::asmcap_array_area_mm2;
+use asmcap_circuit::params::{AsmcapParams, EdamParams, ARRAY_COLS, ARRAY_ROWS};
+
+#[test]
+fn table1_ratios() {
+    let asmcap = AsmcapParams::paper();
+    let edam = EdamParams::paper();
+    assert!((edam.cell_area_um2 / asmcap.cell_area_um2 - 1.392).abs() < 0.01);
+    assert!((edam.search_time_ns / asmcap.search_time_ns - 2.667).abs() < 0.01);
+    assert!((edam.avg_power_per_cell_uw / asmcap.avg_power_per_cell_uw - 8.333).abs() < 0.01);
+}
+
+#[test]
+fn array_area_matches_section_v_b() {
+    let area = asmcap_array_area_mm2(&AsmcapParams::paper(), ARRAY_ROWS, ARRAY_COLS);
+    assert!((area - 1.58).abs() < 0.02, "array area {area} mm²");
+}
+
+#[test]
+fn rendered_tables_are_nonempty() {
+    assert!(!asmcap_eval::table1::table().is_empty());
+    assert!(!asmcap_eval::breakdown::area_table().is_empty());
+    assert!(!asmcap_eval::breakdown::power_table().is_empty());
+}
