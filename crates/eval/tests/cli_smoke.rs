@@ -1,0 +1,118 @@
+//! Workspace smoke test: build the `asmcap_map` CLI and run it end-to-end
+//! on a tiny synthetic FASTA/FASTQ round-trip.
+//!
+//! This is the fastest whole-stack check the workspace has: it exercises
+//! genome synthesis, FASTA/FASTQ writing *and* re-parsing (through the
+//! binary), device construction, and the full mapping path — and asserts
+//! the mapper recovers every read's true origin from the files on disk.
+
+use asmcap_genome::{fasta, fastq, ErrorProfile, GenomeModel, ReadSampler};
+use std::process::Command;
+
+/// Length of the synthetic reference; small so the device stays tiny.
+const GENOME_LEN: usize = 2_048;
+/// CAM row width = read length for the smoke run.
+const ROW_WIDTH: usize = 64;
+/// How many erroneous reads to push through the binary.
+const READS: usize = 4;
+
+#[test]
+fn asmcap_map_runs_on_synthetic_fasta_fastq() {
+    let dir = std::env::temp_dir().join(format!(
+        "asmcap_cli_smoke_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let ref_path = dir.join("reference.fasta");
+    let reads_path = dir.join("reads.fastq");
+
+    // Synthesise a reference and sample erroneous reads from it.
+    let genome = GenomeModel::uniform().generate(GENOME_LEN, 99);
+    let sampler = ReadSampler::new(ROW_WIDTH, ErrorProfile::condition_a());
+    let reads = sampler.sample_many(&genome, READS, 7);
+
+    // FASTA/FASTQ round-trip: write with the library, let the CLI re-parse.
+    let ref_record = fasta::FastaRecord {
+        id: "smoke_ref".to_owned(),
+        seq: genome.clone(),
+    };
+    let mut ref_bytes = Vec::new();
+    fasta::write_fasta(&mut ref_bytes, std::slice::from_ref(&ref_record), 70)
+        .expect("render FASTA");
+    std::fs::write(&ref_path, &ref_bytes).expect("write FASTA");
+
+    let records: Vec<fastq::FastqRecord> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| fastq::FastqRecord {
+            id: format!("read_{i}_origin_{}", r.origin),
+            seq: r.bases.clone(),
+            quals: vec![40; r.bases.len()],
+        })
+        .collect();
+    let mut read_bytes = Vec::new();
+    fastq::write_fastq(&mut read_bytes, &records).expect("render FASTQ");
+    std::fs::write(&reads_path, &read_bytes).expect("write FASTQ");
+
+    // Sanity-check the library half of the round-trip before involving the
+    // binary, so a parser regression fails here with a clearer message.
+    let reparsed = fasta::read_fasta(&ref_bytes[..]).expect("re-parse FASTA");
+    assert_eq!(reparsed.len(), 1);
+    assert_eq!(reparsed[0].seq, genome);
+    let reparsed_reads = fastq::read_fastq(&read_bytes[..]).expect("re-parse FASTQ");
+    assert_eq!(reparsed_reads.len(), READS);
+
+    // Run the real binary the way a user would.
+    let output = Command::new(env!("CARGO_BIN_EXE_asmcap_map"))
+        .args([
+            "--reference",
+            ref_path.to_str().expect("utf-8 path"),
+            "--reads",
+            reads_path.to_str().expect("utf-8 path"),
+            "--row-width",
+            "64",
+            "--threshold",
+            "6",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("spawn asmcap_map");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    assert!(
+        output.status.success(),
+        "asmcap_map failed: {}\n{stdout}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // TSV shape: header plus one row per read.
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("#read_id\tn_candidates\tpositions\tcycles"),
+        "unexpected header in:\n{stdout}"
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), READS, "one TSV row per read in:\n{stdout}");
+
+    // Every read must be mapped back to (at least) its true origin.
+    for (row, read) in rows.iter().zip(&reads) {
+        let fields: Vec<&str> = row.split('\t').collect();
+        assert_eq!(fields.len(), 4, "malformed row: {row}");
+        let positions: Vec<usize> = fields[2]
+            .split(';')
+            .map(|p| p.parse().expect("numeric position"))
+            .collect();
+        assert!(
+            positions.contains(&read.origin),
+            "origin {} missing from row: {row}",
+            read.origin
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).expect("clean temp dir");
+}

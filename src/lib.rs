@@ -1,0 +1,26 @@
+//! Umbrella package for the ASMCap reproduction workspace.
+//!
+//! This crate carries no code of its own — it exists so the repo-root
+//! `tests/` (the nine cross-crate integration suites) and `examples/`
+//! directories belong to a Cargo package and run under plain
+//! `cargo test` / `cargo run --example`. The implementation lives in the
+//! `crates/` packages:
+//!
+//! * [`asmcap_genome`] — sequences, synthetic genomes, reads, datasets;
+//! * [`asmcap_metrics`] — Hamming/edit/ED\* distances and statistics;
+//! * [`asmcap_circuit`] — charge/current-domain CAM sensing models;
+//! * [`asmcap_arch`] — the simulated multi-array device;
+//! * [`asmcap`] — matching engines (ED\* + HDAC + TASR) and the mapper;
+//! * [`asmcap_baselines`] — ReSMA, SAVI, Kraken-style, and CPU baselines;
+//! * [`asmcap_eval`] — paper figure/table evaluation binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use asmcap;
+pub use asmcap_arch;
+pub use asmcap_baselines;
+pub use asmcap_circuit;
+pub use asmcap_eval;
+pub use asmcap_genome;
+pub use asmcap_metrics;

@@ -1,0 +1,135 @@
+//! Vendored minimal `proptest`: deterministic property-based testing.
+//!
+//! Implements exactly the subset the ASMCap workspace uses:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header); as with upstream proptest, each property fn carries its own
+//!   `#[test]` attribute inside the macro — omitting it means the property
+//!   never runs under `cargo test`;
+//! * strategies: integer/float ranges, tuples of strategies,
+//!   [`collection::vec`], [`Strategy::prop_map`], and [`arbitrary::any`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! panics with the case number, and the generation stream is a fixed
+//! ChaCha8 seed, so every failure reproduces exactly under `cargo test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes(); // in a real suite, write `#[test]` on the fn
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat_param in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(&config);
+                for case in 0..config.cases {
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut runner);)+
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        ::core::panic!(
+                            "property {} failed at case {}/{}: {}",
+                            ::core::stringify!($name), case + 1, config.cases, err,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the enclosing property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!(
+            $cond,
+            "assertion failed: {}",
+            ::core::stringify!($cond)
+        )
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            ::core::stringify!($left), ::core::stringify!($right), left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing property case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            ::core::stringify!($left), ::core::stringify!($right), left,
+        );
+    }};
+}

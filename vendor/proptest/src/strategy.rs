@@ -1,0 +1,104 @@
+//! The [`Strategy`] trait and its core implementations.
+
+use crate::test_runner::TestRunner;
+use core::ops::{Range, RangeInclusive};
+use rand::Rng as _;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the runner's deterministic stream.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transforms generated values with a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.source.generate(runner))
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));

@@ -1,0 +1,80 @@
+//! Configuration and per-test state for property runs.
+
+use rand::SeedableRng as _;
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+    /// Seed of the deterministic generation stream.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            rng_seed: 0x5EED_CA5E,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Overrides only the number of cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// The deterministic generation stream handed to strategies.
+pub struct TestRunner {
+    rng: rand_chacha::ChaCha8Rng,
+}
+
+impl TestRunner {
+    /// Creates the runner for one property, seeded from the config.
+    #[must_use]
+    pub fn new(config: &ProptestConfig) -> Self {
+        Self {
+            rng: rand_chacha::ChaCha8Rng::seed_from_u64(config.rng_seed),
+        }
+    }
+
+    /// The underlying RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut rand_chacha::ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+/// A failed property case (from `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        Self { message }
+    }
+
+    /// Upstream-compatible alias of [`TestCaseError::fail`].
+    #[must_use]
+    pub fn reject(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,287 @@
+//! Distributions over random values: `Standard`, uniform ranges, and
+//! `WeightedIndex`.
+
+use crate::Rng;
+use core::borrow::Borrow as _;
+
+/// Types that can produce values of type `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "standard" distribution: uniform over a type's natural domain
+/// (`[0, 1)` for floats, the full range for integers, fair coin for `bool`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_uint {
+    ($($ty:ty => $method:ident),+ $(,)?) => {
+        $(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$method() as $ty
+                }
+            }
+        )+
+    };
+}
+
+standard_uint!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> uniform in [0, 1), matching rand 0.8's precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use super::Standard;
+    use crate::{Rng, RngCore};
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types that support uniform sampling over a sub-range.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+        /// Samples uniformly from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Range types usable with [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "gen_range: empty inclusive range");
+            T::sample_single_inclusive(low, high, rng)
+        }
+    }
+
+    /// Draws a `u64` uniform over `[0, n)` by rejection, bias-free.
+    fn uniform_u64_below<R: RngCore + ?Sized>(n: u64, rng: &mut R) -> u64 {
+        debug_assert!(n > 0);
+        // Largest multiple of n that fits in 2^64 is 2^64 - rem.
+        let rem = (u64::MAX % n + 1) % n;
+        let limit = u64::MAX - rem;
+        loop {
+            let v = rng.next_u64();
+            if v <= limit {
+                return v % n;
+            }
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                impl SampleUniform for $ty {
+                    fn sample_single<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        let span = (high as i128 - low as i128) as u64;
+                        let offset = uniform_u64_below(span, rng);
+                        (low as i128 + offset as i128) as $ty
+                    }
+
+                    fn sample_single_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        let span = (high as i128 - low as i128) as u128 + 1;
+                        if span > u64::MAX as u128 {
+                            // Only reachable for the full u64/i64 domain.
+                            return Standard.sample_int(rng);
+                        }
+                        let offset = uniform_u64_below(span as u64, rng);
+                        (low as i128 + offset as i128) as $ty
+                    }
+                }
+            )+
+        };
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Standard {
+        fn sample_int<T, R: RngCore + ?Sized>(&self, rng: &mut R) -> T
+        where
+            Standard: super::Distribution<T>,
+        {
+            use super::Distribution as _;
+            self.sample(rng)
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            let unit: f64 = rng.gen();
+            low + (high - low) * unit
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self {
+            Self::sample_single(low, high, rng)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            let unit: f32 = rng.gen();
+            low + (high - low) * unit
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self {
+            Self::sample_single(low, high, rng)
+        }
+    }
+}
+
+/// Errors from [`WeightedIndex::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The iterator of weights was empty.
+    NoItem,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NoItem => write!(f, "no weights provided"),
+            Self::InvalidWeight => write!(f, "a weight is invalid"),
+            Self::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a list of `n` weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex<X> {
+    cumulative: Vec<X>,
+}
+
+impl WeightedIndex<f64> {
+    /// Builds the distribution from non-negative finite weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError`] if the list is empty, a weight is invalid,
+    /// or every weight is zero.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: core::borrow::Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0_f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(Self { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("validated in new");
+        let target: f64 = rng.gen::<f64>() * total;
+        // First index whose cumulative weight exceeds the target; zero-weight
+        // entries (equal adjacent cumulative values) are never selected.
+        self.cumulative
+            .iter()
+            .position(|&c| target < c)
+            .unwrap_or_else(|| {
+                // Rounding can land `target` exactly on `total`; step back
+                // over any trailing zero-weight entries so the fallback also
+                // never selects an index declared impossible.
+                let mut i = self.cumulative.len() - 1;
+                while i > 0 && self.cumulative[i - 1] >= self.cumulative[i] {
+                    i -= 1;
+                }
+                i
+            })
+    }
+}

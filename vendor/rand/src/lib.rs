@@ -1,0 +1,133 @@
+//! Vendored minimal subset of the `rand` 0.8 API.
+//!
+//! The build container has no crates.io access, so this crate re-implements
+//! exactly the surface the ASMCap workspace uses — nothing more:
+//!
+//! * [`RngCore`] / [`SeedableRng`] (including the SplitMix64-based
+//!   [`SeedableRng::seed_from_u64`] default, so `seed_from_u64` is stable
+//!   across toolchains);
+//! * the [`Rng`] extension trait with `gen`, `gen_range`, `gen_bool`, and
+//!   `sample`;
+//! * [`distributions::Distribution`], [`distributions::Standard`] for the
+//!   primitive types, and [`distributions::WeightedIndex`] over `f64`
+//!   weights.
+//!
+//! All algorithms are deterministic and self-contained; the workspace's
+//! byte-for-byte reproducibility guarantee (`tests/determinism.rs`) is
+//! anchored on this crate plus the vendored `rand_chacha`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+
+/// The core of a random number generator: raw word and byte output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, e.g. `[u8; 32]`.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a `u64`, expanding it with SplitMix64.
+    ///
+    /// This matches the spirit of `rand` 0.8: a fixed, documented expansion
+    /// so the same `u64` seed always produces the same stream.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64, used only to expand `u64` seeds into full seed buffers.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must lie in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Provided for API familiarity: namespaced generator types.
+pub mod rngs {}
