@@ -1,0 +1,55 @@
+//! Pipeline throughput: reads/sec through `AsmcapPipeline::map_batch` for
+//! batch sizes 1/64/1024 across worker counts — the baseline trajectory for
+//! future batching/sharding work.
+
+use asmcap::{AsmcapPipeline, PipelineConfig};
+use asmcap_bench::genome;
+use asmcap_genome::{DnaSeq, ErrorProfile, ReadSampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const WIDTH: usize = 128;
+
+fn pipeline(reference: &DnaSeq, workers: usize) -> AsmcapPipeline {
+    AsmcapPipeline::builder()
+        .reference(reference.clone())
+        .config(PipelineConfig {
+            row_width: WIDTH,
+            stride: 8, // keep the device small enough to bench batches of 1024
+            seed: 0xBE,
+            ..PipelineConfig::paper(6, ErrorProfile::condition_a())
+        })
+        .workers(workers)
+        .build()
+        .expect("pipeline builds")
+}
+
+fn bench_pipeline_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(10);
+    let reference = genome(8_192);
+    let sampler = ReadSampler::new(WIDTH, ErrorProfile::condition_a());
+    let reads: Vec<DnaSeq> = sampler
+        .sample_many(&reference, 1024, 0x77)
+        .into_iter()
+        .map(|r| r.bases)
+        .collect();
+    for workers in [1usize, 2, 4, 8] {
+        let pipeline = pipeline(&reference, workers);
+        for batch in [1usize, 64, 1024] {
+            let slice = &reads[..batch];
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new(&format!("workers{workers}"), batch),
+                &batch,
+                |bencher, _| {
+                    bencher.iter(|| pipeline.map_batch(black_box(slice)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_throughput);
+criterion_main!(benches);

@@ -1,0 +1,404 @@
+//! Pluggable execution engines behind [`crate::AsmcapPipeline`].
+//!
+//! A [`MappingBackend`] turns one row-width read into candidate reference
+//! positions. The pipeline owns batching, sharding, statuses, and statistics;
+//! a backend only answers "where does this read match, and what did the
+//! search cost". Three implementations ship:
+//!
+//! * [`DeviceBackend`] — the hardware-faithful path through the simulated
+//!   multi-array device (instruction-level cycle and energy accounting);
+//! * [`PairBackend`] — the per-pair [`crate::AsmcapEngine`] fast path used
+//!   by the accuracy sweeps: statistically equivalent sensing without
+//!   materialising arrays (and therefore without an energy model);
+//! * [`SoftwareBackend`] — a noiseless pure-software ED\* reference, the
+//!   functional ground truth the hardware paths approximate.
+//!
+//! Backends take `&self` and a **per-read seed**: all mutable state (sensing
+//! RNG, rotation registers) is created per call, which is what lets
+//! [`crate::AsmcapPipeline::map_batch`] shard reads across threads while
+//! staying bit-identical to a sequential run.
+
+use crate::mapper::MapperConfig;
+use crate::matcher::AsmMatcher;
+use asmcap_arch::{AsmcapDevice, DeviceSearchResult, MatchMode, RowId, ShiftRegisterFile};
+use asmcap_circuit::ChargeDomainCam;
+use asmcap_genome::DnaSeq;
+use asmcap_metrics::ed_star;
+use rand::Rng as _;
+use std::collections::BTreeMap;
+
+/// What one backend invocation found and what it cost.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BackendOutcome {
+    /// Genome origins of all matching stored segments, ascending.
+    pub positions: Vec<usize>,
+    /// Cycles consumed (1 read latch + 1 per search operation).
+    pub cycles: u64,
+    /// Search operations issued.
+    pub searches: u64,
+    /// Energy in joules (0 for backends without a circuit energy model).
+    pub energy_j: f64,
+}
+
+/// One execution engine the pipeline can map reads through.
+///
+/// Implementations must be `Send + Sync`: [`crate::AsmcapPipeline::map_batch`]
+/// calls [`MappingBackend::map_seeded`] concurrently from scoped worker
+/// threads. All randomness must derive from the passed `seed` so a read's
+/// result depends only on `(read, seed)`, never on which worker ran it.
+pub trait MappingBackend: Send + Sync {
+    /// Short display name for reports (e.g. `"device"`).
+    fn name(&self) -> &'static str;
+
+    /// Row width every read must match exactly (the pipeline truncates or
+    /// rejects other lengths before calling in).
+    fn row_width(&self) -> usize;
+
+    /// Maps one row-width read with all randomness derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `read.len() != self.row_width()`.
+    fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome;
+}
+
+pub(crate) fn collect(result: &DeviceSearchResult) -> BTreeMap<RowId, usize> {
+    result.matches.iter().map(|m| (m.id, m.n_mis)).collect()
+}
+
+/// The segment start offsets a `width`-row backend stores for `reference`
+/// at `stride` — the one segmentation rule every backend shares (and the
+/// device's [`asmcap_arch::AsmcapDevice::store_reference`] follows).
+///
+/// # Panics
+///
+/// Panics if `stride` is zero or the reference is shorter than one row.
+#[must_use]
+pub fn segment_starts(reference: &DnaSeq, width: usize, stride: usize) -> Vec<usize> {
+    assert!(stride > 0, "stride must be positive");
+    assert!(reference.len() >= width, "reference shorter than one row");
+    (0..=reference.len() - width).step_by(stride).collect()
+}
+
+/// How many segments [`segment_starts`] would produce, without allocating
+/// them — for sizing devices over large references.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero or the reference is shorter than one row.
+#[must_use]
+pub fn segment_count(reference_len: usize, width: usize, stride: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(reference_len >= width, "reference shorter than one row");
+    (reference_len - width) / stride + 1
+}
+
+/// The hardware-faithful backend: searches through the simulated
+/// multi-array device, with HDAC's HD-mode search and TASR's rotated
+/// searches issued exactly as the controller would sequence them.
+///
+/// One hardware-faithful detail carried over from the device path: HDAC
+/// draws its random number **once per read** (a host-side draw steering the
+/// result MUX for all rows), rather than once per pair.
+#[derive(Debug)]
+pub struct DeviceBackend {
+    device: AsmcapDevice<ChargeDomainCam>,
+    config: MapperConfig,
+}
+
+impl DeviceBackend {
+    /// Wraps a device that already stores the segmented reference.
+    #[must_use]
+    pub fn new(device: AsmcapDevice<ChargeDomainCam>, config: MapperConfig) -> Self {
+        Self { device, config }
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn device(&self) -> &AsmcapDevice<ChargeDomainCam> {
+        &self.device
+    }
+
+    /// The per-read matching configuration.
+    #[must_use]
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+}
+
+impl MappingBackend for DeviceBackend {
+    fn name(&self) -> &'static str {
+        "device"
+    }
+
+    fn row_width(&self) -> usize {
+        self.device.row_width()
+    }
+
+    fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome {
+        assert_eq!(read.len(), self.row_width(), "read must match the row width");
+        let t = self.config.threshold;
+        // Same split as the deprecated `ReadMapper`: one stream for sensing
+        // noise, one for the host-side HDAC draw.
+        let mut sense_rng = crate::rng(seed);
+        let mut host_rng = crate::rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut searches = 0u64;
+        let mut energy = 0.0f64;
+
+        // Cycle 1 (after the latch): the ED* search.
+        let base = self
+            .device
+            .search(read.as_slice(), t, MatchMode::EdStar, &mut sense_rng);
+        searches += 1;
+        energy += base.stats.energy_j;
+        let mut matched: BTreeMap<RowId, usize> = collect(&base);
+
+        // HDAC: one HD-mode search, one host-side draw for the result MUX.
+        if let Some(hdac) = self.config.hdac {
+            if hdac.enabled(&self.config.profile, t) {
+                let hd = self
+                    .device
+                    .search(read.as_slice(), t, MatchMode::Hamming, &mut sense_rng);
+                searches += 1;
+                energy += hd.stats.energy_j;
+                if host_rng.gen::<f64>() < hdac.probability(&self.config.profile, t) {
+                    matched = collect(&hd);
+                }
+            }
+        }
+
+        // TASR: N_R rotated ED* searches, OR-ed into the result set. The
+        // rotation happens in (a per-read copy of) the shift register file.
+        if let Some(tasr) = self.config.tasr {
+            if tasr.active(&self.config.profile, read.len(), t) {
+                let mut registers = ShiftRegisterFile::load(read.as_slice());
+                for i in 1..=tasr.rotations {
+                    let (direction, amount) = tasr.schedule.step(i);
+                    registers.reload(read.as_slice());
+                    registers.set_enable(true);
+                    for _ in 0..amount {
+                        registers.rotate(direction);
+                    }
+                    registers.set_enable(false);
+                    let rotated = self.device.search(
+                        registers.contents(),
+                        t,
+                        MatchMode::EdStar,
+                        &mut sense_rng,
+                    );
+                    searches += 1;
+                    energy += rotated.stats.energy_j;
+                    for (id, n_mis) in collect(&rotated) {
+                        matched.entry(id).or_insert(n_mis);
+                    }
+                }
+            }
+        }
+
+        let mut positions: Vec<usize> = matched
+            .keys()
+            .filter_map(|&id| self.device.origin_of(id))
+            .collect();
+        positions.sort_unstable();
+        positions.dedup();
+        BackendOutcome {
+            positions,
+            cycles: 1 + searches,
+            searches,
+            energy_j: energy,
+        }
+    }
+}
+
+/// The per-pair fast path: one [`crate::AsmcapEngine`] decision per stored
+/// segment, with the same ED\* + HDAC + TASR semantics and sensing-noise
+/// model as the device but no array bookkeeping — the right backend for
+/// large statistical sweeps.
+///
+/// Cycle accounting models the rows being sensed in parallel (as the
+/// hardware would): the read costs the *maximum* per-pair cycle count, not
+/// the sum. There is no energy model on this path (`energy_j` is 0).
+#[derive(Debug, Clone)]
+pub struct PairBackend {
+    reference: DnaSeq,
+    starts: Vec<usize>,
+    width: usize,
+    config: MapperConfig,
+}
+
+impl PairBackend {
+    /// Segments `reference` into `width`-base windows every `stride` bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the reference is shorter than one row.
+    #[must_use]
+    pub fn new(reference: DnaSeq, stride: usize, width: usize, config: MapperConfig) -> Self {
+        let starts = segment_starts(&reference, width, stride);
+        Self {
+            reference,
+            starts,
+            width,
+            config,
+        }
+    }
+
+    /// Number of stored segments.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+impl MappingBackend for PairBackend {
+    fn name(&self) -> &'static str {
+        "pair"
+    }
+
+    fn row_width(&self) -> usize {
+        self.width
+    }
+
+    fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        let mut builder = crate::config::AsmcapConfig::new(self.config.profile);
+        builder
+            .hdac(self.config.hdac)
+            .tasr(self.config.tasr)
+            .seed(seed);
+        let mut engine = builder.build();
+        let t = self.config.threshold;
+        let mut positions = Vec::new();
+        let mut max_cycles = 0u64;
+        for &start in &self.starts {
+            let segment = &self.reference.as_slice()[start..start + self.width];
+            let outcome = engine.matches(segment, read.as_slice(), t);
+            max_cycles = max_cycles.max(u64::from(outcome.cycles));
+            if outcome.matched {
+                positions.push(start);
+            }
+        }
+        BackendOutcome {
+            positions,
+            cycles: 1 + max_cycles,
+            searches: max_cycles,
+            energy_j: 0.0,
+        }
+    }
+}
+
+/// The noiseless software reference: a read matches a stored segment iff
+/// `ED*(segment, read) <= T`, with ideal sensing and no correction
+/// strategies. This is the functional behaviour both hardware backends
+/// reduce to when their noise and strategies are stripped away, and the
+/// determinism anchor for the backend-equivalence tests.
+#[derive(Debug, Clone)]
+pub struct SoftwareBackend {
+    reference: DnaSeq,
+    starts: Vec<usize>,
+    width: usize,
+    threshold: usize,
+}
+
+impl SoftwareBackend {
+    /// Segments `reference` into `width`-base windows every `stride` bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the reference is shorter than one row.
+    #[must_use]
+    pub fn new(reference: DnaSeq, stride: usize, width: usize, threshold: usize) -> Self {
+        let starts = segment_starts(&reference, width, stride);
+        Self {
+            reference,
+            starts,
+            width,
+            threshold,
+        }
+    }
+}
+
+impl MappingBackend for SoftwareBackend {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn row_width(&self) -> usize {
+        self.width
+    }
+
+    fn map_seeded(&self, read: &DnaSeq, _seed: u64) -> BackendOutcome {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        let positions = self
+            .starts
+            .iter()
+            .copied()
+            .filter(|&start| {
+                ed_star(
+                    &self.reference.as_slice()[start..start + self.width],
+                    read.as_slice(),
+                ) <= self.threshold
+            })
+            .collect();
+        BackendOutcome {
+            positions,
+            cycles: 2,
+            searches: 1,
+            energy_j: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_arch::DeviceBuilder;
+    use asmcap_genome::GenomeModel;
+
+    fn device_for(genome: &DnaSeq, width: usize, stride: usize) -> AsmcapDevice<ChargeDomainCam> {
+        let rows = (genome.len() - width) / stride + 1;
+        let mut device = DeviceBuilder::new()
+            .arrays(rows.div_ceil(64))
+            .rows_per_array(64)
+            .row_width(width)
+            .build_asmcap();
+        device.store_reference(genome, stride).unwrap();
+        device
+    }
+
+    #[test]
+    fn device_backend_is_seed_deterministic() {
+        let genome = GenomeModel::uniform().generate(2_048, 11);
+        let backend = DeviceBackend::new(device_for(&genome, 64, 1), MapperConfig::plain(2));
+        let read = genome.window(500..564);
+        let a = backend.map_seeded(&read, 42);
+        let b = backend.map_seeded(&read, 42);
+        assert_eq!(a, b);
+        assert!(a.positions.contains(&500));
+        assert_eq!(a.cycles, 2); // latch + ED* search
+    }
+
+    #[test]
+    fn software_backend_is_pure_edstar() {
+        let genome = GenomeModel::uniform().generate(1_024, 12);
+        let backend = SoftwareBackend::new(genome.clone(), 1, 64, 0);
+        let read = genome.window(100..164);
+        let out = backend.map_seeded(&read, 0);
+        assert!(out.positions.contains(&100));
+        for &p in &out.positions {
+            assert!(ed_star(genome.window(p..p + 64).as_slice(), read.as_slice()) == 0);
+        }
+    }
+
+    #[test]
+    fn pair_backend_recovers_origins() {
+        let genome = GenomeModel::uniform().generate(1_024, 13);
+        let backend = PairBackend::new(genome.clone(), 1, 64, MapperConfig::plain(2));
+        assert_eq!(backend.segments(), 1_024 - 64 + 1);
+        let read = genome.window(300..364);
+        let out = backend.map_seeded(&read, 7);
+        assert!(out.positions.contains(&300));
+        assert_eq!(out.energy_j, 0.0);
+        assert!(out.cycles >= 2);
+    }
+}

@@ -8,21 +8,19 @@
 //! seeds — which is exactly the paper's argument for why EDAM-style matching
 //! "can support much larger k".
 //!
-//! [`LongReadMapper`] matches every fragment through the device and votes:
-//! each matching row implies a candidate origin for the whole read
+//! [`LongReadMapper`] matches every fragment through an
+//! [`crate::AsmcapPipeline`] (any backend) and votes: each matching row
+//! implies a candidate origin for the whole read
 //! (`row origin − fragment offset`); consistent candidates accumulate votes
 //! and the read maps where enough fragments agree.
 
-use crate::mapper::{MapperConfig, ReadMapper};
-use asmcap_arch::AsmcapDevice;
-use asmcap_circuit::ChargeDomainCam;
+use crate::pipeline::AsmcapPipeline;
 use asmcap_genome::DnaSeq;
 
-/// Configuration of the long-read fragment voter.
-#[derive(Debug, Clone)]
+/// Configuration of the long-read fragment voter. The per-fragment matching
+/// configuration lives in the pipeline the voter wraps.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FragmentConfig {
-    /// Per-fragment matching configuration (threshold, strategies).
-    pub mapper: MapperConfig,
     /// Fragment stride along the read; defaults to the row width
     /// (non-overlapping fragments). Smaller strides add redundancy.
     pub stride: usize,
@@ -35,12 +33,11 @@ pub struct FragmentConfig {
 }
 
 impl FragmentConfig {
-    /// A sensible default: paper mapper config, non-overlapping fragments,
-    /// majority voting, ±8 bases of drift tolerance.
+    /// A sensible default: non-overlapping fragments, majority voting,
+    /// ±8 bases of drift tolerance.
     #[must_use]
-    pub fn new(mapper: MapperConfig, row_width: usize) -> Self {
+    pub fn new(row_width: usize) -> Self {
         Self {
-            mapper,
             stride: row_width,
             min_vote_fraction: 0.5,
             origin_tolerance: 8,
@@ -59,62 +56,66 @@ pub struct LongReadMapping {
     pub fragments: usize,
 }
 
-/// Maps reads longer than the row width by fragment voting.
+/// Maps reads longer than the row width by fragment voting over a pipeline.
 ///
 /// # Examples
 ///
 /// ```
 /// use asmcap::fragment::{FragmentConfig, LongReadMapper};
-/// use asmcap::MapperConfig;
-/// use asmcap_arch::DeviceBuilder;
+/// use asmcap::{AsmcapPipeline, PipelineConfig};
 /// use asmcap_genome::GenomeModel;
 ///
 /// let genome = GenomeModel::uniform().generate(3_000, 1);
-/// let mut device = DeviceBuilder::new()
-///     .arrays(12).rows_per_array(256).row_width(128)
-///     .build_asmcap();
-/// device.store_reference(&genome, 1)?;
-/// let config = FragmentConfig::new(MapperConfig::plain(4), 128);
-/// let mut mapper = LongReadMapper::new(device, config, 7);
+/// let pipeline = AsmcapPipeline::builder()
+///     .reference(genome.clone())
+///     .config(PipelineConfig {
+///         row_width: 128,
+///         seed: 7,
+///         ..PipelineConfig::plain(4)
+///     })
+///     .build()?;
+/// let mapper = LongReadMapper::new(pipeline, FragmentConfig::new(128));
 /// // A 512-base "long read" = 4 fragments, error-free here.
 /// let read = genome.window(1000..1512);
 /// let mapping = mapper.map_long_read(&read).expect("maps");
 /// assert_eq!(mapping.origin, 1000);
 /// assert_eq!(mapping.fragments, 4);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), asmcap::PipelineError>(())
 /// ```
 #[derive(Debug)]
 pub struct LongReadMapper {
-    inner: ReadMapper,
+    pipeline: AsmcapPipeline,
     config: FragmentConfig,
     width: usize,
 }
 
 impl LongReadMapper {
-    /// Wraps a loaded device.
+    /// Wraps a built pipeline.
     ///
     /// # Panics
     ///
     /// Panics if the config stride is zero.
     #[must_use]
-    pub fn new(
-        device: AsmcapDevice<ChargeDomainCam>,
-        config: FragmentConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn new(pipeline: AsmcapPipeline, config: FragmentConfig) -> Self {
         assert!(config.stride > 0, "fragment stride must be positive");
-        let width = device.row_width();
+        let width = pipeline.row_width();
         Self {
-            inner: ReadMapper::new(device, config.mapper.clone(), seed),
+            pipeline,
             config,
             width,
         }
     }
 
-    /// Cumulative device statistics.
+    /// The wrapped pipeline (for statistics or direct short-read mapping).
     #[must_use]
-    pub fn stats(&self) -> asmcap_arch::RunStats {
-        self.inner.stats()
+    pub fn pipeline(&self) -> &AsmcapPipeline {
+        &self.pipeline
+    }
+
+    /// Cumulative pipeline statistics.
+    #[must_use]
+    pub fn stats(&self) -> crate::pipeline::PipelineStats {
+        self.pipeline.stats()
     }
 
     /// Splits `read` into row-width fragments at the configured stride
@@ -140,28 +141,29 @@ impl LongReadMapper {
     }
 
     /// Maps one long read: fragment, match each fragment through the
-    /// device, vote on consistent origins. Returns `None` when no origin
-    /// reaches the vote threshold.
+    /// pipeline (as one batch), vote on consistent origins. Returns `None`
+    /// when no origin reaches the vote threshold.
     ///
     /// With stride-1 storage a fragment also matches the rows one base to
     /// either side of its true origin (ED\* tolerates the shift), so each
     /// fragment's hits are first collapsed into tolerance-bounded groups and
     /// each group contributes *one* vote at its median implied origin; the
     /// called origin is the median of the winning cluster's samples.
-    pub fn map_long_read(&mut self, read: &DnaSeq) -> Option<LongReadMapping> {
-        let fragments = self.fragments(read);
-        let issued = fragments.len();
+    pub fn map_long_read(&self, read: &DnaSeq) -> Option<LongReadMapping> {
+        let (offsets, reads): (Vec<usize>, Vec<DnaSeq>) =
+            self.fragments(read).into_iter().unzip();
+        let issued = reads.len();
+        let records = self.pipeline.map_batch(&reads);
         struct Cluster {
             representative: usize,
             samples: Vec<usize>,
         }
         let mut clusters: Vec<Cluster> = Vec::new();
         let tolerance = self.config.origin_tolerance;
-        for (offset, fragment) in &fragments {
-            let mapped = self.inner.map_read(fragment);
+        for (offset, record) in offsets.iter().zip(&records) {
             // Implied whole-read origins from this fragment, ascending
-            // (map_read returns sorted positions).
-            let implied: Vec<usize> = mapped
+            // (record positions are sorted).
+            let implied: Vec<usize> = record
                 .positions
                 .iter()
                 .filter_map(|p| p.checked_sub(*offset))
@@ -209,28 +211,28 @@ impl LongReadMapper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asmcap_arch::DeviceBuilder;
+    use crate::pipeline::{AsmcapPipeline, PipelineConfig};
+    use crate::{HdacParams, TasrParams};
     use asmcap_genome::{ErrorModel, ErrorProfile, GenomeModel, ReadSampler};
 
-    fn loaded_device(genome: &DnaSeq, width: usize) -> AsmcapDevice<ChargeDomainCam> {
-        let positions = genome.len() - width + 1;
-        let mut device = DeviceBuilder::new()
-            .arrays(positions.div_ceil(256))
-            .rows_per_array(256)
-            .row_width(width)
-            .build_asmcap();
-        device.store_reference(genome, 1).unwrap();
-        device
+    fn plain_pipeline(genome: &DnaSeq, width: usize, threshold: usize, seed: u64) -> AsmcapPipeline {
+        AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                row_width: width,
+                seed,
+                ..PipelineConfig::plain(threshold)
+            })
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn fragments_cover_the_whole_read() {
         let genome = GenomeModel::uniform().generate(4_096, 1);
-        let device = loaded_device(&genome, 128);
         let mapper = LongReadMapper::new(
-            device,
-            FragmentConfig::new(MapperConfig::plain(4), 128),
-            1,
+            plain_pipeline(&genome, 128, 4, 1),
+            FragmentConfig::new(128),
         );
         let read = genome.window(0..500); // not a multiple of 128
         let fragments = mapper.fragments(&read);
@@ -246,11 +248,9 @@ mod tests {
     #[test]
     fn error_free_long_read_maps_exactly() {
         let genome = GenomeModel::uniform().generate(6_000, 2);
-        let device = loaded_device(&genome, 128);
-        let mut mapper = LongReadMapper::new(
-            device,
-            FragmentConfig::new(MapperConfig::plain(2), 128),
-            2,
+        let mapper = LongReadMapper::new(
+            plain_pipeline(&genome, 128, 2, 2),
+            FragmentConfig::new(128),
         );
         let read = genome.window(2_345..2_345 + 640);
         let mapping = mapper.map_long_read(&read).expect("should map");
@@ -271,14 +271,25 @@ mod tests {
         let mut rng = asmcap_genome::rng(4);
         let read = sampler.sample_at(&genome, 3_000, &mut rng);
 
-        let device = loaded_device(&genome, 256);
+        let pipeline = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                threshold: 24,
+                profile,
+                hdac: Some(HdacParams::paper()),
+                tasr: Some(TasrParams::paper()),
+                row_width: 256,
+                seed: 5,
+                ..PipelineConfig::default()
+            })
+            .build()
+            .unwrap();
         let config = FragmentConfig {
-            mapper: MapperConfig::paper(24, profile),
             stride: 256,
             min_vote_fraction: 0.5,
             origin_tolerance: 48,
         };
-        let mut mapper = LongReadMapper::new(device, config, 5);
+        let mapper = LongReadMapper::new(pipeline, config);
         let mapping = mapper.map_long_read(&read.bases).expect("should map");
         assert!(
             mapping.origin.abs_diff(3_000) <= 48,
@@ -290,11 +301,9 @@ mod tests {
     #[test]
     fn unrelated_long_read_does_not_map() {
         let genome = GenomeModel::uniform().generate(6_000, 6);
-        let device = loaded_device(&genome, 128);
-        let mut mapper = LongReadMapper::new(
-            device,
-            FragmentConfig::new(MapperConfig::plain(6), 128),
-            7,
+        let mapper = LongReadMapper::new(
+            plain_pipeline(&genome, 128, 6, 7),
+            FragmentConfig::new(128),
         );
         let foreign = GenomeModel::uniform().generate(512, 999);
         assert!(mapper.map_long_read(&foreign).is_none());

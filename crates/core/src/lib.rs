@@ -14,52 +14,85 @@
 //! * [`tasr`] — **Threshold-Aware Sequence Rotation** for consecutive
 //!   indels (paper Algorithm 2).
 //!
-//! The crate exposes three levels of API:
+//! # The pipeline API
 //!
-//! * [`matcher`] — the [`AsmMatcher`] trait plus reference matchers (exact
-//!   edit distance, noiseless ED\*);
-//! * [`engine`] — [`AsmcapEngine`] and [`EdamEngine`]: per-pair matchers
-//!   with full analog sensing models, used by the accuracy evaluation;
-//! * [`mapper`] — [`ReadMapper`]: the end-to-end path through the simulated
-//!   512-array device, including instruction streams, cycle accounting, and
-//!   energy.
-//!
-//! # Quickstart
+//! The public mapping surface is one type: [`AsmcapPipeline`]. A builder
+//! loads and segments the reference once, picks an execution backend, and
+//! then maps single reads, batches (sharded across threads with
+//! worker-count-independent results), or read streams — yielding
+//! [`MapRecord`]s with per-read [`MapStatus`] and aggregated
+//! [`PipelineStats`]:
 //!
 //! ```
-//! use asmcap::{AsmcapEngine, AsmMatcher};
+//! use asmcap::{AsmcapPipeline, BackendKind, PipelineConfig};
 //! use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
 //!
-//! // A synthetic reference and a read with Condition-A errors.
+//! // A synthetic reference and reads with Condition-A errors.
 //! let genome = GenomeModel::uniform().generate(10_000, 1);
 //! let sampler = ReadSampler::new(256, ErrorProfile::condition_a());
-//! let read = sampler.sample(&genome, 42);
-//! let segment = read.aligned_segment(&genome);
+//! let reads: Vec<_> = sampler
+//!     .sample_many(&genome, 4, 42)
+//!     .into_iter()
+//!     .map(|r| r.bases)
+//!     .collect();
 //!
-//! // The full ASMCap engine: charge-domain sensing + HDAC + TASR.
-//! let mut engine = AsmcapEngine::paper(ErrorProfile::condition_a(), 7);
-//! let outcome = engine.matches(segment.as_slice(), read.bases.as_slice(), 8);
-//! assert!(outcome.matched);
+//! // One pipeline: reference stored once, reads mapped in a batch.
+//! let pipeline = AsmcapPipeline::builder()
+//!     .reference(genome.clone())
+//!     .config(PipelineConfig::paper(8, ErrorProfile::condition_a()))
+//!     .backend(BackendKind::Device)
+//!     .build()?;
+//! for record in pipeline.map_batch(&reads) {
+//!     assert!(record.status.is_mapped());
+//! }
+//! let stats = pipeline.stats();
+//! assert_eq!(stats.mapped, 4);
+//! # Ok::<(), asmcap::PipelineError>(())
 //! ```
+//!
+//! Three [`backend`] implementations sit behind the [`MappingBackend`]
+//! trait: [`DeviceBackend`] (the simulated 512-array device with full cycle
+//! and energy accounting), [`PairBackend`] (the per-pair engine fast path
+//! used by the accuracy sweeps), and [`SoftwareBackend`] (a noiseless ED\*
+//! reference). Reads longer than the CAM row are handled by
+//! [`LongReadMapper`], which fragments them over a pipeline and votes.
+//!
+//! The lower layers remain public for evaluation code: [`matcher`] (the
+//! [`AsmMatcher`] trait and reference matchers), [`engine`]
+//! ([`AsmcapEngine`] / [`EdamEngine`] per-pair engines), and the deprecated
+//! device-level [`mapper::ReadMapper`] shim the pipeline replaces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod fragment;
 pub mod hdac;
 pub mod mapper;
 pub mod matcher;
+pub mod pipeline;
 pub mod tasr;
 
+pub use backend::{
+    segment_count, segment_starts, BackendOutcome, DeviceBackend, MappingBackend, PairBackend,
+    SoftwareBackend,
+};
 pub use config::{AsmcapConfig, EdamConfig};
 pub use engine::{AsmcapEngine, EdamEngine};
 pub use fragment::{FragmentConfig, LongReadMapper, LongReadMapping};
 pub use hdac::{Hdac, HdacParams};
 pub use matcher::{AsmMatcher, ExactEdMatcher, MatchOutcome, NoiselessEdStarMatcher};
-pub use mapper::{MappedRead, MapperConfig, ReadMapper};
+pub use mapper::{MappedRead, MapperConfig};
+pub use pipeline::{
+    read_seed, AsmcapPipeline, BackendKind, MapRecord, MapStatus, PipelineBuilder,
+    PipelineConfig, PipelineError, PipelineStats,
+};
 pub use tasr::{RotationSchedule, Tasr, TasrParams};
+
+#[allow(deprecated)]
+pub use mapper::ReadMapper;
 
 /// Deterministic RNG shared across the workspace (ChaCha8).
 pub type Rng = asmcap_circuit::Rng;

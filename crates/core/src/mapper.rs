@@ -1,16 +1,21 @@
-//! End-to-end read mapping through the simulated multi-array device.
+//! End-to-end read mapping through the simulated multi-array device
+//! (deprecated — superseded by [`crate::AsmcapPipeline`]).
 //!
 //! [`ReadMapper`] drives an [`asmcap_arch::AsmcapDevice`] through its
 //! controller with the exact instruction streams the strategies require:
 //! an ED\* search, an optional HD-mode search (HDAC), and optional rotated
-//! searches (TASR). This is the path the examples and the virus-screening
-//! workload use; the statistically equivalent but much faster per-pair path
-//! used by the accuracy sweeps lives in [`crate::engine`].
+//! searches (TASR). The same instruction semantics now live in
+//! [`crate::DeviceBackend`] behind the batch-first pipeline, which adds
+//! statuses, batching, and worker-count-independent determinism; this shim
+//! remains for downstream code that has not migrated yet. [`MapperConfig`]
+//! is *not* deprecated — it stays the shared per-read matching
+//! configuration used by the pipeline backends.
 //!
 //! One hardware-faithful difference from the pair engines: HDAC draws its
 //! random number **once per read** (a host-side draw steering the result
 //! MUX for all rows), rather than once per pair.
 
+use crate::backend::collect;
 use crate::hdac::HdacParams;
 use crate::tasr::TasrParams;
 use crate::Rng;
@@ -90,12 +95,19 @@ pub struct MappedRead {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use AsmcapPipeline with BackendKind::Device instead: it stores the \
+            reference once, maps batches across workers, and reports per-read \
+            statuses"
+)]
 pub struct ReadMapper {
     controller: Controller<ChargeDomainCam>,
     config: MapperConfig,
     host_rng: Rng,
 }
 
+#[allow(deprecated)]
 impl ReadMapper {
     /// Wraps a loaded device. `seed` controls both sensing noise and the
     /// host-side HDAC draws.
@@ -132,6 +144,13 @@ impl ReadMapper {
 
     /// Maps one read: ED\* search plus the configured strategies, returning
     /// every matching stored-row origin.
+    ///
+    /// NOTE: [`crate::DeviceBackend`]'s [`crate::MappingBackend::map_seeded`]
+    /// is the maintained copy of this search orchestration (it differs only
+    /// in drawing per-read RNG streams instead of this mapper's persistent
+    /// ones); apply any
+    /// sequencing fix there first and mirror it here until this shim is
+    /// removed.
     ///
     /// # Panics
     ///
@@ -199,15 +218,8 @@ impl ReadMapper {
 
 }
 
-fn collect(result: &asmcap_arch::DeviceSearchResult) -> BTreeMap<RowId, usize> {
-    result
-        .matches
-        .iter()
-        .map(|m| (m.id, m.n_mis))
-        .collect()
-}
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use asmcap_arch::DeviceBuilder;

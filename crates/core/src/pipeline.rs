@@ -1,0 +1,757 @@
+//! The batch-first mapping pipeline: one reference, one config, any number
+//! of reads.
+//!
+//! [`AsmcapPipeline`] is the public entry point for read mapping. A builder
+//! loads and segments the reference **once**, picks an execution backend
+//! (see [`crate::backend`]), and then serves
+//!
+//! * [`AsmcapPipeline::map`] — one read;
+//! * [`AsmcapPipeline::map_batch`] — a slice of reads, sharded across
+//!   `std::thread::scope` workers;
+//! * [`AsmcapPipeline::map_iter`] — a read stream, mapped chunk-by-chunk.
+//!
+//! Every read yields a [`MapRecord`] with a [`MapStatus`]
+//! (mapped / unmapped / truncated / rejected), and the pipeline aggregates
+//! [`PipelineStats`] (cycles, searches, energy, wall-clock) across all calls.
+//!
+//! # Determinism
+//!
+//! Results are **independent of the worker count**: the sensing seed of read
+//! `i` is derived from the pipeline seed and the read's index via a
+//! SplitMix64-style mix ([`read_seed`]), never from shared RNG state. Mapping
+//! a batch with 1, 2, or 8 workers — or read-by-read through
+//! [`AsmcapPipeline::map`] on a fresh pipeline — produces byte-identical
+//! records. `tests/pipeline_api.rs` pins this rule.
+//!
+//! # Example
+//!
+//! ```
+//! use asmcap::{AsmcapPipeline, PipelineConfig};
+//! use asmcap_genome::GenomeModel;
+//!
+//! let genome = GenomeModel::uniform().generate(4_096, 1);
+//! let pipeline = AsmcapPipeline::builder()
+//!     .reference(genome.clone())
+//!     .config(PipelineConfig {
+//!         threshold: 2,
+//!         row_width: 64,
+//!         ..PipelineConfig::default()
+//!     })
+//!     .build()?;
+//! let record = pipeline.map(&genome.window(777..841));
+//! assert!(record.status.is_mapped());
+//! assert!(record.positions.contains(&777));
+//! # Ok::<(), asmcap::PipelineError>(())
+//! ```
+
+use crate::backend::{BackendOutcome, DeviceBackend, MappingBackend, PairBackend, SoftwareBackend};
+use crate::hdac::HdacParams;
+use crate::mapper::MapperConfig;
+use crate::tasr::TasrParams;
+use asmcap_arch::DeviceBuilder;
+use asmcap_genome::{DnaSeq, ErrorProfile};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Everything a mapping run needs, in one place — the single config type
+/// the CLI flags, the examples, and the library all share.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Edit-distance threshold `T`.
+    pub threshold: usize,
+    /// Expected error profile (parameterises HDAC and TASR).
+    pub profile: ErrorProfile,
+    /// HDAC parameters, or `None` to disable.
+    pub hdac: Option<HdacParams>,
+    /// TASR parameters, or `None` to disable.
+    pub tasr: Option<TasrParams>,
+    /// Reference segmentation stride (1 = every alignment offset).
+    pub stride: usize,
+    /// CAM row width = read length in bases.
+    pub row_width: usize,
+    /// Rows per simulated array (device backend geometry).
+    pub rows_per_array: usize,
+    /// Pipeline seed; per-read seeds derive from it (see [`read_seed`]).
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    /// The defaults every entry point shares: `T = 8`, Condition-A profile,
+    /// both strategies at paper constants, stride 1, 256-base rows in
+    /// 256-row arrays, seed 0.
+    fn default() -> Self {
+        Self {
+            threshold: 8,
+            profile: ErrorProfile::condition_a(),
+            hdac: Some(HdacParams::paper()),
+            tasr: Some(TasrParams::paper()),
+            stride: 1,
+            row_width: 256,
+            rows_per_array: 256,
+            seed: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper's full strategy configuration at a threshold and profile.
+    #[must_use]
+    pub fn paper(threshold: usize, profile: ErrorProfile) -> Self {
+        Self {
+            threshold,
+            profile,
+            ..Self::default()
+        }
+    }
+
+    /// Plain ED\* matching (no strategies) at a threshold.
+    #[must_use]
+    pub fn plain(threshold: usize) -> Self {
+        Self {
+            threshold,
+            profile: ErrorProfile::error_free(),
+            hdac: None,
+            tasr: None,
+            ..Self::default()
+        }
+    }
+
+    /// The per-read matching slice of this config.
+    #[must_use]
+    pub fn mapper(&self) -> MapperConfig {
+        MapperConfig {
+            threshold: self.threshold,
+            profile: self.profile,
+            hdac: self.hdac,
+            tasr: self.tasr,
+        }
+    }
+}
+
+/// Which execution engine the pipeline maps through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The simulated multi-array device (cycle + energy faithful).
+    #[default]
+    Device,
+    /// The per-pair engine fast path (statistically equivalent sensing).
+    Pair,
+    /// The noiseless software ED\* reference.
+    Software,
+}
+
+impl BackendKind {
+    /// Parses a CLI-style backend name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string for anything but
+    /// `device`/`pair`/`software`.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "device" => Ok(Self::Device),
+            "pair" => Ok(Self::Pair),
+            "software" => Ok(Self::Software),
+            other => Err(format!(
+                "unknown backend '{other}' (use device, pair, or software)"
+            )),
+        }
+    }
+}
+
+/// Why a pipeline could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// No reference was supplied to the builder.
+    MissingReference,
+    /// The reference is shorter than one CAM row.
+    ReferenceTooShort {
+        /// Reference length in bases.
+        reference: usize,
+        /// Configured row width.
+        row_width: usize,
+    },
+    /// The segmentation stride is zero.
+    ZeroStride,
+    /// The segmented reference does not fit the device.
+    Capacity(asmcap_arch::CapacityError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::MissingReference => {
+                write!(f, "pipeline builder needs a reference sequence")
+            }
+            PipelineError::ReferenceTooShort {
+                reference,
+                row_width,
+            } => write!(
+                f,
+                "reference of {reference} bases is shorter than one {row_width}-base row"
+            ),
+            PipelineError::ZeroStride => write!(f, "segmentation stride must be positive"),
+            PipelineError::Capacity(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Per-read outcome classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapStatus {
+    /// At least one candidate position was found.
+    Mapped,
+    /// The read was searched but matched nothing.
+    Unmapped,
+    /// The read was longer than the row width and its prefix was mapped
+    /// (candidates, if any, are in [`MapRecord::positions`]).
+    Truncated,
+    /// The read was shorter than the row width and could not be searched.
+    Rejected,
+}
+
+impl MapStatus {
+    /// Whether the status is exactly [`MapStatus::Mapped`] — a full-width
+    /// read with candidates. A `Truncated` read can also carry candidates;
+    /// use [`MapRecord::has_candidates`] when that is the question.
+    #[must_use]
+    pub fn is_mapped(self) -> bool {
+        matches!(self, MapStatus::Mapped)
+    }
+}
+
+impl fmt::Display for MapStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            MapStatus::Mapped => "mapped",
+            MapStatus::Unmapped => "unmapped",
+            MapStatus::Truncated => "truncated",
+            MapStatus::Rejected => "rejected",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// The structured result of mapping one read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRecord {
+    /// Zero-based read index within this pipeline's lifetime (batch order).
+    pub index: u64,
+    /// Outcome classification.
+    pub status: MapStatus,
+    /// Candidate reference positions, ascending. Empty unless candidates
+    /// were found (a `Truncated` read can still carry candidates for its
+    /// mapped prefix).
+    pub positions: Vec<usize>,
+    /// Cycles this read consumed.
+    pub cycles: u64,
+    /// Search operations this read issued.
+    pub searches: u64,
+    /// Energy this read consumed, in joules.
+    pub energy_j: f64,
+}
+
+impl MapRecord {
+    /// Whether any candidate positions were produced — true for `Mapped`
+    /// reads and for `Truncated` reads whose searched prefix matched.
+    #[must_use]
+    pub fn has_candidates(&self) -> bool {
+        !self.positions.is_empty()
+    }
+}
+
+/// Aggregated statistics across everything a pipeline has mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineStats {
+    /// Reads processed in total.
+    pub reads: u64,
+    /// Reads with at least one candidate (status `Mapped`).
+    pub mapped: u64,
+    /// Reads searched but unmatched.
+    pub unmapped: u64,
+    /// Reads truncated to the row width before searching.
+    pub truncated: u64,
+    /// Reads rejected as shorter than the row width.
+    pub rejected: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total search operations.
+    pub searches: u64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Host wall-clock spent inside `map`/`map_batch`, in seconds.
+    pub wall_s: f64,
+}
+
+impl PipelineStats {
+    fn absorb(&mut self, record: &MapRecord) {
+        self.reads += 1;
+        match record.status {
+            MapStatus::Mapped => self.mapped += 1,
+            MapStatus::Unmapped => self.unmapped += 1,
+            MapStatus::Truncated => self.truncated += 1,
+            MapStatus::Rejected => self.rejected += 1,
+        }
+        self.cycles += record.cycles;
+        self.searches += record.searches;
+        self.energy_j += record.energy_j;
+    }
+}
+
+/// The sensing seed for read `index` under pipeline seed `seed`.
+///
+/// A SplitMix64-style mix — this is the pipeline's documented determinism
+/// rule: read `i` always draws the same noise, whether it is mapped alone,
+/// in a batch of a thousand, or on any worker thread.
+#[must_use]
+pub fn read_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builder for [`AsmcapPipeline`]. Obtain via [`AsmcapPipeline::builder`].
+pub struct PipelineBuilder {
+    reference: Option<DnaSeq>,
+    config: PipelineConfig,
+    kind: BackendKind,
+    custom: Option<Box<dyn MappingBackend>>,
+    workers: Option<usize>,
+}
+
+impl fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("reference_len", &self.reference.as_ref().map(DnaSeq::len))
+            .field("config", &self.config)
+            .field("kind", &self.kind)
+            .field("custom", &self.custom.as_ref().map(|b| b.name()))
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl PipelineBuilder {
+    fn new() -> Self {
+        Self {
+            reference: None,
+            config: PipelineConfig::default(),
+            kind: BackendKind::default(),
+            custom: None,
+            workers: None,
+        }
+    }
+
+    /// The reference sequence to segment and store.
+    #[must_use]
+    pub fn reference(mut self, reference: DnaSeq) -> Self {
+        self.reference = Some(reference);
+        self
+    }
+
+    /// The full pipeline configuration.
+    #[must_use]
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Which built-in backend to execute on (default: [`BackendKind::Device`]).
+    #[must_use]
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// A user-supplied backend, overriding [`PipelineBuilder::backend`].
+    /// The backend's row width replaces the configured one.
+    #[must_use]
+    pub fn custom_backend(mut self, backend: impl MappingBackend + 'static) -> Self {
+        self.custom = Some(Box::new(backend));
+        self
+    }
+
+    /// Worker threads for [`AsmcapPipeline::map_batch`] (default: available
+    /// parallelism, capped at 8). Worker count never changes results.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Loads/segments the reference and assembles the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::MissingReference`] without a reference (unless a
+    /// custom backend was supplied), [`PipelineError::ReferenceTooShort`] /
+    /// [`PipelineError::ZeroStride`] for degenerate geometry, and
+    /// [`PipelineError::Capacity`] if the device cannot hold the segments.
+    pub fn build(self) -> Result<AsmcapPipeline, PipelineError> {
+        let config = self.config;
+        let backend: Box<dyn MappingBackend> = if let Some(custom) = self.custom {
+            custom
+        } else {
+            let reference = self.reference.ok_or(PipelineError::MissingReference)?;
+            if config.stride == 0 {
+                return Err(PipelineError::ZeroStride);
+            }
+            if reference.len() < config.row_width {
+                return Err(PipelineError::ReferenceTooShort {
+                    reference: reference.len(),
+                    row_width: config.row_width,
+                });
+            }
+            match self.kind {
+                BackendKind::Device => {
+                    let rows = crate::backend::segment_count(
+                        reference.len(),
+                        config.row_width,
+                        config.stride,
+                    );
+                    let mut device = DeviceBuilder::new()
+                        .arrays(rows.div_ceil(config.rows_per_array))
+                        .rows_per_array(config.rows_per_array)
+                        .row_width(config.row_width)
+                        .build_asmcap();
+                    device
+                        .store_reference(&reference, config.stride)
+                        .map_err(PipelineError::Capacity)?;
+                    Box::new(DeviceBackend::new(device, config.mapper()))
+                }
+                BackendKind::Pair => Box::new(PairBackend::new(
+                    reference,
+                    config.stride,
+                    config.row_width,
+                    config.mapper(),
+                )),
+                BackendKind::Software => Box::new(SoftwareBackend::new(
+                    reference,
+                    config.stride,
+                    config.row_width,
+                    config.threshold,
+                )),
+            }
+        };
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(8)
+        });
+        Ok(AsmcapPipeline {
+            width: backend.row_width(),
+            backend,
+            workers,
+            seed: config.seed,
+            counter: AtomicU64::new(0),
+            stats: Mutex::new(PipelineStats::default()),
+        })
+    }
+}
+
+/// The batch-first mapping pipeline. See the [module docs](self) for the
+/// API shape and determinism rule, and [`AsmcapPipeline::builder`] to
+/// construct one.
+pub struct AsmcapPipeline {
+    backend: Box<dyn MappingBackend>,
+    width: usize,
+    workers: usize,
+    seed: u64,
+    counter: AtomicU64,
+    stats: Mutex<PipelineStats>,
+}
+
+impl fmt::Debug for AsmcapPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsmcapPipeline")
+            .field("backend", &self.backend.name())
+            .field("row_width", &self.width)
+            .field("workers", &self.workers)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl AsmcapPipeline {
+    /// Starts building a pipeline.
+    #[must_use]
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::new()
+    }
+
+    /// Row width (= read length) in bases.
+    #[must_use]
+    pub fn row_width(&self) -> usize {
+        self.width
+    }
+
+    /// The active backend's display name.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Worker threads used by [`AsmcapPipeline::map_batch`].
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Aggregated statistics across everything mapped so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the stats lock.
+    #[must_use]
+    pub fn stats(&self) -> PipelineStats {
+        *self.stats.lock().expect("stats lock poisoned")
+    }
+
+    /// Resets the aggregated statistics (the read-index counter keeps
+    /// running so determinism is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the stats lock.
+    pub fn reset_stats(&self) {
+        *self.stats.lock().expect("stats lock poisoned") = PipelineStats::default();
+    }
+
+    fn map_indexed(&self, read: &DnaSeq, index: u64) -> MapRecord {
+        if read.len() < self.width {
+            return MapRecord {
+                index,
+                status: MapStatus::Rejected,
+                positions: Vec::new(),
+                cycles: 0,
+                searches: 0,
+                energy_j: 0.0,
+            };
+        }
+        let truncated = read.len() > self.width;
+        let outcome: BackendOutcome = if truncated {
+            self.backend
+                .map_seeded(&read.window(0..self.width), read_seed(self.seed, index))
+        } else {
+            self.backend.map_seeded(read, read_seed(self.seed, index))
+        };
+        let status = if truncated {
+            MapStatus::Truncated
+        } else if outcome.positions.is_empty() {
+            MapStatus::Unmapped
+        } else {
+            MapStatus::Mapped
+        };
+        MapRecord {
+            index,
+            status,
+            positions: outcome.positions,
+            cycles: outcome.cycles,
+            searches: outcome.searches,
+            energy_j: outcome.energy_j,
+        }
+    }
+
+    /// Maps one read.
+    ///
+    /// Reads longer than the row width are truncated to it (status
+    /// [`MapStatus::Truncated`]); shorter reads are not searched at all
+    /// (status [`MapStatus::Rejected`]).
+    pub fn map(&self, read: &DnaSeq) -> MapRecord {
+        let start = Instant::now();
+        let index = self.counter.fetch_add(1, Ordering::Relaxed);
+        let record = self.map_indexed(read, index);
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        stats.absorb(&record);
+        stats.wall_s += start.elapsed().as_secs_f64();
+        record
+    }
+
+    /// Maps a batch of reads, sharded across up to
+    /// [`AsmcapPipeline::workers`] scoped threads.
+    ///
+    /// Records come back in input order and are byte-identical for every
+    /// worker count (see the [module docs](self) determinism rule).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from worker threads (a panicking backend).
+    pub fn map_batch(&self, reads: &[DnaSeq]) -> Vec<MapRecord> {
+        let start = Instant::now();
+        let base = self.counter.fetch_add(reads.len() as u64, Ordering::Relaxed);
+        let workers = self.workers.min(reads.len()).max(1);
+        let chunk = reads.len().div_ceil(workers);
+        let mut records: Vec<MapRecord> = Vec::with_capacity(reads.len());
+        if workers <= 1 || reads.len() <= 1 {
+            records.extend(
+                reads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, read)| self.map_indexed(read, base + i as u64)),
+            );
+        } else {
+            let chunks: Vec<Vec<MapRecord>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = reads
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(c, shard)| {
+                        let offset = base + (c * chunk) as u64;
+                        scope.spawn(move || {
+                            shard
+                                .iter()
+                                .enumerate()
+                                .map(|(i, read)| self.map_indexed(read, offset + i as u64))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipeline worker panicked"))
+                    .collect()
+            });
+            records.extend(chunks.into_iter().flatten());
+        }
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        for record in &records {
+            stats.absorb(record);
+        }
+        stats.wall_s += start.elapsed().as_secs_f64();
+        records
+    }
+
+    /// Maps a read stream lazily: reads are pulled in worker-scaled chunks,
+    /// each chunk goes through [`AsmcapPipeline::map_batch`], and records
+    /// are yielded in input order.
+    pub fn map_iter<I>(&self, reads: I) -> MapIter<'_, I::IntoIter>
+    where
+        I: IntoIterator<Item = DnaSeq>,
+    {
+        MapIter {
+            pipeline: self,
+            reads: reads.into_iter(),
+            chunk: (self.workers * 32).max(1),
+            buffered: VecDeque::new(),
+        }
+    }
+}
+
+/// Streaming adapter returned by [`AsmcapPipeline::map_iter`].
+#[derive(Debug)]
+pub struct MapIter<'p, I> {
+    pipeline: &'p AsmcapPipeline,
+    reads: I,
+    chunk: usize,
+    buffered: VecDeque<MapRecord>,
+}
+
+impl<I: Iterator<Item = DnaSeq>> Iterator for MapIter<'_, I> {
+    type Item = MapRecord;
+
+    fn next(&mut self) -> Option<MapRecord> {
+        if self.buffered.is_empty() {
+            let batch: Vec<DnaSeq> = self.reads.by_ref().take(self.chunk).collect();
+            if batch.is_empty() {
+                return None;
+            }
+            self.buffered = self.pipeline.map_batch(&batch).into();
+        }
+        self.buffered.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asmcap_genome::GenomeModel;
+
+    fn pipeline(workers: usize) -> (AsmcapPipeline, DnaSeq) {
+        let genome = GenomeModel::uniform().generate(2_048, 3);
+        let pipeline = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                threshold: 2,
+                row_width: 64,
+                ..PipelineConfig::default()
+            })
+            .workers(workers)
+            .build()
+            .unwrap();
+        (pipeline, genome)
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        assert!(matches!(
+            AsmcapPipeline::builder().build(),
+            Err(PipelineError::MissingReference)
+        ));
+        let genome = GenomeModel::uniform().generate(100, 1);
+        let err = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::ReferenceTooShort { .. }));
+        let err = AsmcapPipeline::builder()
+            .reference(genome)
+            .config(PipelineConfig {
+                row_width: 64,
+                stride: 0,
+                ..PipelineConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PipelineError::ZeroStride);
+    }
+
+    #[test]
+    fn statuses_cover_all_read_lengths() {
+        let (pipeline, genome) = pipeline(2);
+        let exact = pipeline.map(&genome.window(100..164));
+        assert_eq!(exact.status, MapStatus::Mapped);
+        let long = pipeline.map(&genome.window(200..300));
+        assert_eq!(long.status, MapStatus::Truncated);
+        assert!(long.positions.contains(&200), "truncated prefix still maps");
+        let short = pipeline.map(&genome.window(0..10));
+        assert_eq!(short.status, MapStatus::Rejected);
+        assert_eq!(short.cycles, 0);
+        let foreign = GenomeModel::uniform().generate(64, 999);
+        let unmapped = pipeline.map(&foreign);
+        assert_eq!(unmapped.status, MapStatus::Unmapped);
+
+        let stats = pipeline.stats();
+        assert_eq!(stats.reads, 4);
+        assert_eq!(stats.mapped, 1);
+        assert_eq!(stats.truncated, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.unmapped, 1);
+        assert!(stats.wall_s > 0.0);
+    }
+
+    #[test]
+    fn map_iter_matches_map_batch() {
+        let (a, genome) = pipeline(2);
+        let (b, _) = pipeline(2);
+        let reads: Vec<DnaSeq> = (0..10).map(|i| genome.window(i * 64..(i + 1) * 64)).collect();
+        let batched = a.map_batch(&reads);
+        let streamed: Vec<MapRecord> = b.map_iter(reads).collect();
+        assert_eq!(batched, streamed);
+    }
+
+    #[test]
+    fn read_seed_mix_separates_indices() {
+        let a = read_seed(0, 0);
+        let b = read_seed(0, 1);
+        let c = read_seed(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(read_seed(7, 42), read_seed(7, 42));
+    }
+}

@@ -1,5 +1,5 @@
-//! `asmcap-map` — map FASTQ reads against a FASTA reference on the
-//! simulated ASMCap device, emitting TSV.
+//! `asmcap-map` — map FASTQ reads against a FASTA reference through the
+//! batch-first [`asmcap::AsmcapPipeline`], emitting TSV.
 //!
 //! ```text
 //! asmcap-map --reference ref.fasta --reads reads.fastq [options]
@@ -13,11 +13,17 @@
 //!   --stride S        reference segmentation stride (default 1)
 //!   --row-width W     CAM row width = read length (default 256)
 //!   --seed N          sensing seed (default 0)
+//!   --backend B       execution backend: device|pair|software (default device)
+//!   --workers N       worker threads for the batch (default: auto)
 //! ```
 //!
-//! Output columns: `read_id  n_candidates  positions(;)  cycles`.
+//! Output columns: `read_id  n_candidates  positions(;)  cycles  status`.
+//! Reads longer than the row width are truncated and flagged `truncated`;
+//! shorter reads are flagged `rejected`; a run summary (including truncation
+//! counts) goes to stderr.
 
-use asmcap_eval::cli::{map_reads, MapOptions};
+use asmcap::{BackendKind, PipelineConfig};
+use asmcap_eval::cli::{map_records, TSV_HEADER};
 use asmcap_genome::{fasta, fastq, DnaSeq, ErrorProfile};
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -38,31 +44,43 @@ fn run() -> Result<(), String> {
         print!("{}", HELP);
         return Ok(());
     }
-    let mut options = MapOptions::default();
+    let mut config = PipelineConfig::default();
     if let Some(t) = flag_value(&args, "--threshold") {
-        options.threshold = t.parse().map_err(|_| format!("bad threshold '{t}'"))?;
+        config.threshold = t.parse().map_err(|_| format!("bad threshold '{t}'"))?;
     }
     if let Some(p) = flag_value(&args, "--profile") {
-        options.profile = match p.as_str() {
+        config.profile = match p.as_str() {
             "a" | "A" => ErrorProfile::condition_a(),
             "b" | "B" => ErrorProfile::condition_b(),
             other => return Err(format!("unknown profile '{other}' (use a or b)")),
         };
     }
-    options.hdac = !args.iter().any(|a| a == "--no-hdac");
-    options.tasr = !args.iter().any(|a| a == "--no-tasr");
+    if args.iter().any(|a| a == "--no-hdac") {
+        config.hdac = None;
+    }
+    if args.iter().any(|a| a == "--no-tasr") {
+        config.tasr = None;
+    }
     if let Some(s) = flag_value(&args, "--stride") {
-        options.stride = s.parse().map_err(|_| format!("bad stride '{s}'"))?;
+        config.stride = s.parse().map_err(|_| format!("bad stride '{s}'"))?;
     }
     if let Some(w) = flag_value(&args, "--row-width") {
-        options.row_width = w.parse().map_err(|_| format!("bad row width '{w}'"))?;
+        config.row_width = w.parse().map_err(|_| format!("bad row width '{w}'"))?;
     }
     if let Some(n) = flag_value(&args, "--seed") {
-        options.seed = n.parse().map_err(|_| format!("bad seed '{n}'"))?;
+        config.seed = n.parse().map_err(|_| format!("bad seed '{n}'"))?;
     }
+    let backend = match flag_value(&args, "--backend") {
+        Some(name) => BackendKind::parse(&name)?,
+        None => BackendKind::Device,
+    };
+    let workers = match flag_value(&args, "--workers") {
+        Some(n) => Some(n.parse().map_err(|_| format!("bad worker count '{n}'"))?),
+        None => None,
+    };
 
     let (reference, reads) = if args.iter().any(|a| a == "--demo") {
-        demo_data(options.row_width)
+        demo_data(config.row_width)
     } else {
         let ref_path = flag_value(&args, "--reference")
             .ok_or("missing --reference (or use --demo)")?;
@@ -82,11 +100,13 @@ fn run() -> Result<(), String> {
         (reference, reads)
     };
 
-    let rows = map_reads(&reference, &reads, &options).map_err(|e| e.to_string())?;
-    println!("#read_id\tn_candidates\tpositions\tcycles");
-    for row in rows {
+    let run = map_records(&reference, &reads, &config, backend, workers)
+        .map_err(|e| e.to_string())?;
+    println!("{TSV_HEADER}");
+    for row in &run.rows {
         println!("{row}");
     }
+    eprintln!("{}", run.summary());
     Ok(())
 }
 
@@ -116,7 +136,7 @@ fn demo_data(row_width: usize) -> (DnaSeq, Vec<fastq::FastqRecord>) {
 
 const HELP: &str = "\
 asmcap-map: map FASTQ reads against a FASTA reference on the simulated
-ASMCap accelerator.
+ASMCap accelerator (batch-first AsmcapPipeline).
 
 usage:
   asmcap-map --reference ref.fasta --reads reads.fastq [options]
@@ -130,7 +150,12 @@ options:
   --stride S        reference segmentation stride (default 1)
   --row-width W     CAM row width = read length (default 256)
   --seed N          sensing seed (default 0)
+  --backend B       execution backend: device|pair|software (default device)
+  --workers N       worker threads for the batch (default: auto; results
+                    are identical for every worker count)
   --demo            generate a reference and reads instead of reading files
 
-output (TSV): read_id  n_candidates  positions(;-separated, * if unmapped)  cycles
+output (TSV): read_id  n_candidates  positions(;-separated, * if none)
+              cycles  status(mapped|unmapped|truncated|rejected)
+a run summary, including truncated/rejected counts, is printed to stderr
 ";

@@ -1,44 +1,78 @@
 //! The `asmcap-map` command-line mapper: FASTA reference + FASTQ reads in,
 //! TSV mappings out — the adoption path for running the simulated
 //! accelerator on real data.
+//!
+//! [`map_records`] is the library entry point the binary uses: it builds an
+//! [`AsmcapPipeline`] from one [`PipelineConfig`], maps the whole FASTQ
+//! batch across workers, and returns per-read [`MappingRow`]s (including
+//! truncated/rejected statuses — nothing is dropped silently) plus the
+//! aggregated [`PipelineStats`] for the run summary.
 
-use asmcap::{MapperConfig, ReadMapper};
-use asmcap_arch::DeviceBuilder;
+use asmcap::{
+    AsmcapPipeline, BackendKind, MapStatus, PipelineConfig, PipelineError, PipelineStats,
+};
 use asmcap_genome::fastq::FastqRecord;
-use asmcap_genome::{DnaSeq, ErrorProfile};
+use asmcap_genome::DnaSeq;
 use std::fmt;
 
 /// Mapping options (mirrors the CLI flags).
+///
+/// Deprecated: the CLI now parses straight into [`PipelineConfig`], which is
+/// the single config type; this shim only remains for downstream callers of
+/// [`map_reads`] and converts via [`MapOptions::pipeline_config`].
 #[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.2.0",
+    note = "build a PipelineConfig and use map_records (or AsmcapPipeline directly)"
+)]
 pub struct MapOptions {
     /// Edit-distance threshold `T`.
     pub threshold: usize,
     /// Expected error profile (drives HDAC/TASR parameters).
-    pub profile: ErrorProfile,
+    pub profile: asmcap_genome::ErrorProfile,
     /// Enable HDAC.
     pub hdac: bool,
     /// Enable TASR.
     pub tasr: bool,
     /// Reference segmentation stride (1 = every offset).
     pub stride: usize,
-    /// Row width; reads shorter than this are rejected, longer reads are
-    /// truncated to it (fragmented mapping is available via the library's
-    /// `asmcap::fragment`).
+    /// Row width; shorter reads are rejected, longer reads truncated.
     pub row_width: usize,
     /// Sensing seed.
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for MapOptions {
+    /// Mirrors [`PipelineConfig::default`] — the defaults live in one place.
     fn default() -> Self {
+        let config = PipelineConfig::default();
         Self {
-            threshold: 8,
-            profile: ErrorProfile::condition_a(),
-            hdac: true,
-            tasr: true,
-            stride: 1,
-            row_width: 256,
-            seed: 0,
+            threshold: config.threshold,
+            profile: config.profile,
+            hdac: config.hdac.is_some(),
+            tasr: config.tasr.is_some(),
+            stride: config.stride,
+            row_width: config.row_width,
+            seed: config.seed,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl MapOptions {
+    /// Converts into the pipeline's config type.
+    #[must_use]
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            threshold: self.threshold,
+            profile: self.profile,
+            hdac: self.hdac.then(asmcap::HdacParams::paper),
+            tasr: self.tasr.then(asmcap::TasrParams::paper),
+            stride: self.stride,
+            row_width: self.row_width,
+            seed: self.seed,
+            ..PipelineConfig::default()
         }
     }
 }
@@ -48,14 +82,17 @@ impl Default for MapOptions {
 pub struct MappingRow {
     /// Read identifier from the FASTQ header.
     pub read_id: String,
-    /// Candidate reference positions (ascending). Empty = unmapped.
+    /// Per-read outcome (mapped / unmapped / truncated / rejected).
+    pub status: MapStatus,
+    /// Candidate reference positions (ascending). Empty = no candidates.
     pub positions: Vec<usize>,
     /// Search cycles spent on this read.
     pub cycles: u64,
 }
 
 impl fmt::Display for MappingRow {
-    /// TSV: `read_id <tab> n_candidates <tab> positions(;) <tab> cycles`.
+    /// TSV: `read_id <tab> n_candidates <tab> positions(;) <tab> cycles
+    /// <tab> status`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let positions = if self.positions.is_empty() {
             "*".to_owned()
@@ -68,16 +105,100 @@ impl fmt::Display for MappingRow {
         };
         write!(
             f,
-            "{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}",
             self.read_id,
             self.positions.len(),
             positions,
-            self.cycles
+            self.cycles,
+            self.status
         )
     }
 }
 
-/// Error produced by [`map_reads`].
+/// The TSV header matching [`MappingRow`]'s `Display`.
+pub const TSV_HEADER: &str = "#read_id\tn_candidates\tpositions\tcycles\tstatus";
+
+/// A whole mapping run: per-read rows plus the aggregated statistics.
+#[derive(Debug, Clone)]
+pub struct MapRun {
+    /// One row per input read, in input order.
+    pub rows: Vec<MappingRow>,
+    /// Aggregated pipeline statistics for the run.
+    pub stats: PipelineStats,
+}
+
+impl MapRun {
+    /// A human-readable multi-line summary (for the CLI's stderr report).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let s = &self.stats;
+        let throughput = if s.wall_s > 0.0 {
+            s.reads as f64 / s.wall_s
+        } else {
+            0.0
+        };
+        format!(
+            "reads: {} (mapped {}, unmapped {}, truncated {}, rejected {})\n\
+             device: {} cycles, {} searches, {:.2} uJ\n\
+             host: {:.3} s wall, {:.0} reads/s",
+            s.reads,
+            s.mapped,
+            s.unmapped,
+            s.truncated,
+            s.rejected,
+            s.cycles,
+            s.searches,
+            s.energy_j * 1e6,
+            s.wall_s,
+            throughput
+        )
+    }
+}
+
+/// Maps FASTQ reads against a reference through an [`AsmcapPipeline`].
+///
+/// Reads longer than the row width are truncated to it and surfaced with
+/// [`MapStatus::Truncated`]; shorter reads come back [`MapStatus::Rejected`]
+/// instead of aborting the run.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the pipeline cannot be built (e.g. a
+/// reference shorter than one row).
+pub fn map_records(
+    reference: &DnaSeq,
+    reads: &[FastqRecord],
+    config: &PipelineConfig,
+    backend: BackendKind,
+    workers: Option<usize>,
+) -> Result<MapRun, PipelineError> {
+    let mut builder = AsmcapPipeline::builder()
+        .reference(reference.clone())
+        .config(config.clone())
+        .backend(backend);
+    if let Some(workers) = workers {
+        builder = builder.workers(workers);
+    }
+    let pipeline = builder.build()?;
+    let seqs: Vec<DnaSeq> = reads.iter().map(|r| r.seq.clone()).collect();
+    let rows = pipeline
+        .map_batch(&seqs)
+        .into_iter()
+        .zip(reads)
+        .map(|(record, read)| MappingRow {
+            read_id: read.id.clone(),
+            status: record.status,
+            positions: record.positions,
+            cycles: record.cycles,
+        })
+        .collect();
+    Ok(MapRun {
+        rows,
+        stats: pipeline.stats(),
+    })
+}
+
+/// Error produced by the deprecated [`map_reads`].
 #[derive(Debug)]
 pub enum MapError {
     /// The reference is shorter than one row.
@@ -96,6 +217,8 @@ pub enum MapError {
         /// Configured row width.
         row_width: usize,
     },
+    /// Any other pipeline construction failure.
+    Pipeline(PipelineError),
 }
 
 impl fmt::Display for MapError {
@@ -109,76 +232,68 @@ impl fmt::Display for MapError {
                 f,
                 "read '{read_id}' has {len} bases, below the {row_width}-base row width"
             ),
+            MapError::Pipeline(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for MapError {}
 
-/// Maps FASTQ reads against a reference through the simulated device.
+/// Maps FASTQ reads against a reference (deprecated compatibility shim).
 ///
-/// Reads longer than the row width are truncated to it (with a note in the
-/// row id); shorter reads are an error.
+/// Unlike [`map_records`], this preserves the historical contract of
+/// aborting on the first too-short read.
 ///
 /// # Errors
 ///
 /// Returns [`MapError`] for a too-short reference or read.
+#[allow(deprecated)]
+#[deprecated(since = "0.2.0", note = "use map_records with a PipelineConfig")]
 pub fn map_reads(
     reference: &DnaSeq,
     reads: &[FastqRecord],
     options: &MapOptions,
 ) -> Result<Vec<MappingRow>, MapError> {
-    let width = options.row_width;
-    if reference.len() < width {
+    // Preserve the historical contract and its error precedence: the
+    // reference is validated first, then short reads are rejected by a
+    // cheap length scan before any device mapping happens.
+    if reference.len() < options.row_width {
         return Err(MapError::ReferenceTooShort {
             reference: reference.len(),
-            row_width: width,
+            row_width: options.row_width,
         });
     }
-    let rows = (reference.len() - width) / options.stride + 1;
-    let mut device = DeviceBuilder::new()
-        .arrays(rows.div_ceil(256))
-        .rows_per_array(256)
-        .row_width(width)
-        .build_asmcap();
-    device
-        .store_reference(reference, options.stride)
-        .expect("device sized for the reference");
-    let config = MapperConfig {
-        threshold: options.threshold,
-        profile: options.profile,
-        hdac: options.hdac.then(asmcap::HdacParams::paper),
-        tasr: options.tasr.then(asmcap::TasrParams::paper),
-    };
-    let mut mapper = ReadMapper::new(device, config, options.seed);
-    let mut out = Vec::with_capacity(reads.len());
-    for record in reads {
-        if record.seq.len() < width {
-            return Err(MapError::ReadTooShort {
-                read_id: record.id.clone(),
-                len: record.seq.len(),
-                row_width: width,
-            });
-        }
-        let read = if record.seq.len() > width {
-            record.seq.window(0..width)
-        } else {
-            record.seq.clone()
-        };
-        let mapped = mapper.map_read(&read);
-        out.push(MappingRow {
-            read_id: record.id.clone(),
-            positions: mapped.positions,
-            cycles: mapped.cycles,
+    if let Some(short) = reads.iter().find(|r| r.seq.len() < options.row_width) {
+        return Err(MapError::ReadTooShort {
+            read_id: short.id.clone(),
+            len: short.seq.len(),
+            row_width: options.row_width,
         });
     }
-    Ok(out)
+    let run = map_records(
+        reference,
+        reads,
+        &options.pipeline_config(),
+        BackendKind::Device,
+        None,
+    )
+    .map_err(|e| match e {
+        PipelineError::ReferenceTooShort {
+            reference,
+            row_width,
+        } => MapError::ReferenceTooShort {
+            reference,
+            row_width,
+        },
+        other => MapError::Pipeline(other),
+    })?;
+    Ok(run.rows)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asmcap_genome::{GenomeModel, ReadSampler};
+    use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
 
     fn fastq_reads(genome: &DnaSeq, count: usize, len: usize) -> Vec<FastqRecord> {
         let sampler = ReadSampler::new(len, ErrorProfile::condition_a());
@@ -194,17 +309,23 @@ mod tests {
             .collect()
     }
 
+    fn config(row_width: usize, threshold: usize) -> PipelineConfig {
+        PipelineConfig {
+            row_width,
+            threshold,
+            ..PipelineConfig::default()
+        }
+    }
+
     #[test]
     fn maps_synthetic_fastq_against_reference() {
         let genome = GenomeModel::uniform().generate(8_000, 1);
         let reads = fastq_reads(&genome, 6, 128);
-        let options = MapOptions {
-            row_width: 128,
-            ..MapOptions::default()
-        };
-        let rows = map_reads(&genome, &reads, &options).unwrap();
-        assert_eq!(rows.len(), 6);
-        for row in &rows {
+        let run = map_records(&genome, &reads, &config(128, 8), BackendKind::Device, None)
+            .unwrap();
+        assert_eq!(run.rows.len(), 6);
+        assert_eq!(run.stats.mapped, 6);
+        for row in &run.rows {
             let origin: usize = row.read_id.split('@').nth(1).unwrap().parse().unwrap();
             assert!(
                 row.positions.contains(&origin),
@@ -214,11 +335,41 @@ mod tests {
             );
             let rendered = row.to_string();
             assert!(rendered.contains('\t'));
+            assert!(rendered.ends_with("mapped"));
         }
+        assert!(run.summary().contains("mapped 6"));
     }
 
     #[test]
-    fn rejects_short_reference_and_reads() {
+    fn short_and_long_reads_get_statuses_not_errors() {
+        let genome = GenomeModel::uniform().generate(8_000, 3);
+        let reads = vec![
+            FastqRecord {
+                id: "tiny".into(),
+                seq: genome.window(0..50),
+                quals: vec![40; 50],
+            },
+            FastqRecord {
+                id: "long".into(),
+                seq: genome.window(100..500),
+                quals: vec![40; 400],
+            },
+        ];
+        let run = map_records(&genome, &reads, &config(256, 8), BackendKind::Device, None)
+            .unwrap();
+        assert_eq!(run.rows[0].status, MapStatus::Rejected);
+        assert_eq!(run.rows[1].status, MapStatus::Truncated);
+        assert!(
+            run.rows[1].positions.contains(&100),
+            "truncated prefix maps at its origin"
+        );
+        assert_eq!(run.stats.truncated, 1);
+        assert_eq!(run.stats.rejected, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_map_reads_preserves_error_contract() {
         let genome = GenomeModel::uniform().generate(100, 2);
         let err = map_reads(&genome, &[], &MapOptions::default()).unwrap_err();
         assert!(matches!(err, MapError::ReferenceTooShort { .. }));
@@ -231,6 +382,15 @@ mod tests {
         }];
         let err = map_reads(&genome, &short, &MapOptions::default()).unwrap_err();
         assert!(matches!(err, MapError::ReadTooShort { .. }));
+
+        // The shim's defaults mirror PipelineConfig's.
+        let options = MapOptions::default();
+        let config = PipelineConfig::default();
+        assert_eq!(options.threshold, config.threshold);
+        assert_eq!(options.stride, config.stride);
+        assert_eq!(options.row_width, config.row_width);
+        assert_eq!(options.hdac, config.hdac.is_some());
+        assert_eq!(options.tasr, config.tasr.is_some());
     }
 
     #[test]
@@ -238,15 +398,24 @@ mod tests {
         let genome = GenomeModel::uniform().generate(8_000, 4);
         let foreign = GenomeModel::uniform().generate(8_000, 99);
         let reads = fastq_reads(&foreign, 2, 128);
-        let options = MapOptions {
-            row_width: 128,
-            threshold: 4,
-            ..MapOptions::default()
-        };
-        let rows = map_reads(&genome, &reads, &options).unwrap();
-        for row in rows {
+        let run = map_records(&genome, &reads, &config(128, 4), BackendKind::Device, None)
+            .unwrap();
+        for row in run.rows {
             assert!(row.positions.is_empty());
+            assert_eq!(row.status, MapStatus::Unmapped);
             assert!(row.to_string().contains("\t*\t"));
+        }
+    }
+
+    #[test]
+    fn backends_are_selectable() {
+        let genome = GenomeModel::uniform().generate(2_000, 5);
+        let reads = fastq_reads(&genome, 2, 128);
+        for backend in [BackendKind::Device, BackendKind::Pair, BackendKind::Software] {
+            let run =
+                map_records(&genome, &reads, &config(128, 8), backend, Some(2)).unwrap();
+            assert_eq!(run.rows.len(), 2, "{backend:?}");
+            assert!(run.rows.iter().all(|r| r.status == MapStatus::Mapped));
         }
     }
 }

@@ -7,7 +7,9 @@
 //! the segment *in genome context* is at most `T` (the paper's ED
 //! convention, see `asmcap_metrics::edit`).
 
-use asmcap::AsmMatcher;
+use asmcap::{
+    AsmcapPipeline, AsmMatcher, BackendKind, PipelineConfig, PipelineError,
+};
 use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, PairDataset};
 use asmcap_metrics::edit::anchored_semi_global;
 use asmcap_metrics::ConfusionMatrix;
@@ -60,6 +62,15 @@ pub struct CycleStats {
     pub hd_fraction: f64,
     /// Mean TASR rotations per decision.
     pub mean_rotations: f64,
+}
+
+/// Origin-recovery result of [`EvalDataset::mapping_recovery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingRecovery {
+    /// Reads whose true origin appeared among the candidates.
+    pub recovered: usize,
+    /// Reads mapped in total.
+    pub reads: usize,
 }
 
 /// A fully labelled evaluation dataset.
@@ -198,6 +209,54 @@ impl EvalDataset {
         )
     }
 
+    /// Builds an [`AsmcapPipeline`] over this dataset's genome: paper
+    /// strategy configuration at `threshold` under the dataset's error
+    /// profile, stride-1 segmentation at the dataset's read length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the builder (cannot happen for a
+    /// well-formed dataset, whose genome always exceeds the read length).
+    pub fn pipeline(
+        &self,
+        threshold: usize,
+        backend: BackendKind,
+        seed: u64,
+    ) -> Result<AsmcapPipeline, PipelineError> {
+        AsmcapPipeline::builder()
+            .reference(self.genome.clone())
+            .config(PipelineConfig {
+                row_width: self.pairs.read_len(),
+                seed,
+                ..PipelineConfig::paper(threshold, *self.pairs.profile())
+            })
+            .backend(backend)
+            .build()
+    }
+
+    /// Maps every sampled read through `pipeline` as one batch and counts
+    /// how many recover their true origin among the candidates — the
+    /// end-to-end mapping metric complementing the per-pair F1 sweeps.
+    #[must_use]
+    pub fn mapping_recovery(&self, pipeline: &AsmcapPipeline) -> MappingRecovery {
+        let reads: Vec<DnaSeq> = self
+            .pairs
+            .reads()
+            .iter()
+            .map(|r| r.bases.clone())
+            .collect();
+        let records = pipeline.map_batch(&reads);
+        let recovered = records
+            .iter()
+            .zip(self.pairs.reads())
+            .filter(|(record, read)| record.positions.contains(&read.origin))
+            .count();
+        MappingRecovery {
+            recovered,
+            reads: reads.len(),
+        }
+    }
+
     /// Mean ED\* across all pairs — the `n_mis` level the Eq. 1 energy
     /// model sees on this workload.
     #[must_use]
@@ -279,6 +338,19 @@ mod tests {
         // Global ED against the bare segment can only overestimate the
         // context distance, so the oracle never false-positives.
         assert_eq!(cm.false_positives, 0);
+    }
+
+    #[test]
+    fn pipeline_recovers_dataset_read_origins() {
+        let ds = EvalDataset::build(Condition::A, 6, 2, 128, 10_000, 9);
+        let pipeline = ds.pipeline(8, asmcap::BackendKind::Device, 1).unwrap();
+        let recovery = ds.mapping_recovery(&pipeline);
+        assert_eq!(recovery.reads, 6);
+        assert!(
+            recovery.recovered >= 5,
+            "only {}/6 origins recovered",
+            recovery.recovered
+        );
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod scaling;
 pub mod states;
 pub mod table1;
 
-pub use dataset::{Condition, EvalDataset};
+pub use dataset::{Condition, EvalDataset, MappingRecovery};
 pub use fig7::{Fig7Config, Fig7Result};
 pub use report::Table;

@@ -83,17 +83,14 @@ fn asmcap_map_runs_on_synthetic_fasta_fastq() {
         .output()
         .expect("spawn asmcap_map");
     let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
-    assert!(
-        output.status.success(),
-        "asmcap_map failed: {}\n{stdout}",
-        String::from_utf8_lossy(&output.stderr)
-    );
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(output.status.success(), "asmcap_map failed: {stderr}\n{stdout}");
 
     // TSV shape: header plus one row per read.
     let mut lines = stdout.lines();
     assert_eq!(
         lines.next(),
-        Some("#read_id\tn_candidates\tpositions\tcycles"),
+        Some("#read_id\tn_candidates\tpositions\tcycles\tstatus"),
         "unexpected header in:\n{stdout}"
     );
     let rows: Vec<&str> = lines.collect();
@@ -102,7 +99,7 @@ fn asmcap_map_runs_on_synthetic_fasta_fastq() {
     // Every read must be mapped back to (at least) its true origin.
     for (row, read) in rows.iter().zip(&reads) {
         let fields: Vec<&str> = row.split('\t').collect();
-        assert_eq!(fields.len(), 4, "malformed row: {row}");
+        assert_eq!(fields.len(), 5, "malformed row: {row}");
         let positions: Vec<usize> = fields[2]
             .split(';')
             .map(|p| p.parse().expect("numeric position"))
@@ -112,7 +109,14 @@ fn asmcap_map_runs_on_synthetic_fasta_fastq() {
             "origin {} missing from row: {row}",
             read.origin
         );
+        assert_eq!(fields[4], "mapped", "unexpected status in row: {row}");
     }
+
+    // The run summary (with truncation accounting) goes to stderr.
+    assert!(
+        stderr.contains(&format!("reads: {READS} (mapped {READS}")),
+        "missing summary in stderr:\n{stderr}"
+    );
 
     std::fs::remove_dir_all(&dir).expect("clean temp dir");
 }

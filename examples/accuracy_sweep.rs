@@ -1,9 +1,11 @@
 //! Accuracy sweep: a compact Fig. 7 — F1 vs threshold for EDAM and ASMCap
-//! under both error conditions, printed as tables.
+//! under both error conditions — plus an end-to-end origin-recovery check
+//! mapping the same dataset through two pipeline backends.
 //!
-//! Run with: `cargo run --release -p asmcap-eval --example accuracy_sweep`
+//! Run with: `cargo run --release -p asmcap-workspace --example accuracy_sweep`
 
-use asmcap_eval::{Condition, Fig7Config};
+use asmcap::BackendKind;
+use asmcap_eval::{Condition, EvalDataset, Fig7Config};
 
 fn main() {
     let config = Fig7Config {
@@ -24,6 +26,25 @@ fn main() {
             with / edam
         );
         assert!(with > edam, "ASMCap should beat EDAM on mean F1");
+    }
+
+    // End-to-end mapping on the same harness: the hardware-faithful device
+    // backend and the per-pair fast path must both recover read origins.
+    let ds = EvalDataset::build(Condition::A, 40, 4, 256, 60_000, 0xACC);
+    for backend in [BackendKind::Device, BackendKind::Pair] {
+        let pipeline = ds.pipeline(8, backend, 1).expect("pipeline builds");
+        let recovery = ds.mapping_recovery(&pipeline);
+        println!(
+            "{} backend: {}/{} read origins recovered at T=8",
+            pipeline.backend_name(),
+            recovery.recovered,
+            recovery.reads
+        );
+        assert!(
+            recovery.recovered * 10 >= recovery.reads * 9,
+            "origin recovery too low on the {} backend",
+            pipeline.backend_name()
+        );
     }
     println!("accuracy sweep OK");
 }

@@ -1,7 +1,8 @@
 //! Design-space exploration: how sensitive are the HDAC and TASR gains to
-//! their constants? (The paper calls both spaces "huge"; §IV.)
+//! their constants? (The paper calls both spaces "huge"; §IV.) Plus the
+//! pipeline's determinism contract: worker count never changes results.
 //!
-//! Run with: `cargo run --release -p asmcap-eval --example design_space`
+//! Run with: `cargo run --release -p asmcap-workspace --example design_space`
 
 use asmcap_eval::{Condition, EvalDataset};
 
@@ -24,5 +25,32 @@ fn main() {
 
     println!("Rotation schedule comparison, Condition B\n");
     println!("{}", asmcap_eval::ablation::schedule_sweep(&ds_b, 3));
+
+    // One axis the old per-read API could not even express: shard the
+    // mapping batch across worker threads. Per-read seeds derive from the
+    // read index, so recovery is bit-identical at every worker count.
+    let ds = EvalDataset::build(Condition::A, 30, 4, 256, 40_000, 0xD51C);
+    let baseline = ds
+        .mapping_recovery(&ds.pipeline(8, asmcap::BackendKind::Pair, 4).unwrap())
+        .recovered;
+    for workers in [1usize, 2, 8] {
+        let pipeline = asmcap::AsmcapPipeline::builder()
+            .reference(ds.genome().clone())
+            .config(asmcap::PipelineConfig {
+                row_width: 256,
+                seed: 4,
+                ..asmcap::PipelineConfig::paper(8, Condition::A.profile())
+            })
+            .backend(asmcap::BackendKind::Pair)
+            .workers(workers)
+            .build()
+            .unwrap();
+        let recovery = ds.mapping_recovery(&pipeline);
+        println!(
+            "{workers} worker(s): {}/{} origins recovered",
+            recovery.recovered, recovery.reads
+        );
+        assert_eq!(recovery.recovered, baseline, "worker count changed results");
+    }
     println!("design space exploration OK");
 }

@@ -1,25 +1,18 @@
 //! Long-read mapping: reads longer than the CAM row are split into
 //! row-width fragments ("the global buffer can fetch the entire reads or
 //! k-mers … according to the read length", paper §III-A) and mapped by
-//! fragment voting — the TGS-flavoured use case from the paper's intro.
+//! fragment voting over an `AsmcapPipeline` — the TGS-flavoured use case
+//! from the paper's intro.
 //!
-//! Run with: `cargo run --release -p asmcap-eval --example long_read_mapping`
+//! Run with: `cargo run --release -p asmcap-workspace --example long_read_mapping`
 
 use asmcap::fragment::{FragmentConfig, LongReadMapper};
-use asmcap::MapperConfig;
-use asmcap_arch::DeviceBuilder;
+use asmcap::{AsmcapPipeline, PipelineConfig};
 use asmcap_genome::{ErrorModel, ErrorProfile, GenomeModel, ReadSampler};
 
 fn main() {
     let genome = GenomeModel::human_like().generate(60_000, 77);
     let width = 256usize;
-    let positions = genome.len() - width + 1;
-    let mut device = DeviceBuilder::new()
-        .arrays(positions.div_ceil(256))
-        .rows_per_array(256)
-        .row_width(width)
-        .build_asmcap();
-    device.store_reference(&genome, 1).expect("genome fits");
 
     // TGS-flavoured long reads: 1.5 kb, 4% mixed errors with bursty indels.
     let profile = ErrorProfile::new(0.02, 0.01, 0.01);
@@ -30,13 +23,21 @@ fn main() {
     let sampler = ReadSampler::with_model(1_536, model);
     let reads = sampler.sample_many(&genome, 12, 5);
 
+    let pipeline = AsmcapPipeline::builder()
+        .reference(genome.clone())
+        .config(PipelineConfig {
+            row_width: width,
+            seed: 9,
+            ..PipelineConfig::paper(24, profile)
+        })
+        .build()
+        .expect("pipeline builds for this genome");
     let config = FragmentConfig {
-        mapper: MapperConfig::paper(24, profile),
         stride: width,
         min_vote_fraction: 0.5,
         origin_tolerance: 48,
     };
-    let mut mapper = LongReadMapper::new(device, config, 9);
+    let mapper = LongReadMapper::new(pipeline, config);
 
     let mut mapped_ok = 0usize;
     for (i, read) in reads.iter().enumerate() {
@@ -60,7 +61,8 @@ fn main() {
     println!("\nmapped {mapped_ok}/{} long reads to their origin", reads.len());
     let stats = mapper.stats();
     println!(
-        "device activity: {} cycles, {:.2} uJ",
+        "pipeline activity: {} fragments, {} cycles, {:.2} uJ",
+        stats.reads,
         stats.cycles,
         stats.energy_j * 1e6
     );

@@ -1,10 +1,9 @@
-//! Quickstart: store a reference in a simulated ASMCap device, map an
-//! erroneous read, and inspect the result.
+//! Quickstart: build an `AsmcapPipeline` over a reference, map an erroneous
+//! read, and inspect the structured result.
 //!
-//! Run with: `cargo run -p asmcap-eval --example quickstart`
+//! Run with: `cargo run -p asmcap-workspace --example quickstart`
 
-use asmcap::{AsmMatcher, AsmcapEngine, MapperConfig, ReadMapper};
-use asmcap_arch::DeviceBuilder;
+use asmcap::{AsmMatcher, AsmcapEngine, AsmcapPipeline, PipelineConfig};
 use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
 
 fn main() {
@@ -25,7 +24,8 @@ fn main() {
         read.origin, read.edits
     );
 
-    // 3a. Pair-level decision with the full ASMCap engine.
+    // 3. Pair-level decision with the full ASMCap engine (the layer the
+    //    pipeline's PairBackend wraps).
     let segment = read.aligned_segment(&genome);
     let mut engine = AsmcapEngine::paper(profile, 1);
     let outcome = engine.matches(segment.as_slice(), read.bases.as_slice(), 8);
@@ -35,29 +35,36 @@ fn main() {
         outcome.cycles
     );
 
-    // 4. Device-level mapping: store the genome at stride 1 across arrays
-    //    (small device: 256-row arrays, enough rows for 50k positions).
-    let positions = genome.len() - 256 + 1;
-    let mut device = DeviceBuilder::new()
-        .arrays(positions.div_ceil(256))
-        .rows_per_array(256)
-        .row_width(256)
-        .build_asmcap();
-    device
-        .store_reference(&genome, 1)
-        .expect("device sized for the genome");
-    let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile), 2);
-    let mapped = mapper.map_read(&read.bases);
+    // 4. The pipeline: reference stored once at stride 1, then any number
+    //    of reads mapped through the simulated device.
+    let pipeline = AsmcapPipeline::builder()
+        .reference(genome.clone())
+        .config(PipelineConfig {
+            seed: 2,
+            ..PipelineConfig::paper(8, profile)
+        })
+        .build()
+        .expect("pipeline builds for this genome");
+    let record = pipeline.map(&read.bases);
     println!(
-        "device mapping at T=8: {} candidate position(s), {:?} (true origin {}), {} search cycles",
-        mapped.positions.len(),
-        &mapped.positions[..mapped.positions.len().min(5)],
+        "pipeline mapping at T=8: status {}, {} candidate position(s), {:?} (true origin {}), {} search cycles",
+        record.status,
+        record.positions.len(),
+        &record.positions[..record.positions.len().min(5)],
         read.origin,
-        mapped.cycles
+        record.cycles
     );
     assert!(
-        mapped.positions.contains(&read.origin),
+        record.positions.contains(&read.origin),
         "the true origin must be recovered"
+    );
+    let stats = pipeline.stats();
+    println!(
+        "pipeline stats: {} read(s), {} cycles, {:.2} uJ, {:.1} ms wall",
+        stats.reads,
+        stats.cycles,
+        stats.energy_j * 1e6,
+        stats.wall_s * 1e3
     );
     println!("quickstart OK");
 }

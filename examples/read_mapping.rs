@@ -1,11 +1,11 @@
-//! Read mapping: map a batch of erroneous reads against a reference and
-//! report candidate positions plus a CIGAR-style alignment at the best hit.
+//! Read mapping: map a batch of erroneous reads through the pipeline in one
+//! call and report candidate positions plus a CIGAR-style alignment at the
+//! best hit.
 //!
-//! Run with: `cargo run --release -p asmcap-eval --example read_mapping`
+//! Run with: `cargo run --release -p asmcap-workspace --example read_mapping`
 
-use asmcap::{MapperConfig, ReadMapper};
-use asmcap_arch::DeviceBuilder;
-use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
+use asmcap::{AsmcapPipeline, PipelineConfig};
+use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, ReadSampler};
 use asmcap_metrics::edit::align;
 
 fn main() {
@@ -13,28 +13,34 @@ fn main() {
     let profile = ErrorProfile::condition_a();
     let width = 256usize;
 
-    let positions = genome.len() - width + 1;
-    let mut device = DeviceBuilder::new()
-        .arrays(positions.div_ceil(256))
-        .rows_per_array(256)
-        .row_width(width)
-        .build_asmcap();
-    device.store_reference(&genome, 1).expect("device fits genome");
+    let pipeline = AsmcapPipeline::builder()
+        .reference(genome.clone())
+        .config(PipelineConfig {
+            row_width: width,
+            seed: 4,
+            ..PipelineConfig::paper(8, profile)
+        })
+        .build()
+        .expect("pipeline builds for this genome");
 
     let sampler = ReadSampler::new(width, profile);
     let reads = sampler.sample_many(&genome, 25, 21);
-    let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile), 4);
+    let batch: Vec<DnaSeq> = reads.iter().map(|r| r.bases.clone()).collect();
+
+    // One call: the whole batch, sharded across worker threads. Results are
+    // identical for any worker count (per-read seeds come from the read
+    // index, not from shared RNG state).
+    let records = pipeline.map_batch(&batch);
 
     let mut recovered = 0usize;
     let mut candidate_total = 0usize;
-    for (i, read) in reads.iter().enumerate() {
-        let mapped = mapper.map_read(&read.bases);
-        let hit = mapped.positions.contains(&read.origin);
+    for (i, (read, record)) in reads.iter().zip(&records).enumerate() {
+        let hit = record.positions.contains(&read.origin);
         recovered += usize::from(hit);
-        candidate_total += mapped.positions.len();
+        candidate_total += record.positions.len();
         if i < 5 {
             // Show an alignment against the best (closest) candidate.
-            let best = mapped
+            let best = record
                 .positions
                 .iter()
                 .min_by_key(|&&p| p.abs_diff(read.origin))
@@ -46,13 +52,13 @@ fn main() {
                     println!(
                         "read {i}: origin {} -> {} candidate(s), best {} (ED {}), CIGAR {}",
                         read.origin,
-                        mapped.positions.len(),
+                        record.positions.len(),
                         p,
                         alignment.distance,
                         alignment.cigar()
                     );
                 }
-                None => println!("read {i}: origin {} -> unmapped", read.origin),
+                None => println!("read {i}: origin {} -> {}", read.origin, record.status),
             }
         }
     }
@@ -61,11 +67,13 @@ fn main() {
         reads.len(),
         candidate_total as f64 / reads.len() as f64
     );
-    let stats = mapper.stats();
+    let stats = pipeline.stats();
     println!(
-        "device activity: {} cycles, {:.2} uJ",
+        "pipeline activity: {} cycles, {:.2} uJ, {:.1} ms wall across {} workers",
         stats.cycles,
-        stats.energy_j * 1e6
+        stats.energy_j * 1e6,
+        stats.wall_s * 1e3,
+        pipeline.workers()
     );
     assert!(recovered >= reads.len() * 9 / 10, "mapping rate too low");
     println!("read mapping OK");

@@ -3,51 +3,52 @@
 //! A SARS-CoV-2-scale genome is stored *entirely* in the device (the paper
 //! notes 512 arrays = 64 Mb "can entirely store some small virus
 //! sequences"); a metagenomic stream of reads — some viral, some host
-//! background — is screened in one search operation per read.
+//! background — is screened through the pipeline's streaming interface.
 //!
-//! Run with: `cargo run --release -p asmcap-eval --example virus_screening`
+//! Run with: `cargo run --release -p asmcap-workspace --example virus_screening`
 
-use asmcap::{MapperConfig, ReadMapper};
-use asmcap_arch::DeviceBuilder;
-use asmcap_genome::{synth, ErrorProfile, GenomeModel, ReadSampler};
+use asmcap::{AsmcapPipeline, PipelineConfig};
+use asmcap_genome::{synth, DnaSeq, ErrorProfile, GenomeModel, ReadSampler};
 use asmcap_metrics::ConfusionMatrix;
 
 fn main() {
     // The target: a 29.9 kb coronavirus-like genome, stored at stride 1 so
     // every alignment offset is a row.
     let virus = synth::sars_cov_2_like(2024);
-    let rows_needed = virus.len() - 256 + 1;
-    let mut device = DeviceBuilder::new()
-        .arrays(rows_needed.div_ceil(256))
-        .rows_per_array(256)
-        .row_width(256)
-        .build_asmcap();
-    let stored = device.store_reference(&virus, 1).expect("virus fits");
+    let profile = ErrorProfile::condition_b();
+    let pipeline = AsmcapPipeline::builder()
+        .reference(virus.clone())
+        .config(PipelineConfig {
+            seed: 3,
+            ..PipelineConfig::paper(12, profile)
+        })
+        .build()
+        .expect("virus fits the device");
     println!(
-        "stored {} viral rows across {} arrays ({}x{} each)",
-        stored,
-        device.arrays().len(),
-        256,
-        256
+        "stored {}-base viral reference at stride 1 ({} backend, {} workers)",
+        virus.len(),
+        pipeline.backend_name(),
+        pipeline.workers()
     );
 
     // The sample: viral reads (TGS-like, indel-heavy Condition B) mixed
     // with human-like background reads.
-    let profile = ErrorProfile::condition_b();
     let sampler = ReadSampler::new(256, profile);
     let viral_reads = sampler.sample_many(&virus, 60, 11);
     let host = GenomeModel::human_like().generate(200_000, 99);
     let host_reads = sampler.sample_many(&host, 60, 13);
+    let labelled: Vec<(bool, DnaSeq)> = viral_reads
+        .iter()
+        .map(|r| (true, r.bases.clone()))
+        .chain(host_reads.iter().map(|r| (false, r.bases.clone())))
+        .collect();
 
-    let mut mapper = ReadMapper::new(device, MapperConfig::paper(12, profile), 3);
+    // Screen the metagenomic stream: map_iter pulls reads in chunks, maps
+    // each chunk as a parallel batch, and yields records in input order.
     let mut cm = ConfusionMatrix::new();
-    for read in &viral_reads {
-        let mapped = mapper.map_read(&read.bases);
-        cm.record(true, !mapped.positions.is_empty());
-    }
-    for read in &host_reads {
-        let mapped = mapper.map_read(&read.bases);
-        cm.record(false, !mapped.positions.is_empty());
+    let stream = labelled.iter().map(|(_, read)| read.clone());
+    for ((is_viral, _), record) in labelled.iter().zip(pipeline.map_iter(stream)) {
+        cm.record(*is_viral, record.status.is_mapped());
     }
 
     println!("screening result at T=12: {cm}");
@@ -58,13 +59,14 @@ fn main() {
         cm.f1() * 100.0
     );
 
-    let stats = mapper.stats();
+    let stats = pipeline.stats();
     println!(
-        "device activity: {} searches, {} cycles, {:.2} uJ total ({:.1} nJ/read)",
+        "pipeline activity: {} reads, {} searches, {} cycles, {:.2} uJ total ({:.1} nJ/read)",
+        stats.reads,
         stats.searches,
         stats.cycles,
         stats.energy_j * 1e6,
-        stats.energy_j * 1e9 / (viral_reads.len() + host_reads.len()) as f64
+        stats.energy_j * 1e9 / stats.reads as f64
     );
     assert!(cm.f1() > 0.8, "screening F1 unexpectedly low");
     println!("virus screening OK");

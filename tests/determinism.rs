@@ -34,6 +34,32 @@ fn fig7_runs_are_reproducible() {
 }
 
 #[test]
+fn pipelines_are_reproducible_per_seed() {
+    use asmcap::{AsmcapPipeline, PipelineConfig};
+    use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, ReadSampler};
+    let genome = GenomeModel::uniform().generate(6_000, 17);
+    let sampler = ReadSampler::new(128, ErrorProfile::condition_a());
+    let reads: Vec<DnaSeq> = sampler
+        .sample_many(&genome, 8, 3)
+        .into_iter()
+        .map(|r| r.bases)
+        .collect();
+    let run = |seed: u64| {
+        let pipeline = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                row_width: 128,
+                seed,
+                ..PipelineConfig::paper(6, ErrorProfile::condition_a())
+            })
+            .build()
+            .unwrap();
+        pipeline.map_batch(&reads)
+    };
+    assert_eq!(run(9), run(9));
+}
+
+#[test]
 fn engines_are_reproducible_per_seed() {
     use asmcap::{AsmMatcher, AsmcapEngine};
     use asmcap_genome::{ErrorProfile, GenomeModel};

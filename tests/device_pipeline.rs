@@ -1,10 +1,18 @@
 //! Integration test: the end-to-end device path — genome → arrays →
-//! controller → strategies — is consistent with the metrics layer and
+//! pipeline → strategies — is consistent with the metrics layer and
 //! recovers read origins.
 
-use asmcap::{MapperConfig, ReadMapper};
-use asmcap_arch::{CamArray, DeviceBuilder, MatchMode};
+use asmcap::{AsmcapPipeline, PipelineConfig};
+use asmcap_arch::{CamArray, MatchMode};
 use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, ReadSampler};
+
+fn device_pipeline(genome: &DnaSeq, config: PipelineConfig) -> AsmcapPipeline {
+    AsmcapPipeline::builder()
+        .reference(genome.clone())
+        .config(config)
+        .build()
+        .expect("pipeline builds")
+}
 
 #[test]
 fn array_mismatch_counts_equal_metrics_distances() {
@@ -34,22 +42,27 @@ fn device_recovers_origins_for_erroneous_reads() {
     let genome = GenomeModel::uniform().generate(20_000, 2);
     let profile = ErrorProfile::condition_a();
     let width = 256usize;
-    let positions = genome.len() - width + 1;
-    let mut device = DeviceBuilder::new()
-        .arrays(positions.div_ceil(256))
-        .rows_per_array(256)
-        .row_width(width)
-        .build_asmcap();
-    device.store_reference(&genome, 1).unwrap();
+    let pipeline = device_pipeline(
+        &genome,
+        PipelineConfig {
+            row_width: width,
+            seed: 4,
+            ..PipelineConfig::paper(8, profile)
+        },
+    );
 
     let sampler = ReadSampler::new(width, profile);
-    let reads = sampler.sample_many(&genome, 15, 3);
-    let mut mapper = ReadMapper::new(device, MapperConfig::paper(8, profile), 4);
-    let mut recovered = 0usize;
-    for read in &reads {
-        let mapped = mapper.map_read(&read.bases);
-        recovered += usize::from(mapped.positions.contains(&read.origin));
-    }
+    let (origins, reads): (Vec<usize>, Vec<DnaSeq>) = sampler
+        .sample_many(&genome, 15, 3)
+        .into_iter()
+        .map(|r| (r.origin, r.bases))
+        .unzip();
+    let records = pipeline.map_batch(&reads);
+    let recovered = records
+        .iter()
+        .zip(&origins)
+        .filter(|(record, origin)| record.positions.contains(origin))
+        .count();
     assert!(
         recovered >= 14,
         "only {recovered}/15 origins recovered at T=8"
@@ -66,32 +79,31 @@ fn consecutive_deletions_need_tasr_on_device() {
     bases.extend_from_slice(&genome.as_slice()[512 + width..512 + width + 2]);
     let read = DnaSeq::from_bases(bases);
 
-    let build = || {
-        let positions = genome.len() - width + 1;
-        let mut device = DeviceBuilder::new()
-            .arrays(positions.div_ceil(256))
-            .rows_per_array(256)
-            .row_width(width)
-            .build_asmcap();
-        device.store_reference(&genome, 1).unwrap();
-        device
-    };
-
-    let mut plain = ReadMapper::new(build(), MapperConfig::plain(8), 5);
-    let mut with_tasr = ReadMapper::new(
-        build(),
-        MapperConfig::paper(8, ErrorProfile::condition_b()),
-        6,
+    let plain = device_pipeline(
+        &genome,
+        PipelineConfig {
+            row_width: width,
+            seed: 5,
+            ..PipelineConfig::plain(8)
+        },
     );
-    let before = plain.map_read(&read);
-    let after = with_tasr.map_read(&read);
+    let with_tasr = device_pipeline(
+        &genome,
+        PipelineConfig {
+            row_width: width,
+            seed: 6,
+            ..PipelineConfig::paper(8, ErrorProfile::condition_b())
+        },
+    );
+    let before = plain.map(&read);
+    let after = with_tasr.map(&read);
     assert!(!before.positions.contains(&512), "plain ED* should miss");
     assert!(after.positions.contains(&512), "TASR should recover");
     assert!(after.cycles > before.cycles, "rotations must cost cycles");
 }
 
 #[test]
-fn engine_and_mapper_agree_on_clean_decisions() {
+fn engine_and_pipeline_agree_on_clean_decisions() {
     // Far from the threshold boundary, the pair engine and the device path
     // must agree (noise only matters near the boundary).
     use asmcap::{AsmMatcher, AsmcapEngine};
@@ -100,29 +112,25 @@ fn engine_and_mapper_agree_on_clean_decisions() {
     let segment = genome.window(100..100 + width);
     let mut engine = AsmcapEngine::paper(ErrorProfile::condition_a(), 8);
 
-    let positions = genome.len() - width + 1;
-    let mut device = DeviceBuilder::new()
-        .arrays(positions.div_ceil(256))
-        .rows_per_array(256)
-        .row_width(width)
-        .build_asmcap();
-    device.store_reference(&genome, 1).unwrap();
-    let mut mapper = ReadMapper::new(
-        device,
-        MapperConfig::paper(4, ErrorProfile::condition_a()),
-        9,
+    let pipeline = device_pipeline(
+        &genome,
+        PipelineConfig {
+            row_width: width,
+            seed: 9,
+            ..PipelineConfig::paper(4, ErrorProfile::condition_a())
+        },
     );
 
     // Exact copy: both must match at T=4.
     let outcome = engine.matches(segment.as_slice(), segment.as_slice(), 4);
     assert!(outcome.matched);
-    let mapped = mapper.map_read(&segment);
-    assert!(mapped.positions.contains(&100));
+    let record = pipeline.map(&segment);
+    assert!(record.positions.contains(&100));
 
     // Unrelated read: both must reject.
     let decoy = GenomeModel::uniform().generate(width, 99);
     let outcome = engine.matches(segment.as_slice(), decoy.as_slice(), 4);
     assert!(!outcome.matched);
-    let mapped = mapper.map_read(&decoy);
-    assert!(mapped.positions.is_empty());
+    let record = pipeline.map(&decoy);
+    assert!(record.positions.is_empty());
 }

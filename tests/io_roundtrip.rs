@@ -1,7 +1,8 @@
 //! Integration test: the full user path — write a reference as FASTA and
 //! reads as FASTQ, read both back, and map through the simulated device.
 
-use asmcap_eval::cli::{map_reads, MapOptions};
+use asmcap::{BackendKind, PipelineConfig};
+use asmcap_eval::cli::map_records;
 use asmcap_genome::{fasta, fastq, ErrorProfile, GenomeModel, ReadSampler};
 
 #[test]
@@ -39,14 +40,22 @@ fn fasta_fastq_to_mapping_roundtrip() {
     assert_eq!(parsed_reads, records);
 
     // 3. Map the parsed reads against the parsed reference.
-    let options = MapOptions {
+    let config = PipelineConfig {
         row_width: 128,
         threshold: 8,
-        ..MapOptions::default()
+        ..PipelineConfig::default()
     };
-    let rows = map_reads(&parsed[0].seq, &parsed_reads, &options).unwrap();
-    assert_eq!(rows.len(), records.len());
-    for (row, read) in rows.iter().zip(&sampled) {
+    let run = map_records(
+        &parsed[0].seq,
+        &parsed_reads,
+        &config,
+        BackendKind::Device,
+        None,
+    )
+    .unwrap();
+    assert_eq!(run.rows.len(), records.len());
+    assert_eq!(run.stats.mapped, records.len() as u64);
+    for (row, read) in run.rows.iter().zip(&sampled) {
         assert!(
             row.positions.contains(&read.origin),
             "{} did not map to origin {}: {:?}",

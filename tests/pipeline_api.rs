@@ -1,0 +1,178 @@
+//! Integration tests for the batch-first `AsmcapPipeline` API: the
+//! determinism rule (results independent of worker count and batching
+//! shape) and backend equivalence (device vs per-pair engine agree on
+//! match/no-match over a seeded dataset).
+
+use asmcap::{AsmcapPipeline, BackendKind, MapRecord, MapStatus, PipelineConfig};
+use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, ReadSampler};
+
+const WIDTH: usize = 128;
+
+fn config(threshold: usize) -> PipelineConfig {
+    PipelineConfig {
+        row_width: WIDTH,
+        seed: 0xA5,
+        ..PipelineConfig::paper(threshold, ErrorProfile::condition_a())
+    }
+}
+
+fn pipeline(genome: &DnaSeq, backend: BackendKind, workers: usize) -> AsmcapPipeline {
+    AsmcapPipeline::builder()
+        .reference(genome.clone())
+        .config(config(6))
+        .backend(backend)
+        .workers(workers)
+        .build()
+        .expect("pipeline builds")
+}
+
+/// A mixed workload: erroneous reads from the reference plus foreign decoys.
+fn workload(genome: &DnaSeq) -> Vec<DnaSeq> {
+    let sampler = ReadSampler::new(WIDTH, ErrorProfile::condition_a());
+    let mut reads: Vec<DnaSeq> = sampler
+        .sample_many(genome, 12, 31)
+        .into_iter()
+        .map(|r| r.bases)
+        .collect();
+    let foreign = GenomeModel::uniform().generate(4 * WIDTH, 777);
+    for i in 0..4 {
+        reads.push(foreign.window(i * WIDTH..(i + 1) * WIDTH));
+    }
+    reads
+}
+
+#[test]
+fn map_batch_is_worker_count_independent() {
+    let genome = GenomeModel::uniform().generate(16_384, 21);
+    let reads = workload(&genome);
+
+    // Sequential reference: read-by-read through `map` on a fresh pipeline.
+    let sequential_pipeline = pipeline(&genome, BackendKind::Device, 1);
+    let sequential: Vec<MapRecord> =
+        reads.iter().map(|read| sequential_pipeline.map(read)).collect();
+
+    for workers in [1usize, 2, 8] {
+        let batched = pipeline(&genome, BackendKind::Device, workers).map_batch(&reads);
+        assert_eq!(
+            batched, sequential,
+            "map_batch with {workers} workers diverged from sequential map"
+        );
+    }
+}
+
+#[test]
+fn map_iter_streams_the_same_records() {
+    let genome = GenomeModel::uniform().generate(8_192, 22);
+    let reads = workload(&genome);
+    let batched = pipeline(&genome, BackendKind::Device, 4).map_batch(&reads);
+    let streamed: Vec<MapRecord> = pipeline(&genome, BackendKind::Device, 4)
+        .map_iter(reads.clone())
+        .collect();
+    assert_eq!(batched, streamed);
+}
+
+#[test]
+fn device_and_pair_backends_agree_on_match_no_match() {
+    // Clear-margin dataset: exact-copy reads (must map at their origin) and
+    // unrelated decoys (must not map at all) — far enough from the decision
+    // boundary that sensing noise cannot flip either backend.
+    let genome = GenomeModel::uniform().generate(8_192, 23);
+    let mut reads = Vec::new();
+    let mut origins = Vec::new();
+    for i in 0..8 {
+        let start = 97 + i * 731;
+        reads.push(genome.window(start..start + WIDTH));
+        origins.push(Some(start));
+    }
+    let foreign = GenomeModel::uniform().generate(8 * WIDTH, 555);
+    for i in 0..8 {
+        reads.push(foreign.window(i * WIDTH..(i + 1) * WIDTH));
+        origins.push(None);
+    }
+
+    let device = pipeline(&genome, BackendKind::Device, 2).map_batch(&reads);
+    let pair = pipeline(&genome, BackendKind::Pair, 2).map_batch(&reads);
+    let software = pipeline(&genome, BackendKind::Software, 2).map_batch(&reads);
+
+    for (i, origin) in origins.iter().enumerate() {
+        for (name, records) in [("device", &device), ("pair", &pair), ("software", &software)] {
+            let record = &records[i];
+            match origin {
+                Some(start) => {
+                    assert_eq!(
+                        record.status,
+                        MapStatus::Mapped,
+                        "{name} backend missed exact read {i}"
+                    );
+                    assert!(
+                        record.positions.contains(start),
+                        "{name} backend lost origin {start} for read {i}: {:?}",
+                        record.positions
+                    );
+                }
+                None => assert_eq!(
+                    record.status,
+                    MapStatus::Unmapped,
+                    "{name} backend hallucinated a match for decoy {i}: {:?}",
+                    record.positions
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_stats_aggregate_the_batch() {
+    let genome = GenomeModel::uniform().generate(4_096, 24);
+    let p = pipeline(&genome, BackendKind::Device, 2);
+    let mut reads = workload(&genome);
+    reads.push(genome.window(0..WIDTH + 40)); // truncated
+    reads.push(genome.window(0..WIDTH / 2)); // rejected
+    let records = p.map_batch(&reads);
+    let stats = p.stats();
+    assert_eq!(stats.reads, reads.len() as u64);
+    assert_eq!(stats.truncated, 1);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(
+        stats.cycles,
+        records.iter().map(|r| r.cycles).sum::<u64>()
+    );
+    assert_eq!(
+        stats.searches,
+        records.iter().map(|r| r.searches).sum::<u64>()
+    );
+    assert!(stats.energy_j > 0.0);
+    assert!(stats.wall_s > 0.0);
+    // Indices are the batch order.
+    assert!(records.iter().enumerate().all(|(i, r)| r.index == i as u64));
+}
+
+#[test]
+fn custom_backends_plug_in() {
+    /// A trivial backend that "maps" every read to position 0.
+    struct Always;
+    impl asmcap::MappingBackend for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn row_width(&self) -> usize {
+            WIDTH
+        }
+        fn map_seeded(&self, _read: &DnaSeq, _seed: u64) -> asmcap::BackendOutcome {
+            asmcap::BackendOutcome {
+                positions: vec![0],
+                cycles: 2,
+                searches: 1,
+                energy_j: 0.0,
+            }
+        }
+    }
+    let pipeline = AsmcapPipeline::builder()
+        .custom_backend(Always)
+        .config(config(6))
+        .build()
+        .expect("custom backends need no reference");
+    assert_eq!(pipeline.backend_name(), "always");
+    let read = GenomeModel::uniform().generate(WIDTH, 1);
+    assert_eq!(pipeline.map(&read).positions, vec![0]);
+}

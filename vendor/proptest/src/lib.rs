@@ -7,7 +7,8 @@
 //!   `#[test]` attribute inside the macro — omitting it means the property
 //!   never runs under `cargo test`;
 //! * strategies: integer/float ranges, tuples of strategies,
-//!   [`collection::vec`], [`Strategy::prop_map`], and [`arbitrary::any`];
+//!   [`collection::vec`], [`strategy::Strategy::prop_map`], and
+//!   [`arbitrary::any`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Unlike upstream proptest there is **no shrinking**: a failing case
