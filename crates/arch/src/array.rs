@@ -6,12 +6,20 @@
 //! sense amplifiers compare against `V_ref`. The sensing path is pluggable:
 //! [`CamArray::asmcap`] uses the charge-domain model,
 //! [`CamArray::edam`] the current-domain model.
+//!
+//! Rows are held 2-bit packed — one base per two SRAM bits, as in the
+//! silicon — and a search runs in two stages mirroring the hardware split:
+//! a **digital pre-pass** computes every row's exact mismatch count
+//! `n_mis` with the word-parallel kernels (32 cells per instruction; what
+//! the cell comparison logic encodes on the matchline), then the **analog
+//! stage** senses each count against `V_ref(threshold)` through the noisy
+//! sense-amplifier model, in row order. The per-cell functional model the
+//! pre-pass vectorises lives in [`crate::cell`] / [`crate::driver`].
 
-use crate::cell::AsmcapCell;
-use crate::driver::SlDriver;
 use asmcap_circuit::energy::{asmcap_array_search_energy, edam_array_search_energy};
 use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, Rng, SenseAmp, VrefPolicy};
-use asmcap_genome::Base;
+use asmcap_genome::{Base, PackedSeq};
+use asmcap_metrics::{ed_star_packed, hamming_packed};
 use std::fmt;
 
 /// The shared MUX select signal `S`: which distance the array evaluates.
@@ -74,7 +82,10 @@ impl fmt::Display for StoreRowError {
         match self {
             StoreRowError::ArrayFull => write!(f, "array is full"),
             StoreRowError::WidthMismatch { expected, actual } => {
-                write!(f, "segment of {actual} bases does not fit {expected}-wide rows")
+                write!(
+                    f,
+                    "segment of {actual} bases does not fit {expected}-wide rows"
+                )
             }
         }
     }
@@ -146,7 +157,7 @@ impl SearchOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CamArray<M> {
-    cells: Vec<Vec<AsmcapCell>>,
+    rows: Vec<PackedSeq>,
     width: usize,
     max_rows: usize,
     sense: SenseAmp<M>,
@@ -196,10 +207,18 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
     ///
     /// Panics if `max_rows` or `width` is zero.
     #[must_use]
-    pub fn with_sense(max_rows: usize, width: usize, sense: SenseAmp<M>, supports_hd: bool) -> Self {
-        assert!(max_rows > 0 && width > 0, "array dimensions must be positive");
+    pub fn with_sense(
+        max_rows: usize,
+        width: usize,
+        sense: SenseAmp<M>,
+        supports_hd: bool,
+    ) -> Self {
+        assert!(
+            max_rows > 0 && width > 0,
+            "array dimensions must be positive"
+        );
         Self {
-            cells: Vec::new(),
+            rows: Vec::new(),
             width,
             max_rows,
             sense,
@@ -216,7 +235,7 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
     /// Occupied row count.
     #[must_use]
     pub fn rows(&self) -> usize {
-        self.cells.len()
+        self.rows.len()
     }
 
     /// Maximum row count `M`.
@@ -228,7 +247,7 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
     /// Whether every row is occupied.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.cells.len() == self.max_rows
+        self.rows.len() == self.max_rows
     }
 
     /// The sense amplifier (and through it, the sensing model).
@@ -251,20 +270,36 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
                 actual: segment.len(),
             });
         }
+        self.store_row_packed(PackedSeq::from_bases(segment))
+    }
+
+    /// Writes an already packed `segment` into the next free row — the
+    /// zero-repack path [`crate::AsmcapDevice::store_reference`] uses when
+    /// segmenting a packed reference.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CamArray::store_row`].
+    pub fn store_row_packed(&mut self, segment: PackedSeq) -> Result<usize, StoreRowError> {
+        if segment.len() != self.width {
+            return Err(StoreRowError::WidthMismatch {
+                expected: self.width,
+                actual: segment.len(),
+            });
+        }
         if self.is_full() {
             return Err(StoreRowError::ArrayFull);
         }
-        self.cells
-            .push(segment.iter().map(|&b| AsmcapCell::new(b)).collect());
-        Ok(self.cells.len() - 1)
+        self.rows.push(segment);
+        Ok(self.rows.len() - 1)
     }
 
     /// The segment stored in `row`, or `None` for an unoccupied row.
     #[must_use]
     pub fn stored_row(&self, row: usize) -> Option<Vec<Base>> {
-        self.cells
+        self.rows
             .get(row)
-            .map(|cells| cells.iter().map(AsmcapCell::stored).collect())
+            .map(|packed| packed.to_seq().into_bases())
     }
 
     /// The noiseless mismatch count of `read` against `row` in `mode`
@@ -277,19 +312,29 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
     #[must_use]
     pub fn row_mismatches(&self, row: usize, read: &[Base], mode: MatchMode) -> usize {
         assert_eq!(read.len(), self.width, "read must match the array width");
+        self.row_mismatches_packed(row, &PackedSeq::from_bases(read), mode)
+    }
+
+    /// [`CamArray::row_mismatches`] over an already packed read: the
+    /// word-parallel digital pre-pass for one row.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`CamArray::row_mismatches`].
+    #[must_use]
+    pub fn row_mismatches_packed(&self, row: usize, read: &PackedSeq, mode: MatchMode) -> usize {
+        assert_eq!(read.len(), self.width, "read must match the array width");
         self.check_mode(mode);
-        let driver = SlDriver::latch(read);
-        self.cells[row]
-            .iter()
-            .zip(driver.windows())
-            .filter(|(cell, (left, center, right))| {
-                !cell.output(cell.compare(*left, *center, *right), mode)
-            })
-            .count()
+        match mode {
+            MatchMode::EdStar => ed_star_packed(&self.rows[row], read),
+            MatchMode::Hamming => hamming_packed(&self.rows[row], read),
+        }
     }
 
     /// One in-array search: all occupied rows compare against `read` in
     /// parallel; each matchline is sensed against `V_ref(threshold)`.
+    ///
+    /// Packs the read once and forwards to [`CamArray::search_packed`].
     ///
     /// # Panics
     ///
@@ -304,10 +349,41 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
         rng: &mut Rng,
     ) -> SearchOutcome {
         assert_eq!(read.len(), self.width, "read must match the array width");
+        self.search_packed(&PackedSeq::from_bases(read), threshold, mode, rng)
+    }
+
+    /// [`CamArray::search`] over an already packed read: the digital
+    /// pre-pass computes every row's exact `n_mis` word-parallel, then the
+    /// analog stage senses each count in row order (so the noise stream
+    /// consumes RNG draws exactly as the per-cell walk did).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`CamArray::search`].
+    #[must_use]
+    pub fn search_packed(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        rng: &mut Rng,
+    ) -> SearchOutcome {
+        assert_eq!(read.len(), self.width, "read must match the array width");
         self.check_mode(mode);
-        let rows: Vec<RowSearchOutcome> = (0..self.cells.len())
-            .map(|row| {
-                let n_mis = self.row_mismatches(row, read, mode);
+        // Per row: the digital comparison (exact matchline encoding, no
+        // noise involved) followed by the analog sense against
+        // V_ref(threshold). Counting draws nothing from the RNG, so fusing
+        // the two stages row-by-row keeps the noise stream identical to a
+        // separate pre-pass while avoiding an intermediate counts buffer.
+        let rows: Vec<RowSearchOutcome> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(row, stored)| {
+                let n_mis = match mode {
+                    MatchMode::EdStar => ed_star_packed(stored, read),
+                    MatchMode::Hamming => hamming_packed(stored, read),
+                };
                 let matched = self.sense.decide(n_mis, self.width, threshold, rng);
                 RowSearchOutcome {
                     row,
@@ -324,7 +400,7 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
         let energy_j = self
             .sense
             .cam()
-            .search_energy_j(self.cells.len(), self.width, mean);
+            .search_energy_j(self.rows.len(), self.width, mean);
         SearchOutcome {
             rows,
             mode,
@@ -435,23 +511,37 @@ mod tests {
         let mut edam = CamArray::edam(4, 32);
         let genome = GenomeModel::uniform().generate(200, 1);
         for i in 0..4 {
-            asmcap.store_row(&genome.as_slice()[i * 40..i * 40 + 32]).unwrap();
-            edam.store_row(&genome.as_slice()[i * 40..i * 40 + 32]).unwrap();
+            asmcap
+                .store_row(&genome.as_slice()[i * 40..i * 40 + 32])
+                .unwrap();
+            edam.store_row(&genome.as_slice()[i * 40..i * 40 + 32])
+                .unwrap();
         }
         let mut rng = rng(4);
         let read = &genome.as_slice()[60..92];
         let a = asmcap.search(read, 2, MatchMode::EdStar, &mut rng);
         let e = edam.search(read, 2, MatchMode::EdStar, &mut rng);
         assert!(a.energy_j > 0.0);
-        assert!(e.energy_j > a.energy_j, "EDAM should burn more energy per search");
+        assert!(
+            e.energy_j > a.energy_j,
+            "EDAM should burn more energy per search"
+        );
     }
 
     #[test]
     fn outcome_mean_n_mis() {
         let outcome = SearchOutcome {
             rows: vec![
-                RowSearchOutcome { row: 0, n_mis: 2, matched: true },
-                RowSearchOutcome { row: 1, n_mis: 4, matched: false },
+                RowSearchOutcome {
+                    row: 0,
+                    n_mis: 2,
+                    matched: true,
+                },
+                RowSearchOutcome {
+                    row: 1,
+                    n_mis: 4,
+                    matched: false,
+                },
             ],
             mode: MatchMode::EdStar,
             threshold: 2,

@@ -220,12 +220,21 @@ mod tests {
         // TASR-style: 1 latch + original search + 2 rotated searches.
         controller.run(&[
             Instruction::LatchRead(read),
-            Instruction::Search { threshold: 2, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 2,
+                mode: MatchMode::EdStar,
+            },
             Instruction::Rotate(RotateDirection::Right),
-            Instruction::Search { threshold: 2, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 2,
+                mode: MatchMode::EdStar,
+            },
             Instruction::ReloadRead,
             Instruction::Rotate(RotateDirection::Left),
-            Instruction::Search { threshold: 2, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 2,
+                mode: MatchMode::EdStar,
+            },
         ]);
         let stats = controller.stats();
         assert_eq!(stats.cycles, 4); // 1 latch + 3 searches
@@ -240,11 +249,20 @@ mod tests {
         let read = genome.window(0..32);
         let results = controller.run(&[
             Instruction::LatchRead(read.clone()),
-            Instruction::Search { threshold: 0, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 0,
+                mode: MatchMode::EdStar,
+            },
             Instruction::Rotate(RotateDirection::Left),
-            Instruction::Search { threshold: 0, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 0,
+                mode: MatchMode::EdStar,
+            },
             Instruction::ReloadRead,
-            Instruction::Search { threshold: 0, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 0,
+                mode: MatchMode::EdStar,
+            },
         ]);
         // Original read matches row 0 exactly; the rotated read does not.
         assert!(results[0].matches.iter().any(|m| m.origin == 0));
@@ -269,14 +287,23 @@ mod tests {
         let read = genome.window(0..32);
         controller.run(&[
             Instruction::LatchRead(read),
-            Instruction::Search { threshold: 1, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 1,
+                mode: MatchMode::EdStar,
+            },
             Instruction::Rotate(RotateDirection::Right),
-            Instruction::Search { threshold: 1, mode: MatchMode::EdStar },
+            Instruction::Search {
+                threshold: 1,
+                mode: MatchMode::EdStar,
+            },
             Instruction::ReloadRead,
         ]);
         let events = controller.trace().events();
         assert_eq!(events.len(), 5);
-        assert!(matches!(events[0], crate::trace::TraceEvent::Latch { read_len: 32, .. }));
+        assert!(matches!(
+            events[0],
+            crate::trace::TraceEvent::Latch { read_len: 32, .. }
+        ));
         assert!(matches!(
             events[1],
             crate::trace::TraceEvent::Search { threshold: 1, .. }

@@ -33,9 +33,9 @@ pub mod trace;
 pub use array::{CamArray, MatchMode, RowSearchOutcome, SearchOutcome};
 pub use cell::AsmcapCell;
 pub use controller::{Controller, Instruction, RunStats};
+pub use driver::SlDriver;
 pub use registers::{RotateDirection, ShiftRegisterFile};
 pub use top::{
-    AsmcapDevice, CapacityError, DeviceBuilder, DeviceMatch, DeviceSearchResult, RowId,
-    SearchStats,
+    AsmcapDevice, CapacityError, DeviceBuilder, DeviceMatch, DeviceSearchResult, RowId, SearchStats,
 };
 pub use trace::{Trace, TraceEvent};

@@ -8,7 +8,7 @@
 
 use crate::array::{CamArray, MatchMode, SearchEnergy};
 use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, Rng};
-use asmcap_genome::{Base, DnaSeq};
+use asmcap_genome::{Base, DnaSeq, PackedRef, PackedSeq, PackedWords as _};
 use std::fmt;
 
 /// Location of one stored row inside the device.
@@ -238,6 +238,26 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
         reference: &DnaSeq,
         stride: usize,
     ) -> Result<usize, CapacityError> {
+        self.store_packed_reference(&PackedRef::new(reference), stride)
+    }
+
+    /// [`AsmcapDevice::store_reference`] over an already packed reference:
+    /// each row is a word-aligned extraction from the single packing, never
+    /// an unpack/repack round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the segmentation needs more rows than
+    /// the device has; nothing is stored in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the reference is shorter than one row.
+    pub fn store_packed_reference(
+        &mut self,
+        reference: &PackedRef,
+        stride: usize,
+    ) -> Result<usize, CapacityError> {
         assert!(stride > 0, "stride must be positive");
         assert!(
             reference.len() >= self.width,
@@ -252,13 +272,15 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
             });
         }
         for &start in &starts {
-            let segment = &reference.as_slice()[start..start + self.width];
+            let segment = reference.segment(start, self.width).to_packed();
             let array = self
                 .arrays
                 .iter_mut()
                 .find(|a| !a.is_full())
                 .expect("capacity checked above");
-            array.store_row(segment).expect("width and capacity checked");
+            array
+                .store_row_packed(segment)
+                .expect("width and capacity checked");
             self.origins.push(start);
         }
         Ok(starts.len())
@@ -280,6 +302,8 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
     /// Broadcasts `read` to every array and senses all matchlines at
     /// threshold `T` in `mode`. One search operation in hardware.
     ///
+    /// Packs the read once and forwards to [`AsmcapDevice::search_packed`].
+    ///
     /// # Panics
     ///
     /// Panics if the read width differs from the row width.
@@ -287,6 +311,25 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
     pub fn search(
         &self,
         read: &[Base],
+        threshold: usize,
+        mode: MatchMode,
+        rng: &mut Rng,
+    ) -> DeviceSearchResult {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        self.search_packed(&PackedSeq::from_bases(read), threshold, mode, rng)
+    }
+
+    /// [`AsmcapDevice::search`] over an already packed read: the global
+    /// buffer latches the packed word stream once and every array runs its
+    /// digital pre-pass + analog sense split on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read width differs from the row width.
+    #[must_use]
+    pub fn search_packed(
+        &self,
+        read: &PackedSeq,
         threshold: usize,
         mode: MatchMode,
         rng: &mut Rng,
@@ -301,7 +344,7 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
             if array.rows() == 0 {
                 continue;
             }
-            let outcome = array.search(read, threshold, mode, rng);
+            let outcome = array.search_packed(read, threshold, mode, rng);
             energy += outcome.energy_j;
             searches += 1;
             latency = latency.max(array.sense().cam().search_time_s());
@@ -408,7 +451,10 @@ mod tests {
         let genome = GenomeModel::uniform().generate(offset_len(20, 64, 64), 9);
         device.store_reference(&genome, 64).unwrap();
         assert_eq!(device.origin_of(RowId { array: 0, row: 3 }), Some(192));
-        assert_eq!(device.origin_of(RowId { array: 1, row: 2 }), Some((16 + 2) * 64));
+        assert_eq!(
+            device.origin_of(RowId { array: 1, row: 2 }),
+            Some((16 + 2) * 64)
+        );
         assert_eq!(device.origin_of(RowId { array: 3, row: 0 }), None);
     }
 

@@ -146,7 +146,9 @@ mod tests {
             .iter()
             .filter(|r| {
                 let segment = r.aligned_segment(&genome);
-                kraken.matches(segment.as_slice(), r.bases.as_slice(), 8).matched
+                kraken
+                    .matches(segment.as_slice(), r.bases.as_slice(), 8)
+                    .matched
             })
             .count();
         let rate = accepted as f64 / reads.len() as f64;
@@ -165,9 +167,17 @@ mod tests {
         bases[128] = bases[128].substituted(0); // one substitution
         let read = DnaSeq::from_bases(bases);
         let mut kraken = KrakenClassifier::new(KrakenMode::kraken2_defaults());
-        assert!(kraken.matches(segment.as_slice(), read.as_slice(), 0).matched);
+        assert!(
+            kraken
+                .matches(segment.as_slice(), read.as_slice(), 0)
+                .matched
+        );
         let mut exact = KrakenClassifier::new(KrakenMode::Exact);
-        assert!(!exact.matches(segment.as_slice(), read.as_slice(), 0).matched);
+        assert!(
+            !exact
+                .matches(segment.as_slice(), read.as_slice(), 0)
+                .matched
+        );
     }
 
     #[test]
@@ -192,7 +202,15 @@ mod tests {
             k: 35,
             min_fraction: 0.8,
         });
-        assert!(loose.matches(segment.as_slice(), read.as_slice(), 0).matched);
-        assert!(!strict.matches(segment.as_slice(), read.as_slice(), 0).matched);
+        assert!(
+            loose
+                .matches(segment.as_slice(), read.as_slice(), 0)
+                .matched
+        );
+        assert!(
+            !strict
+                .matches(segment.as_slice(), read.as_slice(), 0)
+                .matched
+        );
     }
 }

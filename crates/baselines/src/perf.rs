@@ -369,8 +369,14 @@ mod tests {
         let speed_ratio = without.speedup / edam.speedup;
         let energy_ratio = without.energy_efficiency / edam.energy_efficiency;
         // Paper: 2.8x speedup, 28x energy efficiency over EDAM.
-        assert!((2.0..3.5).contains(&speed_ratio), "speed ratio {speed_ratio}");
-        assert!((18.0..40.0).contains(&energy_ratio), "energy ratio {energy_ratio}");
+        assert!(
+            (2.0..3.5).contains(&speed_ratio),
+            "speed ratio {speed_ratio}"
+        );
+        assert!(
+            (18.0..40.0).contains(&energy_ratio),
+            "energy ratio {energy_ratio}"
+        );
     }
 
     #[test]
@@ -394,7 +400,14 @@ mod tests {
     #[test]
     fn display_renders_all_rows() {
         let rendered = PerfReport::fig8(&paper_workload()).to_string();
-        for name in ["CM-CPU", "ReSMA", "SaVI", "EDAM", "ASMCap w/o H&T", "ASMCap w/ H&T"] {
+        for name in [
+            "CM-CPU",
+            "ReSMA",
+            "SaVI",
+            "EDAM",
+            "ASMCap w/o H&T",
+            "ASMCap w/ H&T",
+        ] {
             assert!(rendered.contains(name), "missing {name} in report");
         }
     }

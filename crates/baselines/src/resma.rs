@@ -254,8 +254,16 @@ mod tests {
         let read = DnaSeq::from_bases(bases);
         let ed = edit_distance(segment.as_slice(), read.as_slice());
         let mut resma = ResmaAccelerator::paper();
-        assert!(resma.matches(segment.as_slice(), read.as_slice(), ed).matched);
-        assert!(!resma.matches(segment.as_slice(), read.as_slice(), ed - 1).matched);
+        assert!(
+            resma
+                .matches(segment.as_slice(), read.as_slice(), ed)
+                .matched
+        );
+        assert!(
+            !resma
+                .matches(segment.as_slice(), read.as_slice(), ed - 1)
+                .matched
+        );
     }
 
     proptest! {

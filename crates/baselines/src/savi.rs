@@ -174,10 +174,14 @@ mod tests {
             .iter()
             .filter(|r| {
                 let segment = r.aligned_segment(&genome);
-                savi.matches(segment.as_slice(), r.bases.as_slice(), 8).matched
+                savi.matches(segment.as_slice(), r.bases.as_slice(), 8)
+                    .matched
             })
             .count();
-        assert!(accepted >= 27, "SaVI accepted only {accepted}/30 true reads");
+        assert!(
+            accepted >= 27,
+            "SaVI accepted only {accepted}/30 true reads"
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! and the CM-CPU banded DP.
 
 use asmcap::AsmMatcher;
-use asmcap_baselines::{CmCpuAligner, KrakenClassifier, KrakenMode, ResmaAccelerator, SaviAccelerator};
+use asmcap_baselines::{
+    CmCpuAligner, KrakenClassifier, KrakenMode, ResmaAccelerator, SaviAccelerator,
+};
 use asmcap_bench::{decoy_pair, pair};
 use asmcap_genome::ErrorProfile;
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -41,8 +41,7 @@ fn bench_edit_distance(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("myers", len), &len, |bencher, _| {
-            bencher
-                .iter(|| edit_distance_myers(black_box(a.as_slice()), black_box(b.as_slice())));
+            bencher.iter(|| edit_distance_myers(black_box(a.as_slice()), black_box(b.as_slice())));
         });
     }
     group.finish();

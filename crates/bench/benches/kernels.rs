@@ -1,0 +1,99 @@
+//! Scalar vs word-parallel matching kernels at the CAM row widths the
+//! mapping backends actually search (64/128/256): the microbenchmark behind
+//! the packed-matchplane refactor. Also measures the zero-copy segment-view
+//! path (what a backend scan step really executes) against the old
+//! slice-and-walk step.
+
+use asmcap_bench::pair;
+use asmcap_genome::{ErrorProfile, PackedRef, PackedSeq};
+use asmcap_metrics::{ed_star, ed_star_hamming_packed, ed_star_packed, hamming, hamming_packed};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const WIDTHS: [usize; 3] = [64, 128, 256];
+
+fn bench_ed_star_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_ed_star");
+    for width in WIDTHS {
+        let (stored, read) = pair(width, ErrorProfile::condition_a());
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", width), &width, |bencher, _| {
+            bencher.iter(|| ed_star(black_box(stored.as_slice()), black_box(read.as_slice())));
+        });
+        let ps = PackedSeq::from_seq(&stored);
+        let pr = PackedSeq::from_seq(&read);
+        group.bench_with_input(BenchmarkId::new("packed", width), &width, |bencher, _| {
+            bencher.iter(|| ed_star_packed(black_box(&ps), black_box(&pr)));
+        });
+        group.bench_with_input(BenchmarkId::new("fused_hd", width), &width, |bencher, _| {
+            bencher.iter(|| ed_star_hamming_packed(black_box(&ps), black_box(&pr)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_hamming");
+    for width in WIDTHS {
+        let (stored, read) = pair(width, ErrorProfile::condition_a());
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", width), &width, |bencher, _| {
+            bencher.iter(|| hamming(black_box(stored.as_slice()), black_box(read.as_slice())));
+        });
+        let ps = PackedSeq::from_seq(&stored);
+        let pr = PackedSeq::from_seq(&read);
+        group.bench_with_input(BenchmarkId::new("packed", width), &width, |bencher, _| {
+            bencher.iter(|| hamming_packed(black_box(&ps), black_box(&pr)));
+        });
+    }
+    group.finish();
+}
+
+/// One backend scan step: compare the read against the segment starting at
+/// every reference offset. Scalar re-slices the reference per offset; the
+/// packed path extracts a zero-copy view of the one-time packing.
+fn bench_reference_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_reference_scan");
+    group.sample_size(20);
+    let reference = asmcap_bench::genome(16_384);
+    for width in WIDTHS {
+        let (_, read) = pair(width, ErrorProfile::condition_a());
+        let offsets = reference.len() - width + 1;
+        group.throughput(Throughput::Elements(offsets as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", width), &width, |bencher, _| {
+            bencher.iter(|| {
+                (0..offsets)
+                    .map(|start| {
+                        ed_star(
+                            black_box(&reference.as_slice()[start..start + width]),
+                            black_box(read.as_slice()),
+                        )
+                    })
+                    .sum::<usize>()
+            });
+        });
+        let packed_ref = PackedRef::new(&reference);
+        let packed_read = PackedSeq::from_seq(&read);
+        group.bench_with_input(BenchmarkId::new("packed", width), &width, |bencher, _| {
+            bencher.iter(|| {
+                (0..offsets)
+                    .map(|start| {
+                        ed_star_packed(
+                            black_box(&packed_ref.segment(start, width)),
+                            black_box(&packed_read),
+                        )
+                    })
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ed_star_kernels,
+    bench_hamming_kernels,
+    bench_reference_scan
+);
+criterion_main!(benches);

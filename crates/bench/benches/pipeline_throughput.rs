@@ -1,8 +1,10 @@
 //! Pipeline throughput: reads/sec through `AsmcapPipeline::map_batch` for
 //! batch sizes 1/64/1024 across worker counts — the baseline trajectory for
-//! future batching/sharding work.
+//! future batching/sharding work — plus a backend axis (device/pair/
+//! software) tracking what the packed matchplane buys each execution
+//! engine.
 
-use asmcap::{AsmcapPipeline, PipelineConfig};
+use asmcap::{AsmcapPipeline, BackendKind, PipelineConfig};
 use asmcap_bench::genome;
 use asmcap_genome::{DnaSeq, ErrorProfile, ReadSampler};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -10,7 +12,7 @@ use std::hint::black_box;
 
 const WIDTH: usize = 128;
 
-fn pipeline(reference: &DnaSeq, workers: usize) -> AsmcapPipeline {
+fn pipeline_on(reference: &DnaSeq, workers: usize, backend: BackendKind) -> AsmcapPipeline {
     AsmcapPipeline::builder()
         .reference(reference.clone())
         .config(PipelineConfig {
@@ -19,9 +21,14 @@ fn pipeline(reference: &DnaSeq, workers: usize) -> AsmcapPipeline {
             seed: 0xBE,
             ..PipelineConfig::paper(6, ErrorProfile::condition_a())
         })
+        .backend(backend)
         .workers(workers)
         .build()
         .expect("pipeline builds")
+}
+
+fn pipeline(reference: &DnaSeq, workers: usize) -> AsmcapPipeline {
+    pipeline_on(reference, workers, BackendKind::Device)
 }
 
 fn bench_pipeline_throughput(c: &mut Criterion) {
@@ -51,5 +58,33 @@ fn bench_pipeline_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_throughput);
+fn bench_backend_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_backends");
+    group.sample_size(10);
+    let reference = genome(8_192);
+    let sampler = ReadSampler::new(WIDTH, ErrorProfile::condition_a());
+    let reads: Vec<DnaSeq> = sampler
+        .sample_many(&reference, 256, 0x77)
+        .into_iter()
+        .map(|r| r.bases)
+        .collect();
+    for backend in [
+        BackendKind::Device,
+        BackendKind::Pair,
+        BackendKind::Software,
+    ] {
+        let pipeline = pipeline_on(&reference, 4, backend);
+        group.throughput(Throughput::Elements(reads.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(&format!("{backend:?}").to_lowercase(), reads.len()),
+            &reads.len(),
+            |bencher, _| {
+                bencher.iter(|| pipeline.map_batch(black_box(&reads)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_throughput, bench_backend_throughput);
 criterion_main!(benches);

@@ -11,7 +11,11 @@ fn bench_hdac_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("hdac_overhead");
     let profile = ErrorProfile::condition_a();
     let (segment, read) = pair(256, profile);
-    let mut plain = AsmcapConfig::new(profile).hdac(None).tasr(None).seed(1).build();
+    let mut plain = AsmcapConfig::new(profile)
+        .hdac(None)
+        .tasr(None)
+        .seed(1)
+        .build();
     let mut hdac = AsmcapConfig::new(profile)
         .hdac(Some(HdacParams::paper()))
         .tasr(None)
@@ -33,7 +37,11 @@ fn bench_tasr_overhead(c: &mut Criterion) {
     // Decoy pair: the base search misses, so TASR issues all rotations —
     // the worst case for the rotation loop.
     let (segment, read) = decoy_pair(256);
-    let mut plain = AsmcapConfig::new(profile).hdac(None).tasr(None).seed(3).build();
+    let mut plain = AsmcapConfig::new(profile)
+        .hdac(None)
+        .tasr(None)
+        .seed(3)
+        .build();
     let mut tasr2 = AsmcapConfig::new(profile)
         .hdac(None)
         .tasr(Some(TasrParams::paper()))

@@ -58,5 +58,10 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sensing, bench_capacitor_bank, bench_monte_carlo);
+criterion_group!(
+    benches,
+    bench_sensing,
+    bench_capacitor_bank,
+    bench_monte_carlo
+);
 criterion_main!(benches);

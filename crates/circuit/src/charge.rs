@@ -42,7 +42,10 @@ impl CapacitorBank {
     #[must_use]
     pub fn sample(n: usize, mean_f: f64, sigma_rel: f64, rng: &mut Rng) -> Self {
         assert!(n > 0, "a capacitor bank needs at least one device");
-        assert!(mean_f > 0.0 && sigma_rel >= 0.0, "invalid capacitor parameters");
+        assert!(
+            mean_f > 0.0 && sigma_rel >= 0.0,
+            "invalid capacitor parameters"
+        );
         let values_f: Vec<f64> = (0..n)
             .map(|_| {
                 // Physical capacitance cannot be negative; at 1.4 % relative
@@ -228,7 +231,8 @@ mod tests {
         let mut rng = rng(42);
         let mut observed = Vec::with_capacity(3000);
         for _ in 0..3000 {
-            let bank = CapacitorBank::sample(n, params.cap_mean_f(), params.cap_sigma_rel, &mut rng);
+            let bank =
+                CapacitorBank::sample(n, params.cap_mean_f(), params.cap_sigma_rel, &mut rng);
             let mut mismatched = vec![false; n];
             for flag in mismatched.iter_mut().take(n_mis) {
                 *flag = true;
@@ -236,13 +240,14 @@ mod tests {
             observed.push(bank.matchline_voltage(&mismatched, params.vdd));
         }
         let mean = observed.iter().sum::<f64>() / observed.len() as f64;
-        let var = observed.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / (observed.len() - 1) as f64;
+        let var =
+            observed.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (observed.len() - 1) as f64;
         let cam = ChargeDomainCam::paper();
         let predicted_mean = cam.vml_mean(n_mis, n);
         let predicted_sigma = cam.vml_sigma(n_mis, n);
         assert!(
-            (mean - predicted_mean).abs() < 3.0 * predicted_sigma / (observed.len() as f64).sqrt() + 1e-6,
+            (mean - predicted_mean).abs()
+                < 3.0 * predicted_sigma / (observed.len() as f64).sqrt() + 1e-6,
             "empirical mean {mean} vs Eq. 2 mean {predicted_mean}"
         );
         let ratio = var.sqrt() / predicted_sigma;

@@ -99,7 +99,9 @@ impl CurrentDomainCam {
     /// EDAM's read length.
     #[must_use]
     pub fn distinguishable_states(&self) -> usize {
-        (1.0 / (6.0 * self.params.current_sigma_rel)).powi(2).floor() as usize
+        (1.0 / (6.0 * self.params.current_sigma_rel))
+            .powi(2)
+            .floor() as usize
     }
 }
 
@@ -108,7 +110,11 @@ impl MlCam for CurrentDomainCam {
         let _ = n; // full-swing mapping is independent of N in state units
         let m = n_mis as f64 * self.params.gain_error;
         let device = if n_mis > 0 {
-            noise::normal(0.0, self.params.current_sigma_rel / (n_mis as f64).sqrt(), rng)
+            noise::normal(
+                0.0,
+                self.params.current_sigma_rel / (n_mis as f64).sqrt(),
+                rng,
+            )
         } else {
             0.0
         };

@@ -109,12 +109,7 @@ impl MonteCarlo {
     /// `j+1` separates the two populations with error below `error_budget`
     /// per side.
     #[must_use]
-    pub fn distinguishable_states<M: MlCam>(
-        &self,
-        cam: &M,
-        n: usize,
-        error_budget: f64,
-    ) -> usize {
+    pub fn distinguishable_states<M: MlCam>(&self, cam: &M, n: usize, error_budget: f64) -> usize {
         let mut rng = rng(self.seed ^ 0x57A7E5);
         for state in 0..n {
             let boundary = state as f64 + 0.5;
@@ -218,9 +213,6 @@ mod tests {
     fn results_are_deterministic_per_seed() {
         let mc = MonteCarlo::new(500, 7);
         let sa = SenseAmp::new(CurrentDomainCam::paper(), VrefPolicy::Centered);
-        assert_eq!(
-            mc.match_rate(&sa, 9, 256, 8),
-            mc.match_rate(&sa, 9, 256, 8)
-        );
+        assert_eq!(mc.match_rate(&sa, 9, 256, 8), mc.match_rate(&sa, 9, 256, 8));
     }
 }

@@ -74,9 +74,6 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(
-            standard_normal(&mut rng(19)),
-            standard_normal(&mut rng(19))
-        );
+        assert_eq!(standard_normal(&mut rng(19)), standard_normal(&mut rng(19)));
     }
 }

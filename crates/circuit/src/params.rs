@@ -183,9 +183,7 @@ mod tests {
         // Cell area: 1.4x; search time: 2.6x; power: 8.5x (paper Table I).
         assert!((edam.cell_area_um2 / asmcap.cell_area_um2 - 1.4).abs() < 0.01);
         assert!((edam.search_time_ns / asmcap.search_time_ns - 2.67).abs() < 0.1);
-        assert!(
-            (edam.avg_power_per_cell_uw / asmcap.avg_power_per_cell_uw - 8.33).abs() < 0.2
-        );
+        assert!((edam.avg_power_per_cell_uw / asmcap.avg_power_per_cell_uw - 8.33).abs() < 0.2);
     }
 
     #[test]

@@ -17,13 +17,18 @@
 //! RNG, rotation registers) is created per call, which is what lets
 //! [`crate::AsmcapPipeline::map_batch`] shard reads across threads while
 //! staying bit-identical to a sequential run.
+//!
+//! All three built-in backends run on the packed matchplane: the reference
+//! is 2-bit packed once at construction, reads arrive packed through
+//! [`MappingBackend::map_packed`], and every distance is computed by the
+//! word-parallel kernels in `asmcap-metrics` over zero-copy
+//! [`asmcap_genome::SegmentView`]s — no per-segment re-slicing anywhere.
 
 use crate::mapper::MapperConfig;
-use crate::matcher::AsmMatcher;
-use asmcap_arch::{AsmcapDevice, DeviceSearchResult, MatchMode, RowId, ShiftRegisterFile};
+use asmcap_arch::{AsmcapDevice, DeviceSearchResult, MatchMode, RowId};
 use asmcap_circuit::ChargeDomainCam;
-use asmcap_genome::DnaSeq;
-use asmcap_metrics::ed_star;
+use asmcap_genome::{DnaSeq, PackedRef, PackedSeq};
+use asmcap_metrics::ed_star_packed;
 use rand::Rng as _;
 use std::collections::BTreeMap;
 
@@ -46,6 +51,13 @@ pub struct BackendOutcome {
 /// calls [`MappingBackend::map_seeded`] concurrently from scoped worker
 /// threads. All randomness must derive from the passed `seed` so a read's
 /// result depends only on `(read, seed)`, never on which worker ran it.
+///
+/// [`MappingBackend::map_seeded`] is the required method, so a backend that
+/// implements nothing fails at compile time. Packed-native backends (all
+/// three built-ins) additionally override [`MappingBackend::map_packed`] —
+/// the entry point the pipeline calls — and implement `map_seeded` as a
+/// pack-and-forward one-liner; slice-based backends implement only
+/// `map_seeded` and inherit the unpacking default of `map_packed`.
 pub trait MappingBackend: Send + Sync {
     /// Short display name for reports (e.g. `"device"`).
     fn name(&self) -> &'static str;
@@ -60,6 +72,16 @@ pub trait MappingBackend: Send + Sync {
     ///
     /// Implementations panic if `read.len() != self.row_width()`.
     fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome;
+
+    /// [`MappingBackend::map_seeded`] over an already packed read — the
+    /// entry point the pipeline calls (it packs each read exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `read.len() != self.row_width()`.
+    fn map_packed(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
+        self.map_seeded(&read.to_seq(), seed)
+    }
 }
 
 pub(crate) fn collect(result: &DeviceSearchResult) -> BTreeMap<RowId, usize> {
@@ -136,7 +158,15 @@ impl MappingBackend for DeviceBackend {
     }
 
     fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome {
-        assert_eq!(read.len(), self.row_width(), "read must match the row width");
+        self.map_packed(&PackedSeq::from_seq(read), seed)
+    }
+
+    fn map_packed(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
+        assert_eq!(
+            read.len(),
+            self.row_width(),
+            "read must match the row width"
+        );
         let t = self.config.threshold;
         // Same split as the deprecated `ReadMapper`: one stream for sensing
         // noise, one for the host-side HDAC draw.
@@ -148,7 +178,7 @@ impl MappingBackend for DeviceBackend {
         // Cycle 1 (after the latch): the ED* search.
         let base = self
             .device
-            .search(read.as_slice(), t, MatchMode::EdStar, &mut sense_rng);
+            .search_packed(read, t, MatchMode::EdStar, &mut sense_rng);
         searches += 1;
         energy += base.stats.energy_j;
         let mut matched: BTreeMap<RowId, usize> = collect(&base);
@@ -158,7 +188,7 @@ impl MappingBackend for DeviceBackend {
             if hdac.enabled(&self.config.profile, t) {
                 let hd = self
                     .device
-                    .search(read.as_slice(), t, MatchMode::Hamming, &mut sense_rng);
+                    .search_packed(read, t, MatchMode::Hamming, &mut sense_rng);
                 searches += 1;
                 energy += hd.stats.energy_j;
                 if host_rng.gen::<f64>() < hdac.probability(&self.config.profile, t) {
@@ -167,21 +197,15 @@ impl MappingBackend for DeviceBackend {
             }
         }
 
-        // TASR: N_R rotated ED* searches, OR-ed into the result set. The
-        // rotation happens in (a per-read copy of) the shift register file.
+        // TASR: N_R rotated ED* searches, OR-ed into the result set. Each
+        // rotated read is what the shift register file would present after
+        // `amount` single-position rotations — computed word-parallel here.
         if let Some(tasr) = self.config.tasr {
             if tasr.active(&self.config.profile, read.len(), t) {
-                let mut registers = ShiftRegisterFile::load(read.as_slice());
                 for i in 1..=tasr.rotations {
-                    let (direction, amount) = tasr.schedule.step(i);
-                    registers.reload(read.as_slice());
-                    registers.set_enable(true);
-                    for _ in 0..amount {
-                        registers.rotate(direction);
-                    }
-                    registers.set_enable(false);
-                    let rotated = self.device.search(
-                        registers.contents(),
+                    let rotated_read = tasr.schedule.rotated_packed(read, i);
+                    let rotated = self.device.search_packed(
+                        &rotated_read,
                         t,
                         MatchMode::EdStar,
                         &mut sense_rng,
@@ -220,7 +244,7 @@ impl MappingBackend for DeviceBackend {
 /// the sum. There is no energy model on this path (`energy_j` is 0).
 #[derive(Debug, Clone)]
 pub struct PairBackend {
-    reference: DnaSeq,
+    reference: PackedRef,
     starts: Vec<usize>,
     width: usize,
     config: MapperConfig,
@@ -228,6 +252,8 @@ pub struct PairBackend {
 
 impl PairBackend {
     /// Segments `reference` into `width`-base windows every `stride` bases.
+    /// The reference is packed once here; each per-pair decision runs on a
+    /// zero-copy segment view of that packing.
     ///
     /// # Panics
     ///
@@ -236,7 +262,7 @@ impl PairBackend {
     pub fn new(reference: DnaSeq, stride: usize, width: usize, config: MapperConfig) -> Self {
         let starts = segment_starts(&reference, width, stride);
         Self {
-            reference,
+            reference: PackedRef::new(&reference),
             starts,
             width,
             config,
@@ -260,6 +286,10 @@ impl MappingBackend for PairBackend {
     }
 
     fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome {
+        self.map_packed(&PackedSeq::from_seq(read), seed)
+    }
+
+    fn map_packed(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
         assert_eq!(read.len(), self.width, "read must match the row width");
         let mut builder = crate::config::AsmcapConfig::new(self.config.profile);
         builder
@@ -271,8 +301,8 @@ impl MappingBackend for PairBackend {
         let mut positions = Vec::new();
         let mut max_cycles = 0u64;
         for &start in &self.starts {
-            let segment = &self.reference.as_slice()[start..start + self.width];
-            let outcome = engine.matches(segment, read.as_slice(), t);
+            let segment = self.reference.segment(start, self.width);
+            let outcome = engine.matches_packed(&segment, read, t);
             max_cycles = max_cycles.max(u64::from(outcome.cycles));
             if outcome.matched {
                 positions.push(start);
@@ -294,7 +324,7 @@ impl MappingBackend for PairBackend {
 /// determinism anchor for the backend-equivalence tests.
 #[derive(Debug, Clone)]
 pub struct SoftwareBackend {
-    reference: DnaSeq,
+    reference: PackedRef,
     starts: Vec<usize>,
     width: usize,
     threshold: usize,
@@ -302,6 +332,8 @@ pub struct SoftwareBackend {
 
 impl SoftwareBackend {
     /// Segments `reference` into `width`-base windows every `stride` bases.
+    /// The reference is packed once here; every scan step is a word-parallel
+    /// ED\* over a zero-copy segment view.
     ///
     /// # Panics
     ///
@@ -310,7 +342,7 @@ impl SoftwareBackend {
     pub fn new(reference: DnaSeq, stride: usize, width: usize, threshold: usize) -> Self {
         let starts = segment_starts(&reference, width, stride);
         Self {
-            reference,
+            reference: PackedRef::new(&reference),
             starts,
             width,
             threshold,
@@ -327,17 +359,18 @@ impl MappingBackend for SoftwareBackend {
         self.width
     }
 
-    fn map_seeded(&self, read: &DnaSeq, _seed: u64) -> BackendOutcome {
+    fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome {
+        self.map_packed(&PackedSeq::from_seq(read), seed)
+    }
+
+    fn map_packed(&self, read: &PackedSeq, _seed: u64) -> BackendOutcome {
         assert_eq!(read.len(), self.width, "read must match the row width");
         let positions = self
             .starts
             .iter()
             .copied()
             .filter(|&start| {
-                ed_star(
-                    &self.reference.as_slice()[start..start + self.width],
-                    read.as_slice(),
-                ) <= self.threshold
+                ed_star_packed(&self.reference.segment(start, self.width), read) <= self.threshold
             })
             .collect();
         BackendOutcome {
@@ -354,6 +387,7 @@ mod tests {
     use super::*;
     use asmcap_arch::DeviceBuilder;
     use asmcap_genome::GenomeModel;
+    use asmcap_metrics::ed_star;
 
     fn device_for(genome: &DnaSeq, width: usize, stride: usize) -> AsmcapDevice<ChargeDomainCam> {
         let rows = (genome.len() - width) / stride + 1;

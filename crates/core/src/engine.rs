@@ -12,8 +12,8 @@ use crate::matcher::{AsmMatcher, MatchOutcome};
 use crate::tasr::Tasr;
 use crate::Rng;
 use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, SenseAmp, VrefPolicy};
-use asmcap_genome::{Base, ErrorProfile};
-use asmcap_metrics::{ed_star, hamming};
+use asmcap_genome::{Base, ErrorProfile, PackedSeq, PackedWords};
+use asmcap_metrics::{ed_star, ed_star_hamming_packed, ed_star_packed};
 
 /// The ASMCap engine: charge-domain sensing plus the HDAC and TASR
 /// misjudgment-correction strategies.
@@ -99,10 +99,22 @@ impl AsmcapEngine {
             .as_ref()
             .is_some_and(|t| t.active(read_len, threshold))
     }
-}
 
-impl AsmMatcher for AsmcapEngine {
-    fn matches(&mut self, segment: &[Base], read: &[Base], threshold: usize) -> MatchOutcome {
+    /// One (segment, read, T) decision over packed operands — the
+    /// word-parallel fast path [`crate::PairBackend`] loops over segment
+    /// views with. Identical semantics, noise model, and RNG draw order to
+    /// [`AsmMatcher::matches`]; the scalar entry point delegates here, so
+    /// there is exactly one decision procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` and `read` lengths differ.
+    pub fn matches_packed<S: PackedWords>(
+        &mut self,
+        segment: &S,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
         assert_eq!(
             segment.len(),
             read.len(),
@@ -110,8 +122,17 @@ impl AsmMatcher for AsmcapEngine {
         );
         let n = read.len();
 
+        // When HDAC is armed both mismatch counts are needed, so the fused
+        // kernel computes them in one pass over the words; otherwise only
+        // the ED* count is evaluated.
+        let hdac_armed = self.hdac.is_some_and(|h| h.active(threshold));
+
         // Cycle 1: the ED* search.
-        let n_mis = ed_star(segment, read);
+        let (n_mis, hd) = if hdac_armed {
+            ed_star_hamming_packed(segment, read)
+        } else {
+            (ed_star_packed(segment, read), 0)
+        };
         let o_star = self.sense.decide(n_mis, n, threshold, &mut self.rng);
         let mut cycles = 1u32;
         let mut decision = o_star;
@@ -119,8 +140,7 @@ impl AsmMatcher for AsmcapEngine {
 
         // HDAC (Algorithm 1): one extra HD-mode search when armed.
         if let Some(hdac) = self.hdac {
-            if hdac.active(threshold) {
-                let hd = hamming(segment, read);
+            if hdac_armed {
                 let o_hd = self.sense.decide(hd, n, threshold, &mut self.rng);
                 cycles += 1;
                 used_hd = true;
@@ -134,8 +154,8 @@ impl AsmMatcher for AsmcapEngine {
         if let Some(tasr) = self.tasr {
             let sense = &self.sense;
             let rng = &mut self.rng;
-            let (matched, issued) = tasr.run(decision, read, threshold, |rotated| {
-                sense.decide(ed_star(segment, rotated), n, threshold, rng)
+            let (matched, issued) = tasr.run_packed(decision, read, threshold, |rotated| {
+                sense.decide(ed_star_packed(segment, rotated), n, threshold, rng)
             });
             decision = matched;
             rotations = issued;
@@ -148,6 +168,16 @@ impl AsmMatcher for AsmcapEngine {
             used_hd,
             rotations,
         }
+    }
+}
+
+impl AsmMatcher for AsmcapEngine {
+    fn matches(&mut self, segment: &[Base], read: &[Base], threshold: usize) -> MatchOutcome {
+        self.matches_packed(
+            &PackedSeq::from_bases(segment),
+            &PackedSeq::from_bases(read),
+            threshold,
+        )
     }
 
     fn name(&self) -> &str {
@@ -339,7 +369,11 @@ mod tests {
             .filter(|_| with.matches(segment.as_slice(), read.as_slice(), t).matched)
             .count();
         let fp_without = (0..trials)
-            .filter(|_| without.matches(segment.as_slice(), read.as_slice(), t).matched)
+            .filter(|_| {
+                without
+                    .matches(segment.as_slice(), read.as_slice(), t)
+                    .matched
+            })
             .count();
         assert!(
             (fp_with as f64) < 0.8 * fp_without as f64,
@@ -358,8 +392,10 @@ mod tests {
         read_bases.extend_from_slice(&genome.as_slice()[356..358]);
         let read = DnaSeq::from_bases(read_bases);
         let t = 8usize;
-        let ed =
-            asmcap_metrics::edit::anchored_semi_global(read.as_slice(), genome.window(100..360).as_slice());
+        let ed = asmcap_metrics::edit::anchored_semi_global(
+            read.as_slice(),
+            genome.window(100..360).as_slice(),
+        );
         assert!(ed <= t, "ground truth should be positive, ED={ed}");
 
         let mut with = AsmcapEngine::paper(profile, 10);
@@ -369,7 +405,11 @@ mod tests {
             .seed(11)
             .build();
         assert!(with.matches(segment.as_slice(), read.as_slice(), t).matched);
-        assert!(!without.matches(segment.as_slice(), read.as_slice(), t).matched);
+        assert!(
+            !without
+                .matches(segment.as_slice(), read.as_slice(), t)
+                .matched
+        );
     }
 
     #[test]
@@ -412,10 +452,17 @@ mod tests {
         let mut asmcap = AsmcapEngine::without_strategies(14);
         let trials = 3000;
         let edam_fp = (0..trials)
-            .filter(|_| edam.matches(segment.as_slice(), noisy_read.as_slice(), t).matched)
+            .filter(|_| {
+                edam.matches(segment.as_slice(), noisy_read.as_slice(), t)
+                    .matched
+            })
             .count();
         let asmcap_fp = (0..trials)
-            .filter(|_| asmcap.matches(segment.as_slice(), noisy_read.as_slice(), t).matched)
+            .filter(|_| {
+                asmcap
+                    .matches(segment.as_slice(), noisy_read.as_slice(), t)
+                    .matched
+            })
             .count();
         assert!(
             edam_fp > asmcap_fp + trials / 50,

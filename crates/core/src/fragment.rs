@@ -14,8 +14,8 @@
 //! (`row origin − fragment offset`); consistent candidates accumulate votes
 //! and the read maps where enough fragments agree.
 
-use crate::pipeline::AsmcapPipeline;
-use asmcap_genome::DnaSeq;
+use crate::pipeline::{AsmcapPipeline, PipelineError};
+use asmcap_genome::{DnaSeq, PackedSeq};
 
 /// Configuration of the long-read fragment voter. The per-fragment matching
 /// configuration lives in the pipeline the voter wraps.
@@ -94,16 +94,33 @@ impl LongReadMapper {
     ///
     /// # Panics
     ///
-    /// Panics if the config stride is zero.
+    /// Panics if the config stride is zero — a zero stride would make the
+    /// fragment walk loop forever. Use [`LongReadMapper::try_new`] for a
+    /// recoverable error instead.
     #[must_use]
     pub fn new(pipeline: AsmcapPipeline, config: FragmentConfig) -> Self {
-        assert!(config.stride > 0, "fragment stride must be positive");
+        Self::try_new(pipeline, config)
+            .expect("fragment stride must be positive (FragmentConfig::new defaults sanely)")
+    }
+
+    /// Wraps a built pipeline, validating the fragment configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ZeroStride`] if `config.stride` is zero.
+    pub fn try_new(
+        pipeline: AsmcapPipeline,
+        config: FragmentConfig,
+    ) -> Result<Self, PipelineError> {
+        if config.stride == 0 {
+            return Err(PipelineError::ZeroStride);
+        }
         let width = pipeline.row_width();
-        Self {
+        Ok(Self {
             pipeline,
             config,
             width,
-        }
+        })
     }
 
     /// The wrapped pipeline (for statistics or direct short-read mapping).
@@ -118,26 +135,45 @@ impl LongReadMapper {
         self.pipeline.stats()
     }
 
-    /// Splits `read` into row-width fragments at the configured stride
-    /// (the final window is anchored to the read end so no suffix is lost).
-    #[must_use]
-    pub fn fragments(&self, read: &DnaSeq) -> Vec<(usize, DnaSeq)> {
+    /// The fragment start offsets for a read of `len` bases: every stride
+    /// step, with the final window anchored to the read end so no suffix is
+    /// lost.
+    fn fragment_offsets(&self, len: usize) -> Vec<usize> {
         let width = self.width;
-        if read.len() <= width {
-            return vec![(0, read.clone())];
+        if len <= width {
+            return vec![0];
         }
         let mut out = Vec::new();
         let mut offset = 0usize;
         loop {
-            if offset + width >= read.len() {
-                let start = read.len() - width;
-                out.push((start, read.window(start..read.len())));
+            if offset + width >= len {
+                out.push(len - width);
                 break;
             }
-            out.push((offset, read.window(offset..offset + width)));
+            out.push(offset);
             offset += self.config.stride;
         }
         out
+    }
+
+    /// Splits `read` into row-width fragments at the configured stride
+    /// (the final window is anchored to the read end so no suffix is lost).
+    ///
+    /// This is the inspection-friendly unpacked view;
+    /// [`LongReadMapper::map_long_read`] extracts the same fragments as
+    /// packed windows of a single read packing instead of allocating a
+    /// [`DnaSeq`] per fragment.
+    #[must_use]
+    pub fn fragments(&self, read: &DnaSeq) -> Vec<(usize, DnaSeq)> {
+        self.fragment_offsets(read.len())
+            .into_iter()
+            .map(|offset| {
+                (
+                    offset,
+                    read.window(offset..(offset + self.width).min(read.len())),
+                )
+            })
+            .collect()
     }
 
     /// Maps one long read: fragment, match each fragment through the
@@ -150,10 +186,16 @@ impl LongReadMapper {
     /// each group contributes *one* vote at its median implied origin; the
     /// called origin is the median of the winning cluster's samples.
     pub fn map_long_read(&self, read: &DnaSeq) -> Option<LongReadMapping> {
-        let (offsets, reads): (Vec<usize>, Vec<DnaSeq>) =
-            self.fragments(read).into_iter().unzip();
-        let issued = reads.len();
-        let records = self.pipeline.map_batch(&reads);
+        // Pack the whole read once; fragments are word-aligned packed
+        // windows of that packing, fed straight to the packed batch path.
+        let packed = PackedSeq::from_seq(read);
+        let offsets = self.fragment_offsets(read.len());
+        let fragments: Vec<PackedSeq> = offsets
+            .iter()
+            .map(|&offset| packed.window(offset..(offset + self.width).min(packed.len())))
+            .collect();
+        let issued = fragments.len();
+        let records = self.pipeline.map_batch_packed(&fragments);
         struct Cluster {
             representative: usize,
             samples: Vec<usize>,
@@ -215,7 +257,12 @@ mod tests {
     use crate::{HdacParams, TasrParams};
     use asmcap_genome::{ErrorModel, ErrorProfile, GenomeModel, ReadSampler};
 
-    fn plain_pipeline(genome: &DnaSeq, width: usize, threshold: usize, seed: u64) -> AsmcapPipeline {
+    fn plain_pipeline(
+        genome: &DnaSeq,
+        width: usize,
+        threshold: usize,
+        seed: u64,
+    ) -> AsmcapPipeline {
         AsmcapPipeline::builder()
             .reference(genome.clone())
             .config(PipelineConfig {
@@ -230,10 +277,8 @@ mod tests {
     #[test]
     fn fragments_cover_the_whole_read() {
         let genome = GenomeModel::uniform().generate(4_096, 1);
-        let mapper = LongReadMapper::new(
-            plain_pipeline(&genome, 128, 4, 1),
-            FragmentConfig::new(128),
-        );
+        let mapper =
+            LongReadMapper::new(plain_pipeline(&genome, 128, 4, 1), FragmentConfig::new(128));
         let read = genome.window(0..500); // not a multiple of 128
         let fragments = mapper.fragments(&read);
         assert_eq!(fragments.len(), 4);
@@ -248,10 +293,8 @@ mod tests {
     #[test]
     fn error_free_long_read_maps_exactly() {
         let genome = GenomeModel::uniform().generate(6_000, 2);
-        let mapper = LongReadMapper::new(
-            plain_pipeline(&genome, 128, 2, 2),
-            FragmentConfig::new(128),
-        );
+        let mapper =
+            LongReadMapper::new(plain_pipeline(&genome, 128, 2, 2), FragmentConfig::new(128));
         let read = genome.window(2_345..2_345 + 640);
         let mapping = mapper.map_long_read(&read).expect("should map");
         assert_eq!(mapping.origin, 2_345);
@@ -299,12 +342,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_stride_is_rejected_at_construction() {
+        // A zero stride would spin the fragment walk forever; both
+        // constructors must refuse it before any read is mapped.
+        let genome = GenomeModel::uniform().generate(2_048, 9);
+        let config = FragmentConfig {
+            stride: 0,
+            ..FragmentConfig::new(128)
+        };
+        let err = LongReadMapper::try_new(plain_pipeline(&genome, 128, 2, 1), config)
+            .expect_err("zero stride must be rejected");
+        assert_eq!(err, crate::PipelineError::ZeroStride);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            LongReadMapper::new(plain_pipeline(&genome, 128, 2, 1), config)
+        }));
+        assert!(
+            panicked.is_err(),
+            "LongReadMapper::new must panic on stride 0"
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_sane_configs() {
+        let genome = GenomeModel::uniform().generate(2_048, 10);
+        let mapper =
+            LongReadMapper::try_new(plain_pipeline(&genome, 128, 2, 1), FragmentConfig::new(128))
+                .expect("default config is valid");
+        let read = genome.window(100..612);
+        assert_eq!(mapper.fragments(&read).len(), 4);
+    }
+
+    #[test]
     fn unrelated_long_read_does_not_map() {
         let genome = GenomeModel::uniform().generate(6_000, 6);
-        let mapper = LongReadMapper::new(
-            plain_pipeline(&genome, 128, 6, 7),
-            FragmentConfig::new(128),
-        );
+        let mapper =
+            LongReadMapper::new(plain_pipeline(&genome, 128, 6, 7), FragmentConfig::new(128));
         let foreign = GenomeModel::uniform().generate(512, 999);
         assert!(mapper.map_long_read(&foreign).is_none());
     }

@@ -83,11 +83,11 @@ pub use config::{AsmcapConfig, EdamConfig};
 pub use engine::{AsmcapEngine, EdamEngine};
 pub use fragment::{FragmentConfig, LongReadMapper, LongReadMapping};
 pub use hdac::{Hdac, HdacParams};
-pub use matcher::{AsmMatcher, ExactEdMatcher, MatchOutcome, NoiselessEdStarMatcher};
 pub use mapper::{MappedRead, MapperConfig};
+pub use matcher::{AsmMatcher, ExactEdMatcher, MatchOutcome, NoiselessEdStarMatcher};
 pub use pipeline::{
-    read_seed, AsmcapPipeline, BackendKind, MapRecord, MapStatus, PipelineBuilder,
-    PipelineConfig, PipelineError, PipelineStats,
+    read_seed, AsmcapPipeline, BackendKind, MapRecord, MapStatus, PipelineBuilder, PipelineConfig,
+    PipelineError, PipelineStats,
 };
 pub use tasr::{RotationSchedule, Tasr, TasrParams};
 

@@ -112,11 +112,7 @@ impl ReadMapper {
     /// Wraps a loaded device. `seed` controls both sensing noise and the
     /// host-side HDAC draws.
     #[must_use]
-    pub fn new(
-        device: AsmcapDevice<ChargeDomainCam>,
-        config: MapperConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn new(device: AsmcapDevice<ChargeDomainCam>, config: MapperConfig, seed: u64) -> Self {
         Self {
             controller: Controller::new(device, seed),
             config,
@@ -215,7 +211,6 @@ impl ReadMapper {
             searches: after.searches - before.searches,
         }
     }
-
 }
 
 #[cfg(test)]

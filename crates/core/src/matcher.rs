@@ -140,9 +140,17 @@ mod tests {
         // Stored CAG vs read CGA: both substituted bases are found in the
         // neighbour windows, so ED* = 0 although ED = 2.
         let mut matcher = NoiselessEdStarMatcher::new();
-        assert!(matcher.matches(seq("CAG").as_slice(), seq("CGA").as_slice(), 0).matched);
+        assert!(
+            matcher
+                .matches(seq("CAG").as_slice(), seq("CGA").as_slice(), 0)
+                .matched
+        );
         let mut oracle = ExactEdMatcher::new();
-        assert!(!oracle.matches(seq("CAG").as_slice(), seq("CGA").as_slice(), 0).matched);
+        assert!(
+            !oracle
+                .matches(seq("CAG").as_slice(), seq("CGA").as_slice(), 0)
+                .matched
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ use crate::hdac::HdacParams;
 use crate::mapper::MapperConfig;
 use crate::tasr::TasrParams;
 use asmcap_arch::DeviceBuilder;
-use asmcap_genome::{DnaSeq, ErrorProfile};
+use asmcap_genome::{DnaSeq, ErrorProfile, PackedSeq};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -524,7 +524,7 @@ impl AsmcapPipeline {
         *self.stats.lock().expect("stats lock poisoned") = PipelineStats::default();
     }
 
-    fn map_indexed(&self, read: &DnaSeq, index: u64) -> MapRecord {
+    fn map_indexed(&self, read: &PackedSeq, index: u64) -> MapRecord {
         if read.len() < self.width {
             return MapRecord {
                 index,
@@ -538,9 +538,9 @@ impl AsmcapPipeline {
         let truncated = read.len() > self.width;
         let outcome: BackendOutcome = if truncated {
             self.backend
-                .map_seeded(&read.window(0..self.width), read_seed(self.seed, index))
+                .map_packed(&read.window(0..self.width), read_seed(self.seed, index))
         } else {
-            self.backend.map_seeded(read, read_seed(self.seed, index))
+            self.backend.map_packed(read, read_seed(self.seed, index))
         };
         let status = if truncated {
             MapStatus::Truncated
@@ -565,6 +565,17 @@ impl AsmcapPipeline {
     /// [`MapStatus::Truncated`]); shorter reads are not searched at all
     /// (status [`MapStatus::Rejected`]).
     pub fn map(&self, read: &DnaSeq) -> MapRecord {
+        self.map_packed(&PackedSeq::from_seq(read))
+    }
+
+    /// [`AsmcapPipeline::map`] over an already packed read — the zero-repack
+    /// entry point for callers that hold packed data (e.g. the long-read
+    /// fragmenter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the stats lock.
+    pub fn map_packed(&self, read: &PackedSeq) -> MapRecord {
         let start = Instant::now();
         let index = self.counter.fetch_add(1, Ordering::Relaxed);
         let record = self.map_indexed(read, index);
@@ -577,15 +588,29 @@ impl AsmcapPipeline {
     /// Maps a batch of reads, sharded across up to
     /// [`AsmcapPipeline::workers`] scoped threads.
     ///
-    /// Records come back in input order and are byte-identical for every
-    /// worker count (see the [module docs](self) determinism rule).
+    /// Each read is packed once here; everything downstream runs
+    /// word-parallel. Records come back in input order and are
+    /// byte-identical for every worker count (see the [module docs](self)
+    /// determinism rule).
     ///
     /// # Panics
     ///
     /// Propagates panics from worker threads (a panicking backend).
     pub fn map_batch(&self, reads: &[DnaSeq]) -> Vec<MapRecord> {
+        let packed: Vec<PackedSeq> = reads.iter().map(PackedSeq::from_seq).collect();
+        self.map_batch_packed(&packed)
+    }
+
+    /// [`AsmcapPipeline::map_batch`] over already packed reads.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from worker threads (a panicking backend).
+    pub fn map_batch_packed(&self, reads: &[PackedSeq]) -> Vec<MapRecord> {
         let start = Instant::now();
-        let base = self.counter.fetch_add(reads.len() as u64, Ordering::Relaxed);
+        let base = self
+            .counter
+            .fetch_add(reads.len() as u64, Ordering::Relaxed);
         let workers = self.workers.min(reads.len()).max(1);
         let chunk = reads.len().div_ceil(workers);
         let mut records: Vec<MapRecord> = Vec::with_capacity(reads.len());
@@ -739,7 +764,9 @@ mod tests {
     fn map_iter_matches_map_batch() {
         let (a, genome) = pipeline(2);
         let (b, _) = pipeline(2);
-        let reads: Vec<DnaSeq> = (0..10).map(|i| genome.window(i * 64..(i + 1) * 64)).collect();
+        let reads: Vec<DnaSeq> = (0..10)
+            .map(|i| genome.window(i * 64..(i + 1) * 64))
+            .collect();
         let batched = a.map_batch(&reads);
         let streamed: Vec<MapRecord> = b.map_iter(reads).collect();
         assert_eq!(batched, streamed);

@@ -19,7 +19,7 @@
 //! (`e_id` high) or the threshold is loose enough to be safe.
 
 use asmcap_arch::registers::RotateDirection;
-use asmcap_genome::{Base, ErrorProfile};
+use asmcap_genome::{Base, ErrorProfile, PackedSeq};
 
 /// Which directions the rotated searches try.
 ///
@@ -76,6 +76,19 @@ impl RotationSchedule {
             RotateDirection::Right => out.rotate_right(amount),
         }
         out
+    }
+
+    /// Applies the `i`-th rotation to a packed read — the word-level
+    /// equivalent of the shift-register file rotating `amount` positions in
+    /// `direction`, producing the same sequence [`RotationSchedule::rotated`]
+    /// yields on bases.
+    #[must_use]
+    pub fn rotated_packed(&self, read: &PackedSeq, i: usize) -> PackedSeq {
+        let (direction, amount) = self.step(i);
+        match direction {
+            RotateDirection::Left => read.rotated_left(amount),
+            RotateDirection::Right => read.rotated_right(amount),
+        }
     }
 }
 
@@ -200,12 +213,50 @@ impl Tasr {
         threshold: usize,
         mut decide: impl FnMut(&[Base]) -> bool,
     ) -> (bool, u32) {
-        if base || !self.active(read.len(), threshold) {
+        self.run_loop(
+            base,
+            read.len(),
+            threshold,
+            |schedule, i| schedule.rotated(read, i),
+            |rotated| decide(rotated),
+        )
+    }
+
+    /// [`Tasr::run`] over a packed read: identical gating, rotation
+    /// schedule, and early exit, with rotations applied word-parallel.
+    pub fn run_packed(
+        &self,
+        base: bool,
+        read: &PackedSeq,
+        threshold: usize,
+        mut decide: impl FnMut(&PackedSeq) -> bool,
+    ) -> (bool, u32) {
+        self.run_loop(
+            base,
+            read.len(),
+            threshold,
+            |schedule, i| schedule.rotated_packed(read, i),
+            |rotated| decide(rotated),
+        )
+    }
+
+    /// The one Algorithm-2 loop both representations share: gate on
+    /// `(read_len, threshold)`, rotate per the schedule, early-exit on the
+    /// first match.
+    fn run_loop<T>(
+        &self,
+        base: bool,
+        read_len: usize,
+        threshold: usize,
+        rotate: impl Fn(&RotationSchedule, usize) -> T,
+        mut decide: impl FnMut(&T) -> bool,
+    ) -> (bool, u32) {
+        if base || !self.active(read_len, threshold) {
             return (base, 0);
         }
         let mut issued = 0u32;
         for i in 1..=self.params.rotations {
-            let rotated = self.params.schedule.rotated(read, i);
+            let rotated = rotate(&self.params.schedule, i);
             issued += 1;
             if decide(&rotated) {
                 return (true, issued);
@@ -254,8 +305,14 @@ mod tests {
         assert_eq!(s.step(2), (RotateDirection::Left, 1));
         assert_eq!(s.step(3), (RotateDirection::Right, 2));
         assert_eq!(s.step(4), (RotateDirection::Left, 2));
-        assert_eq!(RotationSchedule::LeftOnly.step(3), (RotateDirection::Left, 3));
-        assert_eq!(RotationSchedule::RightOnly.step(2), (RotateDirection::Right, 2));
+        assert_eq!(
+            RotationSchedule::LeftOnly.step(3),
+            (RotateDirection::Left, 3)
+        );
+        assert_eq!(
+            RotationSchedule::RightOnly.step(2),
+            (RotateDirection::Right, 2)
+        );
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub fn hdac_sweep(dataset: &EvalDataset, alphas: &[f64], betas: &[f64], seed: u6
 /// Sweeps TASR's `(γ, N_R)` on a Condition-B dataset, with plain SR
 /// (γ = 0, gate off) as the first row for contrast.
 #[must_use]
-pub fn tasr_sweep(dataset: &EvalDataset, gammas: &[f64], rotation_counts: &[usize], seed: u64) -> Table {
+pub fn tasr_sweep(
+    dataset: &EvalDataset,
+    gammas: &[f64],
+    rotation_counts: &[usize],
+    seed: u64,
+) -> Table {
     let mut header = vec!["gamma \\ N_R".to_owned()];
     header.extend(rotation_counts.iter().map(ToString::to_string));
     let mut table = Table::new(header.iter().map(String::as_str).collect());

@@ -36,9 +36,16 @@ fn main() {
         println!("TASR ablation — mean F1 (%) over T=2..16, Condition B\n");
         println!(
             "{}",
-            asmcap_eval::ablation::tasr_sweep(&ds, &[0.5e-4, 1e-4, 2e-4, 4e-4, 8e-4], &[0, 1, 2, 4], 2)
+            asmcap_eval::ablation::tasr_sweep(
+                &ds,
+                &[0.5e-4, 1e-4, 2e-4, 4e-4, 8e-4],
+                &[0, 1, 2, 4],
+                2
+            )
         );
-        println!("(paper constants: gamma=2e-4, N_R=2; 'plain SR' = EDAM-style ungated rotation)\n");
+        println!(
+            "(paper constants: gamma=2e-4, N_R=2; 'plain SR' = EDAM-style ungated rotation)\n"
+        );
     }
     if what == "schedule" || what == "all" {
         let ds = EvalDataset::build(Condition::B, reads, decoys, 256, genome, 0xAB1C);
@@ -50,7 +57,14 @@ fn main() {
         println!("TASR vs indel burstiness — mean F1 (%) over T=2..16, Condition-B rates\n");
         println!(
             "{}",
-            asmcap_eval::ablation::burst_sweep(&[1.0, 2.0, 3.0, 4.0], reads, decoys, 256, genome, 4)
+            asmcap_eval::ablation::burst_sweep(
+                &[1.0, 2.0, 3.0, 4.0],
+                reads,
+                decoys,
+                256,
+                genome,
+                4
+            )
         );
         println!("(constant indel mass; longer runs are exactly the Fig. 6 misjudgment)");
     }

@@ -82,13 +82,12 @@ fn run() -> Result<(), String> {
     let (reference, reads) = if args.iter().any(|a| a == "--demo") {
         demo_data(config.row_width)
     } else {
-        let ref_path = flag_value(&args, "--reference")
-            .ok_or("missing --reference (or use --demo)")?;
+        let ref_path =
+            flag_value(&args, "--reference").ok_or("missing --reference (or use --demo)")?;
         let reads_path = flag_value(&args, "--reads").ok_or("missing --reads (or use --demo)")?;
-        let ref_file = std::fs::File::open(&ref_path)
-            .map_err(|e| format!("cannot open {ref_path}: {e}"))?;
-        let records =
-            fasta::read_fasta(BufReader::new(ref_file)).map_err(|e| e.to_string())?;
+        let ref_file =
+            std::fs::File::open(&ref_path).map_err(|e| format!("cannot open {ref_path}: {e}"))?;
+        let records = fasta::read_fasta(BufReader::new(ref_file)).map_err(|e| e.to_string())?;
         let reference = records
             .into_iter()
             .next()
@@ -100,8 +99,8 @@ fn run() -> Result<(), String> {
         (reference, reads)
     };
 
-    let run = map_records(&reference, &reads, &config, backend, workers)
-        .map_err(|e| e.to_string())?;
+    let run =
+        map_records(&reference, &reads, &config, backend, workers).map_err(|e| e.to_string())?;
     println!("{TSV_HEADER}");
     for row in &run.rows {
         println!("{row}");

@@ -10,7 +10,11 @@ fn main() {
     println!("Supply-corner study — misjudgment vs V_DD (N=256, T=8, analytic)\n");
     println!("{}", asmcap_eval::corners::misjudgment_table(&vdds, 256, 8));
 
-    let (reads, decoys, genome) = if smoke { (40, 6, 60_000) } else { (150, 12, 200_000) };
+    let (reads, decoys, genome) = if smoke {
+        (40, 6, 60_000)
+    } else {
+        (150, 12, 200_000)
+    };
     let ds = EvalDataset::build(Condition::A, reads, decoys, 256, genome, 0xC0);
     println!("\nEnd-to-end F1 across corners (Condition A, strategies off)\n");
     println!("{}", asmcap_eval::corners::f1_table(&ds, &vdds, 1));

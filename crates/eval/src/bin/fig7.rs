@@ -26,21 +26,27 @@ fn main() {
         let result = asmcap_eval::fig7::run(condition, &config);
         println!("== {} ==\n", condition.label());
         println!("F1 (%):\n{}", result.f1_table());
-        println!("Normalized F1 (vs Kraken2 exact matching):\n{}", result.normalized_table());
+        println!(
+            "Normalized F1 (vs Kraken2 exact matching):\n{}",
+            result.normalized_table()
+        );
         if let Some(dir) = &csv_dir {
             let tag = match condition {
                 Condition::A => "a",
                 Condition::B => "b",
             };
-            let written =
-                asmcap_eval::report::write_csv(dir, &format!("fig7_condition_{tag}_f1"), &result.f1_table())
-                    .and_then(|_| {
-                        asmcap_eval::report::write_csv(
-                            dir,
-                            &format!("fig7_condition_{tag}_normalized"),
-                            &result.normalized_table(),
-                        )
-                    });
+            let written = asmcap_eval::report::write_csv(
+                dir,
+                &format!("fig7_condition_{tag}_f1"),
+                &result.f1_table(),
+            )
+            .and_then(|_| {
+                asmcap_eval::report::write_csv(
+                    dir,
+                    &format!("fig7_condition_{tag}_normalized"),
+                    &result.normalized_table(),
+                )
+            });
             match written {
                 Ok(path) => println!("(CSV written next to {})\n", path.display()),
                 Err(e) => eprintln!("failed to write CSV: {e}"),

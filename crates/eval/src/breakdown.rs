@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn area_table_matches_paper_total() {
         let rendered = super::area_table().to_string();
-        assert!(rendered.contains("1.58"), "expected ~1.58 mm² in:\n{rendered}");
+        assert!(
+            rendered.contains("1.58"),
+            "expected ~1.58 mm² in:\n{rendered}"
+        );
         assert!(rendered.contains("99."), "cells should be >99%");
     }
 

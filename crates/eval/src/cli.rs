@@ -224,11 +224,18 @@ pub enum MapError {
 impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MapError::ReferenceTooShort { reference, row_width } => write!(
+            MapError::ReferenceTooShort {
+                reference,
+                row_width,
+            } => write!(
                 f,
                 "reference of {reference} bases is shorter than one {row_width}-base row"
             ),
-            MapError::ReadTooShort { read_id, len, row_width } => write!(
+            MapError::ReadTooShort {
+                read_id,
+                len,
+                row_width,
+            } => write!(
                 f,
                 "read '{read_id}' has {len} bases, below the {row_width}-base row width"
             ),
@@ -321,8 +328,7 @@ mod tests {
     fn maps_synthetic_fastq_against_reference() {
         let genome = GenomeModel::uniform().generate(8_000, 1);
         let reads = fastq_reads(&genome, 6, 128);
-        let run = map_records(&genome, &reads, &config(128, 8), BackendKind::Device, None)
-            .unwrap();
+        let run = map_records(&genome, &reads, &config(128, 8), BackendKind::Device, None).unwrap();
         assert_eq!(run.rows.len(), 6);
         assert_eq!(run.stats.mapped, 6);
         for row in &run.rows {
@@ -355,8 +361,7 @@ mod tests {
                 quals: vec![40; 400],
             },
         ];
-        let run = map_records(&genome, &reads, &config(256, 8), BackendKind::Device, None)
-            .unwrap();
+        let run = map_records(&genome, &reads, &config(256, 8), BackendKind::Device, None).unwrap();
         assert_eq!(run.rows[0].status, MapStatus::Rejected);
         assert_eq!(run.rows[1].status, MapStatus::Truncated);
         assert!(
@@ -398,8 +403,7 @@ mod tests {
         let genome = GenomeModel::uniform().generate(8_000, 4);
         let foreign = GenomeModel::uniform().generate(8_000, 99);
         let reads = fastq_reads(&foreign, 2, 128);
-        let run = map_records(&genome, &reads, &config(128, 4), BackendKind::Device, None)
-            .unwrap();
+        let run = map_records(&genome, &reads, &config(128, 4), BackendKind::Device, None).unwrap();
         for row in run.rows {
             assert!(row.positions.is_empty());
             assert_eq!(row.status, MapStatus::Unmapped);
@@ -411,9 +415,12 @@ mod tests {
     fn backends_are_selectable() {
         let genome = GenomeModel::uniform().generate(2_000, 5);
         let reads = fastq_reads(&genome, 2, 128);
-        for backend in [BackendKind::Device, BackendKind::Pair, BackendKind::Software] {
-            let run =
-                map_records(&genome, &reads, &config(128, 8), backend, Some(2)).unwrap();
+        for backend in [
+            BackendKind::Device,
+            BackendKind::Pair,
+            BackendKind::Software,
+        ] {
+            let run = map_records(&genome, &reads, &config(128, 8), backend, Some(2)).unwrap();
             assert_eq!(run.rows.len(), 2, "{backend:?}");
             assert!(run.rows.iter().all(|r| r.status == MapStatus::Mapped));
         }

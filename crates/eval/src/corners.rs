@@ -25,12 +25,18 @@ pub fn misjudgment_table(vdds: &[f64], n: usize, threshold: usize) -> Table {
         table.row(vec![
             format!("{vdd:.2}"),
             format!("{:.3}", asmcap_circuit::corners::discharge_gain(vdd)),
-            format!("{:.2e}", edam.match_probability(threshold + 4, n, threshold)),
+            format!(
+                "{:.2e}",
+                edam.match_probability(threshold + 4, n, threshold)
+            ),
             format!(
                 "{:.2e}",
                 1.0 - edam.match_probability(threshold.saturating_sub(2), n, threshold)
             ),
-            format!("{:.2e}", asmcap.match_probability(threshold + 4, n, threshold)),
+            format!(
+                "{:.2e}",
+                asmcap.match_probability(threshold + 4, n, threshold)
+            ),
             format!(
                 "{:.2e}",
                 1.0 - asmcap.match_probability(threshold.saturating_sub(2), n, threshold)

@@ -7,9 +7,7 @@
 //! the segment *in genome context* is at most `T` (the paper's ED
 //! convention, see `asmcap_metrics::edit`).
 
-use asmcap::{
-    AsmcapPipeline, AsmMatcher, BackendKind, PipelineConfig, PipelineError,
-};
+use asmcap::{AsmMatcher, AsmcapPipeline, BackendKind, PipelineConfig, PipelineError};
 use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, PairDataset};
 use asmcap_metrics::edit::anchored_semi_global;
 use asmcap_metrics::ConfusionMatrix;
@@ -239,12 +237,7 @@ impl EvalDataset {
     /// end-to-end mapping metric complementing the per-pair F1 sweeps.
     #[must_use]
     pub fn mapping_recovery(&self, pipeline: &AsmcapPipeline) -> MappingRecovery {
-        let reads: Vec<DnaSeq> = self
-            .pairs
-            .reads()
-            .iter()
-            .map(|r| r.bases.clone())
-            .collect();
+        let reads: Vec<DnaSeq> = self.pairs.reads().iter().map(|r| r.bases.clone()).collect();
         let records = pipeline.map_batch(&reads);
         let recovered = records
             .iter()
@@ -286,10 +279,7 @@ mod tests {
     #[test]
     fn thresholds_match_fig7_axes() {
         assert_eq!(Condition::A.thresholds(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
-        assert_eq!(
-            Condition::B.thresholds(),
-            vec![2, 4, 6, 8, 10, 12, 14, 16]
-        );
+        assert_eq!(Condition::B.thresholds(), vec![2, 4, 6, 8, 10, 12, 14, 16]);
     }
 
     #[test]

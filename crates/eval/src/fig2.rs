@@ -67,7 +67,13 @@ pub fn measure(example: &Fig2Example) -> (usize, usize, usize) {
 #[must_use]
 pub fn table() -> Table {
     let mut table = Table::new(vec![
-        "pair", "S1 (read)", "S2 (stored)", "HD", "ED*", "ED", "paper (HD, ED*, ED)",
+        "pair",
+        "S1 (read)",
+        "S2 (stored)",
+        "HD",
+        "ED*",
+        "ED",
+        "paper (HD, ED*, ED)",
     ]);
     for (i, example) in examples().iter().enumerate() {
         let (hd, star, ed) = measure(example);

@@ -87,7 +87,11 @@ impl F1Series {
     /// Mean cycles per decision across the sweep.
     #[must_use]
     pub fn mean_cycles(&self) -> f64 {
-        self.points.iter().map(|p| p.cycles.mean_cycles).sum::<f64>() / self.points.len() as f64
+        self.points
+            .iter()
+            .map(|p| p.cycles.mean_cycles)
+            .sum::<f64>()
+            / self.points.len() as f64
     }
 }
 

@@ -28,7 +28,8 @@ pub fn width_table(widths: &[usize]) -> Table {
         let current_sigma = current.sigma_states(n / 2, n);
         // Reliable = adjacent states separated by >= 6 sigma at the worst
         // level (the paper's 3-sigma-per-side rule).
-        let charge_ok = 1.0 >= 6.0 * charge.sigma_states(n / 2, n) - 6.0 * charge.params().sa_offset_states;
+        let charge_ok =
+            1.0 >= 6.0 * charge.sigma_states(n / 2, n) - 6.0 * charge.params().sa_offset_states;
         let current_ok = n <= current.distinguishable_states();
         let energy = eq1_search_energy(&params, 256, n, (0.42 * n as f64) as usize);
         table.row(vec![

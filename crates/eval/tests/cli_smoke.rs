@@ -84,7 +84,10 @@ fn asmcap_map_runs_on_synthetic_fasta_fastq() {
         .expect("spawn asmcap_map");
     let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
     let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
-    assert!(output.status.success(), "asmcap_map failed: {stderr}\n{stdout}");
+    assert!(
+        output.status.success(),
+        "asmcap_map failed: {stderr}\n{stdout}"
+    );
 
     // TSV shape: header plus one row per read.
     let mut lines = stdout.lines();

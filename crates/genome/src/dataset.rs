@@ -112,7 +112,8 @@ impl PairDataset {
                 is_aligned: true,
             });
             for _ in 0..decoys_per_read {
-                let origin = Self::decoy_origin(read.origin, read_len, max_segment_origin, &mut rng);
+                let origin =
+                    Self::decoy_origin(read.origin, read_len, max_segment_origin, &mut rng);
                 pairs.push(ReadPair {
                     read_index,
                     segment: reference.window(origin..origin + read_len),

@@ -354,7 +354,10 @@ pub fn inject_errors_bursty(
     mean_burst_len: f64,
     rng: &mut Rng,
 ) -> (DnaSeq, EditLog) {
-    assert!(mean_burst_len >= 1.0, "mean burst length must be at least 1");
+    assert!(
+        mean_burst_len >= 1.0,
+        "mean burst length must be at least 1"
+    );
     let continue_p = 1.0 - 1.0 / mean_burst_len;
     let ins_event = profile.insertion / mean_burst_len;
     let del_event = profile.deletion / mean_burst_len;
@@ -473,9 +476,15 @@ mod tests {
     #[test]
     fn condition_constants_match_paper() {
         let a = ErrorProfile::condition_a();
-        assert_eq!((a.substitution, a.insertion, a.deletion), (0.01, 0.0005, 0.0005));
+        assert_eq!(
+            (a.substitution, a.insertion, a.deletion),
+            (0.01, 0.0005, 0.0005)
+        );
         let b = ErrorProfile::condition_b();
-        assert_eq!((b.substitution, b.insertion, b.deletion), (0.001, 0.005, 0.005));
+        assert_eq!(
+            (b.substitution, b.insertion, b.deletion),
+            (0.001, 0.005, 0.005)
+        );
     }
 
     #[test]
@@ -574,14 +583,8 @@ mod tests {
             let (_, log) = inject_errors(genome.as_slice(), start, 256, &profile, &mut rng_iid);
             iid_runs.push(log.longest_indel_run());
             iid_indels += log.insertions() + log.deletions();
-            let (_, log) = inject_errors_bursty(
-                genome.as_slice(),
-                start,
-                256,
-                &profile,
-                3.0,
-                &mut rng_burst,
-            );
+            let (_, log) =
+                inject_errors_bursty(genome.as_slice(), start, 256, &profile, 3.0, &mut rng_burst);
             burst_runs.push(log.longest_indel_run());
             burst_indels += log.insertions() + log.deletions();
         }

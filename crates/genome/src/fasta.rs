@@ -245,7 +245,9 @@ mod tests {
         let input = b"ACGTNRYacgt";
         let clean = sanitize(input);
         assert_eq!(clean.len(), input.len());
-        assert!(read_fasta(format!(">s\n{}\n", String::from_utf8(clean).unwrap()).as_bytes()).is_ok());
+        assert!(
+            read_fasta(format!(">s\n{}\n", String::from_utf8(clean).unwrap()).as_bytes()).is_ok()
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub fn pack_kmer(bases: &[Base]) -> KmerCode {
 /// Panics if `k` is zero or greater than 32.
 pub fn kmers(seq: &[Base], k: usize) -> impl Iterator<Item = (usize, KmerCode)> + '_ {
     assert!(k > 0 && k <= 32, "k must be in 1..=32");
-    let mask: u64 = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    let mask: u64 = if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
     let mut code: u64 = 0;
     let mut filled = 0usize;
     seq.iter().enumerate().filter_map(move |(i, &b)| {

@@ -6,7 +6,10 @@
 //! * [`Base`] and [`DnaSeq`] — the four-letter DNA alphabet and owned
 //!   sequences over it;
 //! * [`PackedSeq`] — a 2-bit packed encoding mirroring the two 6T SRAM cells
-//!   that store one base in an ASMCap cell;
+//!   that store one base in an ASMCap cell, with the [`PackedWords`] word
+//!   access the word-parallel matching kernels run on;
+//! * [`PackedRef`] / [`SegmentView`] — a reference packed once serving
+//!   zero-copy `(offset, width)` segment views;
 //! * [`fasta`] — a minimal FASTA reader/writer;
 //! * [`synth`] — seeded synthetic genome generators (the reproduction's
 //!   substitute for the NCBI human genome; see `DESIGN.md` §2);
@@ -41,6 +44,7 @@ pub mod fasta;
 pub mod fastq;
 pub mod kmer;
 pub mod packed;
+pub mod packedref;
 pub mod reads;
 pub mod seq;
 pub mod synth;
@@ -49,7 +53,8 @@ pub use base::Base;
 pub use dataset::{PairDataset, ReadPair};
 pub use errors::{EditKind, EditLog, ErrorModel, ErrorProfile};
 pub use kmer::KmerIndex;
-pub use packed::PackedSeq;
+pub use packed::{PackedSeq, PackedWords};
+pub use packedref::{PackedRef, SegmentView};
 pub use reads::{ReadSampler, SampledRead};
 pub use seq::DnaSeq;
 pub use synth::GenomeModel;

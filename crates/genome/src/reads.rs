@@ -84,8 +84,9 @@ impl ReadSampler {
             ErrorModel::Bursty { mean_burst_len, .. } => mean_burst_len,
         };
         let expected_del = model.profile().deletion * read_len as f64;
-        let headroom =
-            (expected_del + 8.0 * (expected_del * burst).sqrt()).ceil() as usize + 16 + burst as usize;
+        let headroom = (expected_del + 8.0 * (expected_del * burst).sqrt()).ceil() as usize
+            + 16
+            + burst as usize;
         Self {
             read_len,
             model,
@@ -136,14 +137,14 @@ impl ReadSampler {
     /// Panics if the reference is shorter than read length plus headroom.
     #[must_use]
     pub fn sample_with(&self, reference: &DnaSeq, rng: &mut Rng) -> SampledRead {
-        let max_origin = self
-            .max_origin(reference.len())
-            .unwrap_or_else(|| panic!(
+        let max_origin = self.max_origin(reference.len()).unwrap_or_else(|| {
+            panic!(
                 "reference of {} bases is too short for {}-base reads (+{} headroom)",
                 reference.len(),
                 self.read_len,
                 self.headroom
-            ));
+            )
+        });
         let origin = rng.gen_range(0..=max_origin);
         self.sample_at(reference, origin, rng)
     }

@@ -95,7 +95,10 @@ impl GenomeModel {
                 (sum - 1.0).abs() < 1e-6,
                 "markov row must sum to 1, got {sum}"
             );
-            assert!(row.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+            assert!(
+                row.iter().all(|&w| w >= 0.0),
+                "weights must be non-negative"
+            );
         }
         Self {
             composition: Composition::Markov(transition),
@@ -287,7 +290,10 @@ mod tests {
             }
         }
         let cpg_rate = cg as f64 / c_total as f64;
-        assert!(cpg_rate < 0.12, "expected CpG depletion, got rate {cpg_rate}");
+        assert!(
+            cpg_rate < 0.12,
+            "expected CpG depletion, got rate {cpg_rate}"
+        );
     }
 
     #[test]

@@ -64,14 +64,20 @@ impl ConfusionMatrix {
     /// ground-truth positives (a matcher cannot miss what does not exist).
     #[must_use]
     pub fn sensitivity(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// Precision: TP / (TP + FP). Returns 1 when nothing was predicted
     /// positive.
     #[must_use]
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// F1 score (paper Eq. 4): harmonic mean of sensitivity and precision.

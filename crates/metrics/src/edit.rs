@@ -403,7 +403,10 @@ mod tests {
         let a = seq("ACGTACGTTTAGCAT");
         let b = seq("ACGAACGTTTGGCAT");
         let full = edit_distance(a.as_slice(), b.as_slice());
-        assert_eq!(edit_distance_banded(a.as_slice(), b.as_slice(), 10), Some(full));
+        assert_eq!(
+            edit_distance_banded(a.as_slice(), b.as_slice(), 10),
+            Some(full)
+        );
     }
 
     #[test]
@@ -450,7 +453,14 @@ mod tests {
     fn align_reports_script() {
         let alignment = align(seq("ACGT").as_slice(), seq("ACT").as_slice());
         assert_eq!(alignment.distance, 1);
-        assert_eq!(alignment.ops.iter().filter(|o| **o == AlignOp::Insert).count(), 1);
+        assert_eq!(
+            alignment
+                .ops
+                .iter()
+                .filter(|o| **o == AlignOp::Insert)
+                .count(),
+            1
+        );
         let alignment = align(seq("ACT").as_slice(), seq("ACGT").as_slice());
         assert_eq!(alignment.cigar(), "2=1D1=");
     }
@@ -460,7 +470,10 @@ mod tests {
         let a = seq("GATTACAGATTACA");
         let b = seq("GCTTACAGATTAA");
         let alignment = align(a.as_slice(), b.as_slice());
-        assert_eq!(alignment.distance, edit_distance(a.as_slice(), b.as_slice()));
+        assert_eq!(
+            alignment.distance,
+            edit_distance(a.as_slice(), b.as_slice())
+        );
     }
 
     fn arbitrary_seq(max_len: usize) -> impl Strategy<Value = DnaSeq> {

@@ -9,6 +9,11 @@
 //!
 //! Boundary cells see only the two searchline pairs that physically exist.
 //!
+//! The functions here are the scalar reference implementations; the
+//! word-parallel equivalents over 2-bit packed sequences — the ones the
+//! mapping backends actually run — are [`crate::kernels::ed_star_packed`]
+//! and [`crate::kernels::ed_star_hamming_packed`].
+//!
 //! # Which sequence goes where?
 //!
 //! ED\* is *not* symmetric: a base **deleted from the read** leaves a stored

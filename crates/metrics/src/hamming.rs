@@ -1,6 +1,9 @@
 //! Hamming distance between equal-length sequences.
+//!
+//! The word-parallel variant over 2-bit packings lives in
+//! [`crate::kernels::hamming_packed`].
 
-use asmcap_genome::{Base, PackedSeq};
+use asmcap_genome::Base;
 
 /// Counts positions where `a` and `b` differ.
 ///
@@ -24,19 +27,6 @@ use asmcap_genome::{Base, PackedSeq};
 pub fn hamming(a: &[Base], b: &[Base]) -> usize {
     assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
     a.iter().zip(b).filter(|(x, y)| x != y).count()
-}
-
-/// Word-parallel Hamming distance over 2-bit packed sequences.
-///
-/// Equivalent to [`hamming`] but ~16× faster on long sequences; used by the
-/// software baselines and the benchmark kernels.
-///
-/// # Panics
-///
-/// Panics if the sequences have different lengths.
-#[must_use]
-pub fn hamming_packed(a: &PackedSeq, b: &PackedSeq) -> usize {
-    a.hamming_distance(b)
 }
 
 #[cfg(test)]
@@ -76,18 +66,6 @@ mod tests {
     }
 
     proptest! {
-        #[test]
-        fn prop_packed_agrees_with_naive(
-            pairs in proptest::collection::vec((0u8..4, 0u8..4), 0..400)
-        ) {
-            let a: DnaSeq = pairs.iter().map(|&(x, _)| Base::from_code(x)).collect();
-            let b: DnaSeq = pairs.iter().map(|&(_, y)| Base::from_code(y)).collect();
-            prop_assert_eq!(
-                hamming(a.as_slice(), b.as_slice()),
-                hamming_packed(&PackedSeq::from_seq(&a), &PackedSeq::from_seq(&b))
-            );
-        }
-
         #[test]
         fn prop_symmetric(pairs in proptest::collection::vec((0u8..4, 0u8..4), 0..200)) {
             let a: DnaSeq = pairs.iter().map(|&(x, _)| Base::from_code(x)).collect();

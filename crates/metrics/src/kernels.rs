@@ -1,0 +1,322 @@
+//! Word-parallel ED\* and Hamming kernels over 2-bit packed sequences.
+//!
+//! An ASMCap cell compares its stored base against the co-located read base
+//! and the two neighbours (paper Fig. 4c). On a 2-bit packing that is three
+//! lane-wise comparisons per 64-bit word — the centre XOR plus the read
+//! shifted one lane up (left neighbour) and one lane down (right
+//! neighbour) — so one loop iteration evaluates 32 cells:
+//!
+//! ```text
+//! lane mismatch(x, y) = ((x ^ y) | ((x ^ y) >> 1)) & 0x5555…   (per 2-bit lane)
+//! ED*  cell mismatch  = centre ∧ left ∧ right                  (no partial match)
+//! HD   cell mismatch  = centre
+//! n_mis               = Σ popcount
+//! ```
+//!
+//! Boundary cells keep the paper's semantics: cell 0 has no left searchline
+//! pair and cell `N−1` no right pair, so those comparisons are forced to
+//! mismatch. Both kernels return the exact `n_mis` the scalar
+//! [`crate::ed_star`] / [`crate::hamming()`] walks produce — pinned by
+//! property tests here and by the backend-equivalence suite — and run on
+//! anything implementing [`PackedWords`]: owned [`asmcap_genome::PackedSeq`]s or zero-copy
+//! [`asmcap_genome::SegmentView`]s of a packed reference.
+
+use asmcap_genome::PackedWords;
+
+/// The 2-bit lane mask (low bit of every lane).
+const LANE_LOW: u64 = 0x5555_5555_5555_5555;
+
+/// Per-lane mismatch mask: bit `2i` is set iff lane `i` of `x` and `y`
+/// differ in either bit.
+#[inline]
+fn lane_neq(x: u64, y: u64) -> u64 {
+    let d = x ^ y;
+    (d | (d >> 1)) & LANE_LOW
+}
+
+/// The one word loop both ED\* kernels share: for every word, computes the
+/// centre-comparison mismatch mask and the ED\* cell-mismatch mask (centre ∧
+/// left ∧ right, with the boundary comparisons forced to mismatch) and
+/// hands them to `fold`. Keeping the carry/boundary/tail logic in exactly
+/// one place is what lets the plain and fused kernels stay in lockstep.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+#[inline]
+fn fold_cell_masks<S: PackedWords, R: PackedWords>(
+    stored: &S,
+    read: &R,
+    mut fold: impl FnMut(u64, u64),
+) {
+    let n = stored.len();
+    assert_eq!(
+        n,
+        read.len(),
+        "ED* compares a read against an equally wide stored row"
+    );
+    if n == 0 {
+        return;
+    }
+    let n_words = stored.n_words();
+    let last_lane_word = (n - 1) / 32;
+    let last_lane_bit = 1u64 << (2 * ((n - 1) % 32));
+    let mut prev_read = 0u64;
+    let mut cur_read = read.word(0);
+    for k in 0..n_words {
+        let s = stored.word(k);
+        let next_read = if k + 1 < n_words { read.word(k + 1) } else { 0 };
+        let centre = lane_neq(s, cur_read);
+        // Lane i of the shifted word holds read[i−1] / read[i+1]; the lane
+        // shifted in from beyond the row is irrelevant because the boundary
+        // comparison is forced to mismatch below.
+        let mut left = lane_neq(s, (cur_read << 2) | (prev_read >> 62));
+        if k == 0 {
+            left |= 1; // cell 0 has no left searchline pair
+        }
+        let mut right = lane_neq(s, (cur_read >> 2) | (next_read << 62));
+        if k == last_lane_word {
+            right |= last_lane_bit; // cell N−1 has no right pair
+        }
+        // Tail lanes beyond n hold zero in both operands, so their centre
+        // comparison matches and they never count as mismatches.
+        fold(centre, centre & left & right);
+        prev_read = cur_read;
+        cur_read = next_read;
+    }
+}
+
+/// Word-parallel ED\*: the mismatched-cell count `n_mis` of searching
+/// `read` against a row storing `stored`, identical to
+/// [`crate::ed_star`]`(stored, read)` on the unpacked sequences.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::{DnaSeq, PackedRef, PackedSeq};
+/// // Paper Fig. 2, second example: stored = AGCATGAG, read = AGCTGAGA.
+/// let stored = PackedRef::new(&"AGCATGAG".parse::<DnaSeq>()?);
+/// let read = PackedSeq::from_seq(&"AGCTGAGA".parse::<DnaSeq>()?);
+/// assert_eq!(asmcap_metrics::ed_star_packed(&stored.segment(0, 8), &read), 1);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[must_use]
+pub fn ed_star_packed<S: PackedWords, R: PackedWords>(stored: &S, read: &R) -> usize {
+    let mut mismatches = 0u32;
+    fold_cell_masks(stored, read, |_centre, mis| {
+        mismatches += mis.count_ones();
+    });
+    mismatches as usize
+}
+
+/// Word-parallel Hamming distance, identical to [`crate::hamming()`] on the
+/// unpacked sequences (HD mode, MUX select `S = 0`): XOR, fold each lane's
+/// two bitplanes, popcount.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::{DnaSeq, PackedSeq};
+/// let a = PackedSeq::from_seq(&"AGCTGAGA".parse::<DnaSeq>()?);
+/// let b = PackedSeq::from_seq(&"ATCTGCGA".parse::<DnaSeq>()?);
+/// assert_eq!(asmcap_metrics::hamming_packed(&a, &b), 2);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[must_use]
+pub fn hamming_packed<A: PackedWords, B: PackedWords>(a: &A, b: &B) -> usize {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "hamming distance requires equal-length sequences"
+    );
+    (0..a.n_words())
+        .map(|k| lane_neq(a.word(k), b.word(k)).count_ones() as usize)
+        .sum()
+}
+
+/// Word-parallel `(ED*, HD)` in one pass — what one matchline-encoding
+/// prepass of an ASMCap array row produces for both MUX settings. Cheaper
+/// than two kernel calls when both distances are needed: the engine's
+/// per-pair decision uses it whenever HDAC has armed its HD-mode search.
+#[must_use]
+pub fn ed_star_hamming_packed<S: PackedWords, R: PackedWords>(
+    stored: &S,
+    read: &R,
+) -> (usize, usize) {
+    let mut star = 0u32;
+    let mut hd = 0u32;
+    fold_cell_masks(stored, read, |centre, mis| {
+        hd += centre.count_ones();
+        star += mis.count_ones();
+    });
+    (star as usize, hd as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edstar::ed_star;
+    use crate::hamming::hamming;
+    use asmcap_genome::{Base, DnaSeq, PackedRef, PackedSeq};
+    use proptest::prelude::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().expect("valid test sequence")
+    }
+
+    fn packed(s: &str) -> PackedSeq {
+        PackedSeq::from_seq(&seq(s))
+    }
+
+    #[test]
+    fn fig2_numeric_examples() {
+        // Same three Fig. 2 pairs the scalar tests pin.
+        assert_eq!(ed_star_packed(&packed("ATCTGCGA"), &packed("AGCTGAGA")), 2);
+        assert_eq!(hamming_packed(&packed("ATCTGCGA"), &packed("AGCTGAGA")), 2);
+        assert_eq!(ed_star_packed(&packed("AGCATGAG"), &packed("AGCTGAGA")), 1);
+        assert_eq!(hamming_packed(&packed("AGCATGAG"), &packed("AGCTGAGA")), 5);
+        assert_eq!(ed_star_packed(&packed("AGTGAGAA"), &packed("AGCTGAGA")), 0);
+        assert_eq!(hamming_packed(&packed("AGTGAGAA"), &packed("AGCTGAGA")), 5);
+    }
+
+    #[test]
+    fn boundary_cells_have_truncated_windows() {
+        // Stored AC vs read CA: both cells rescued by their one neighbour.
+        assert_eq!(ed_star_packed(&packed("AC"), &packed("CA")), 0);
+        assert_eq!(hamming_packed(&packed("AC"), &packed("CA")), 2);
+        // Single-cell row: only the centre comparison exists.
+        assert_eq!(ed_star_packed(&packed("A"), &packed("C")), 1);
+        assert_eq!(ed_star_packed(&packed("A"), &packed("A")), 0);
+    }
+
+    #[test]
+    fn empty_rows_have_zero_distance() {
+        let empty = PackedSeq::default();
+        assert_eq!(ed_star_packed(&empty, &empty), 0);
+        assert_eq!(hamming_packed(&empty, &empty), 0);
+        assert_eq!(ed_star_hamming_packed(&empty, &empty), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equally wide")]
+    fn length_mismatch_panics() {
+        let _ = ed_star_packed(&packed("ACG"), &packed("AC"));
+    }
+
+    #[test]
+    fn word_boundary_widths_match_scalar() {
+        // Exercise widths around the 32-base word boundary explicitly.
+        for len in [1usize, 2, 31, 32, 33, 63, 64, 65, 95, 96, 97, 128, 200] {
+            let stored: DnaSeq = (0..len)
+                .map(|i| Base::from_code(((i * 3 + 1) % 4) as u8))
+                .collect();
+            let read: DnaSeq = (0..len)
+                .map(|i| Base::from_code(((i * 5 + i / 9) % 4) as u8))
+                .collect();
+            let (ps, pr) = (PackedSeq::from_seq(&stored), PackedSeq::from_seq(&read));
+            assert_eq!(
+                ed_star_packed(&ps, &pr),
+                ed_star(stored.as_slice(), read.as_slice()),
+                "ED* at width {len}"
+            );
+            assert_eq!(
+                hamming_packed(&ps, &pr),
+                hamming(stored.as_slice(), read.as_slice()),
+                "HD at width {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_views_straddling_word_boundaries_match_scalar() {
+        let reference: DnaSeq = (0..400)
+            .map(|i| Base::from_code(((i * 7 + i / 13) % 4) as u8))
+            .collect();
+        let packed_ref = PackedRef::new(&reference);
+        let read: DnaSeq = (0..100)
+            .map(|i| Base::from_code(((i * 11 + 2) % 4) as u8))
+            .collect();
+        let packed_read = PackedSeq::from_seq(&read);
+        for offset in [0usize, 1, 17, 31, 32, 33, 63, 64, 100, 300] {
+            let view = packed_ref.segment(offset, 100);
+            let slice = &reference.as_slice()[offset..offset + 100];
+            assert_eq!(
+                ed_star_packed(&view, &packed_read),
+                ed_star(slice, read.as_slice()),
+                "ED* at offset {offset}"
+            );
+            assert_eq!(
+                hamming_packed(&view, &packed_read),
+                hamming(slice, read.as_slice()),
+                "HD at offset {offset}"
+            );
+        }
+    }
+
+    fn arbitrary_pair(max_len: usize) -> impl Strategy<Value = (DnaSeq, DnaSeq)> {
+        proptest::collection::vec((0u8..4, 0u8..4), 1..=max_len).prop_map(|pairs| {
+            let a = pairs.iter().map(|&(x, _)| Base::from_code(x)).collect();
+            let b = pairs.iter().map(|&(_, y)| Base::from_code(y)).collect();
+            (a, b)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_packed_ed_star_equals_scalar((stored, read) in arbitrary_pair(200)) {
+            prop_assert_eq!(
+                ed_star_packed(&PackedSeq::from_seq(&stored), &PackedSeq::from_seq(&read)),
+                ed_star(stored.as_slice(), read.as_slice())
+            );
+        }
+
+        #[test]
+        fn prop_packed_hamming_equals_scalar((stored, read) in arbitrary_pair(200)) {
+            prop_assert_eq!(
+                hamming_packed(&PackedSeq::from_seq(&stored), &PackedSeq::from_seq(&read)),
+                hamming(stored.as_slice(), read.as_slice())
+            );
+        }
+
+        #[test]
+        fn prop_fused_kernel_equals_both((stored, read) in arbitrary_pair(200)) {
+            let (star, hd) = ed_star_hamming_packed(
+                &PackedSeq::from_seq(&stored),
+                &PackedSeq::from_seq(&read)
+            );
+            prop_assert_eq!(star, ed_star(stored.as_slice(), read.as_slice()));
+            prop_assert_eq!(hd, hamming(stored.as_slice(), read.as_slice()));
+        }
+
+        #[test]
+        fn prop_views_at_any_offset_equal_scalar(
+            codes in proptest::collection::vec(0u8..4, 2..400),
+            read_codes in proptest::collection::vec(0u8..4, 1..=200),
+            offset_frac in 0.0f64..1.0
+        ) {
+            let reference: DnaSeq = codes.into_iter().map(Base::from_code).collect();
+            let width = read_codes.len().min(reference.len());
+            let read: DnaSeq = read_codes.into_iter().take(width).map(Base::from_code).collect();
+            let offset = (((reference.len() - width) as f64) * offset_frac) as usize;
+            let packed_ref = PackedRef::new(&reference);
+            let view = packed_ref.segment(offset, width);
+            let slice = &reference.as_slice()[offset..offset + width];
+            prop_assert_eq!(
+                ed_star_packed(&view, &PackedSeq::from_seq(&read)),
+                ed_star(slice, read.as_slice())
+            );
+            prop_assert_eq!(
+                hamming_packed(&view, &PackedSeq::from_seq(&read)),
+                hamming(slice, read.as_slice())
+            );
+        }
+    }
+}

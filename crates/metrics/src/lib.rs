@@ -11,6 +11,12 @@
 //!   CAM array evaluates in one shot, where each stored base also matches
 //!   the read base's left and right neighbors.
 //!
+//! [`kernels`] holds the word-parallel variants of HD and ED\* over 2-bit
+//! packed sequences ([`ed_star_packed`], [`hamming_packed`]) — the hot path
+//! every mapping backend runs on; the scalar walks above remain as the
+//! readable reference implementations the kernels are property-tested
+//! against.
+//!
 //! [`confusion`] provides the TP/FP/FN/TN bookkeeping and the F1 score used
 //! throughout the evaluation (paper Eq. 3–4), and [`stats`] small numeric
 //! helpers shared by the experiment harness.
@@ -22,9 +28,11 @@ pub mod confusion;
 pub mod edit;
 pub mod edstar;
 pub mod hamming;
+pub mod kernels;
 pub mod stats;
 
 pub use confusion::ConfusionMatrix;
 pub use edit::{edit_distance, edit_distance_banded, edit_distance_myers};
 pub use edstar::{ed_star, ed_star_profile, CellMatch, EdStarProfile};
-pub use hamming::{hamming, hamming_packed};
+pub use hamming::hamming;
+pub use kernels::{ed_star_hamming_packed, ed_star_packed, hamming_packed};

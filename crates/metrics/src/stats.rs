@@ -245,7 +245,9 @@ mod tests {
 
     #[test]
     fn accumulator_basic_moments() {
-        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(acc.mean(), 5.0);
         assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(acc.min(), 2.0);

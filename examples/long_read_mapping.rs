@@ -58,7 +58,10 @@ fn main() {
             None => println!("read {i}: true origin {} -> unmapped", read.origin),
         }
     }
-    println!("\nmapped {mapped_ok}/{} long reads to their origin", reads.len());
+    println!(
+        "\nmapped {mapped_ok}/{} long reads to their origin",
+        reads.len()
+    );
     let stats = mapper.stats();
     println!(
         "pipeline activity: {} fragments, {} cycles, {:.2} uJ",
@@ -66,6 +69,9 @@ fn main() {
         stats.cycles,
         stats.energy_j * 1e6
     );
-    assert!(mapped_ok >= reads.len() - 2, "long-read mapping rate too low");
+    assert!(
+        mapped_ok >= reads.len() - 2,
+        "long-read mapping rate too low"
+    );
     println!("long read mapping OK");
 }

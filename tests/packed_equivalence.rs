@@ -1,0 +1,200 @@
+//! The packed matchplane is a pure representation change: every path that
+//! runs on 2-bit packed words must produce **byte-identical** results — same
+//! candidate positions, same cycle/energy accounting, same RNG draw order —
+//! as the byte-per-base walk it replaced. These tests pin that contract
+//! across the pipeline, the backends, the engine, and the array.
+
+use asmcap::{AsmMatcher as _, MappingBackend as _};
+use asmcap::{AsmcapPipeline, BackendKind, MapRecord, PipelineConfig};
+use asmcap_arch::{CamArray, MatchMode};
+use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, PackedRef, PackedSeq, ReadSampler};
+
+const WIDTH: usize = 128;
+
+fn workload(genome: &DnaSeq, profile: ErrorProfile) -> Vec<DnaSeq> {
+    let sampler = ReadSampler::new(WIDTH, profile);
+    let mut reads: Vec<DnaSeq> = sampler
+        .sample_many(genome, 12, 31)
+        .into_iter()
+        .map(|r| r.bases)
+        .collect();
+    let foreign = GenomeModel::uniform().generate(4 * WIDTH, 777);
+    for i in 0..4 {
+        reads.push(foreign.window(i * WIDTH..(i + 1) * WIDTH));
+    }
+    reads
+}
+
+fn pipeline(
+    genome: &DnaSeq,
+    backend: BackendKind,
+    profile: ErrorProfile,
+    threshold: usize,
+) -> AsmcapPipeline {
+    AsmcapPipeline::builder()
+        .reference(genome.clone())
+        .config(PipelineConfig {
+            row_width: WIDTH,
+            seed: 0xA5,
+            ..PipelineConfig::paper(threshold, profile)
+        })
+        .backend(backend)
+        .workers(2)
+        .build()
+        .expect("pipeline builds")
+}
+
+/// `map_batch` (packs internally) and `map_batch_packed` (caller packs)
+/// yield byte-identical records on every backend, in both error regimes —
+/// condition A arms HDAC, condition B arms TASR's rotated searches.
+#[test]
+fn packed_batch_entry_point_is_byte_identical() {
+    let genome = GenomeModel::uniform().generate(16_384, 21);
+    for (profile, threshold) in [
+        (ErrorProfile::condition_a(), 6usize),
+        (ErrorProfile::condition_b(), 8usize),
+    ] {
+        let reads = workload(&genome, profile);
+        let packed: Vec<PackedSeq> = reads.iter().map(PackedSeq::from_seq).collect();
+        for kind in [
+            BackendKind::Device,
+            BackendKind::Pair,
+            BackendKind::Software,
+        ] {
+            let unpacked_records = pipeline(&genome, kind, profile, threshold).map_batch(&reads);
+            let packed_records =
+                pipeline(&genome, kind, profile, threshold).map_batch_packed(&packed);
+            assert_eq!(
+                unpacked_records, packed_records,
+                "{kind:?} diverged between packed and unpacked batch entry points"
+            );
+        }
+    }
+}
+
+/// The trait's mutual defaults: a backend reached through `map_seeded`
+/// (slice) and through `map_packed` (words) makes identical decisions and
+/// draws identical noise.
+#[test]
+fn backend_entry_points_agree() {
+    let genome = GenomeModel::uniform().generate(4_096, 5);
+    let backend = asmcap::PairBackend::new(
+        genome.clone(),
+        1,
+        WIDTH,
+        asmcap::MapperConfig::paper(8, ErrorProfile::condition_b()),
+    );
+    let read = genome.window(900..900 + WIDTH);
+    let via_slice = backend.map_seeded(&read, 42);
+    let via_words = backend.map_packed(&PackedSeq::from_seq(&read), 42);
+    assert_eq!(via_slice, via_words);
+    assert!(via_slice.positions.contains(&900));
+}
+
+/// The engine's scalar `matches` delegates to `matches_packed`; a fresh
+/// engine fed slices and a fresh engine fed packed segment views of the
+/// same reference walk identical RNG streams and return identical outcomes.
+#[test]
+fn engine_scalar_and_packed_paths_are_interchangeable() {
+    let genome = GenomeModel::uniform().generate(4_096, 7);
+    let packed_ref = PackedRef::new(&genome);
+    let sampler = ReadSampler::new(WIDTH, ErrorProfile::condition_b());
+    for (i, read) in sampler.sample_many(&genome, 6, 13).into_iter().enumerate() {
+        let seed = 1000 + i as u64;
+        let mut scalar = asmcap::AsmcapEngine::paper(ErrorProfile::condition_b(), seed);
+        let mut packed = asmcap::AsmcapEngine::paper(ErrorProfile::condition_b(), seed);
+        let packed_read = PackedSeq::from_seq(&read.bases);
+        for start in (0..=genome.len() - WIDTH).step_by(197) {
+            let slice = &genome.as_slice()[start..start + WIDTH];
+            let view = packed_ref.segment(start, WIDTH);
+            for t in [2usize, 8] {
+                assert_eq!(
+                    scalar.matches(slice, read.bases.as_slice(), t),
+                    packed.matches_packed(&view, &packed_read, t),
+                    "engine diverged at segment {start}, T={t}"
+                );
+            }
+        }
+    }
+}
+
+/// `CamArray::search` packs and forwards to `search_packed`: same rows,
+/// same n_mis, same sense decisions, same energy.
+#[test]
+fn array_search_entry_points_agree() {
+    let genome = GenomeModel::uniform().generate(4_096, 3);
+    let mut array = CamArray::asmcap(16, WIDTH);
+    for i in 0..16 {
+        array
+            .store_row(&genome.as_slice()[i * 200..i * 200 + WIDTH])
+            .unwrap();
+    }
+    let read = genome.window(1_000..1_000 + WIDTH);
+    let packed_read = PackedSeq::from_seq(&read);
+    for mode in [MatchMode::EdStar, MatchMode::Hamming] {
+        let mut rng_a = asmcap_circuit::rng(11);
+        let mut rng_b = asmcap_circuit::rng(11);
+        assert_eq!(
+            array.search(read.as_slice(), 4, mode, &mut rng_a),
+            array.search_packed(&packed_read, 4, mode, &mut rng_b),
+            "array diverged in {mode} mode"
+        );
+    }
+}
+
+/// Truncation and rejection statuses are decided on packed lengths exactly
+/// as they were on sequence lengths.
+#[test]
+fn statuses_survive_the_packed_path() {
+    let genome = GenomeModel::uniform().generate(4_096, 24);
+    let p = pipeline(
+        &genome,
+        BackendKind::Software,
+        ErrorProfile::condition_a(),
+        2,
+    );
+    let long = PackedSeq::from_seq(&genome.window(200..200 + WIDTH + 40));
+    let short = PackedSeq::from_seq(&genome.window(0..WIDTH / 2));
+    let long_record = p.map_packed(&long);
+    assert_eq!(long_record.status, asmcap::MapStatus::Truncated);
+    assert!(
+        long_record.positions.contains(&200),
+        "truncated prefix still maps"
+    );
+    let short_record = p.map_packed(&short);
+    assert_eq!(short_record.status, asmcap::MapStatus::Rejected);
+}
+
+/// The long-read mapper's packed fragment extraction sees exactly the
+/// windows `fragments()` reports, so voting is unchanged.
+#[test]
+fn long_read_mapper_votes_identically_over_packed_fragments() {
+    let genome = GenomeModel::uniform().generate(8_192, 2);
+    let make = || {
+        asmcap::LongReadMapper::new(
+            AsmcapPipeline::builder()
+                .reference(genome.clone())
+                .config(PipelineConfig {
+                    row_width: WIDTH,
+                    seed: 7,
+                    ..PipelineConfig::plain(2)
+                })
+                .build()
+                .unwrap(),
+            asmcap::FragmentConfig::new(WIDTH),
+        )
+    };
+    let read = genome.window(2_345..2_345 + 500); // non-multiple of the width
+    let mapper = make();
+    let mapping = mapper.map_long_read(&read).expect("maps");
+    assert_eq!(mapping.origin, 2_345);
+    // Replaying the unpacked fragments through a fresh pipeline produces
+    // the same records the packed path voted over.
+    let replay = make();
+    let fragments = replay.fragments(&read);
+    let records: Vec<MapRecord> = replay
+        .pipeline()
+        .map_batch(&fragments.iter().map(|(_, f)| f.clone()).collect::<Vec<_>>());
+    assert_eq!(mapping.fragments, fragments.len());
+    assert!(records.iter().all(|r| r.status.is_mapped()));
+}

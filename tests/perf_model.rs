@@ -43,8 +43,14 @@ fn headline_ratios_vs_edam() {
     // Paper: 1.4x speedup and 10.8x energy efficiency over EDAM.
     let speedup = with.speedup / edam.speedup;
     let ee = with.energy_efficiency / edam.energy_efficiency;
-    assert!((1.1..1.8).contains(&speedup), "speedup vs EDAM {speedup:.2}");
-    assert!((7.0..16.0).contains(&ee), "energy efficiency vs EDAM {ee:.1}");
+    assert!(
+        (1.1..1.8).contains(&speedup),
+        "speedup vs EDAM {speedup:.2}"
+    );
+    assert!(
+        (7.0..16.0).contains(&ee),
+        "energy efficiency vs EDAM {ee:.1}"
+    );
 }
 
 #[test]

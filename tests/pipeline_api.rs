@@ -48,8 +48,10 @@ fn map_batch_is_worker_count_independent() {
 
     // Sequential reference: read-by-read through `map` on a fresh pipeline.
     let sequential_pipeline = pipeline(&genome, BackendKind::Device, 1);
-    let sequential: Vec<MapRecord> =
-        reads.iter().map(|read| sequential_pipeline.map(read)).collect();
+    let sequential: Vec<MapRecord> = reads
+        .iter()
+        .map(|read| sequential_pipeline.map(read))
+        .collect();
 
     for workers in [1usize, 2, 8] {
         let batched = pipeline(&genome, BackendKind::Device, workers).map_batch(&reads);
@@ -95,7 +97,11 @@ fn device_and_pair_backends_agree_on_match_no_match() {
     let software = pipeline(&genome, BackendKind::Software, 2).map_batch(&reads);
 
     for (i, origin) in origins.iter().enumerate() {
-        for (name, records) in [("device", &device), ("pair", &pair), ("software", &software)] {
+        for (name, records) in [
+            ("device", &device),
+            ("pair", &pair),
+            ("software", &software),
+        ] {
             let record = &records[i];
             match origin {
                 Some(start) => {
@@ -133,10 +139,7 @@ fn pipeline_stats_aggregate_the_batch() {
     assert_eq!(stats.reads, reads.len() as u64);
     assert_eq!(stats.truncated, 1);
     assert_eq!(stats.rejected, 1);
-    assert_eq!(
-        stats.cycles,
-        records.iter().map(|r| r.cycles).sum::<u64>()
-    );
+    assert_eq!(stats.cycles, records.iter().map(|r| r.cycles).sum::<u64>());
     assert_eq!(
         stats.searches,
         records.iter().map(|r| r.searches).sum::<u64>()

@@ -109,6 +109,95 @@ proptest! {
         prop_assert_eq!(rotated, read);
     }
 
+    /// The word-parallel kernels equal the scalar walks on arbitrary pairs,
+    /// at every length 1..=200 the generator produces — including the
+    /// non-word-aligned ones.
+    #[test]
+    fn packed_kernels_equal_scalar_metrics((stored, read) in equal_length_pair(200)) {
+        let ps = asmcap_genome::PackedSeq::from_seq(&stored);
+        let pr = asmcap_genome::PackedSeq::from_seq(&read);
+        prop_assert_eq!(
+            asmcap_metrics::ed_star_packed(&ps, &pr),
+            asmcap_metrics::ed_star(stored.as_slice(), read.as_slice())
+        );
+        prop_assert_eq!(
+            asmcap_metrics::hamming_packed(&ps, &pr),
+            asmcap_metrics::hamming(stored.as_slice(), read.as_slice())
+        );
+    }
+
+    /// A zero-copy segment view at any offset — word-aligned or straddling
+    /// word boundaries — feeds the kernels the same bases the reference
+    /// slice holds.
+    #[test]
+    fn segment_views_equal_reference_slices(
+        reference in arbitrary_seq(64..300),
+        read in arbitrary_seq(1..64),
+        offset_frac in 0.0f64..1.0
+    ) {
+        let width = read.len();
+        let offset = (((reference.len() - width) as f64) * offset_frac) as usize;
+        let packed_ref = asmcap_genome::PackedRef::new(&reference);
+        let view = packed_ref.segment(offset, width);
+        let slice = &reference.as_slice()[offset..offset + width];
+        let packed_read = asmcap_genome::PackedSeq::from_seq(&read);
+        prop_assert_eq!(
+            asmcap_metrics::ed_star_packed(&view, &packed_read),
+            asmcap_metrics::ed_star(slice, read.as_slice())
+        );
+        prop_assert_eq!(
+            asmcap_metrics::hamming_packed(&view, &packed_read),
+            asmcap_metrics::hamming(slice, read.as_slice())
+        );
+    }
+
+    /// The single-cell functional model (`AsmcapCell` + `SlDriver`, paper
+    /// Fig. 4b/4c) and the word-parallel kernels are the same comparison
+    /// logic at different granularities: walking the searchline windows
+    /// cell-by-cell must count exactly the mismatches the packed kernels
+    /// report, in both MUX modes.
+    #[test]
+    fn cell_model_agrees_with_packed_kernels((stored, read) in equal_length_pair(150)) {
+        let driver = asmcap_arch::SlDriver::latch(read.as_slice());
+        let cells: Vec<asmcap_arch::AsmcapCell> = stored
+            .iter()
+            .map(asmcap_arch::AsmcapCell::new)
+            .collect();
+        let count = |mode: MatchMode| {
+            cells
+                .iter()
+                .zip(driver.windows())
+                .filter(|(cell, (left, centre, right))| {
+                    !cell.output(cell.compare(*left, *centre, *right), mode)
+                })
+                .count()
+        };
+        let ps = asmcap_genome::PackedSeq::from_seq(&stored);
+        let pr = asmcap_genome::PackedSeq::from_seq(&read);
+        prop_assert_eq!(count(MatchMode::EdStar), asmcap_metrics::ed_star_packed(&ps, &pr));
+        prop_assert_eq!(count(MatchMode::Hamming), asmcap_metrics::hamming_packed(&ps, &pr));
+    }
+
+    /// The engine makes the same noisy decision whether it is handed slices
+    /// or packed operands: the packed path preserves the RNG draw order.
+    #[test]
+    fn engine_packed_path_preserves_decisions(
+        (segment, read) in equal_length_pair(150),
+        t in 0usize..12,
+        seed in 0u64..50
+    ) {
+        let mut scalar = AsmcapEngine::paper(ErrorProfile::condition_b(), seed);
+        let mut packed = AsmcapEngine::paper(ErrorProfile::condition_b(), seed);
+        prop_assert_eq!(
+            scalar.matches(segment.as_slice(), read.as_slice(), t),
+            packed.matches_packed(
+                &asmcap_genome::PackedSeq::from_seq(&segment),
+                &asmcap_genome::PackedSeq::from_seq(&read),
+                t
+            )
+        );
+    }
+
     /// Device search finds an exact stored row at T=1 regardless of where
     /// it lands across arrays. (T=0 is a knife-edge by design: the V_ref
     /// boundary sits only ~3.3σ of SA offset above a perfect row, so a

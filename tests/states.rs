@@ -11,7 +11,10 @@ fn analytic_state_counts_match_paper() {
 #[test]
 fn empirical_states_bracket_the_claims() {
     let counts = asmcap_eval::states::analyze(256, 4_000, 0xD15C);
-    assert_eq!(counts.asmcap_empirical, 256, "charge domain must resolve a full row");
+    assert_eq!(
+        counts.asmcap_empirical, 256,
+        "charge domain must resolve a full row"
+    );
     assert!(
         (25..70).contains(&counts.edam_empirical),
         "current domain should collapse near 44, got {}",

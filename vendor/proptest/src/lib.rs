@@ -130,7 +130,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *left != *right,
             "assertion failed: `{} != {}`\n  both: `{:?}`",
-            ::core::stringify!($left), ::core::stringify!($right), left,
+            ::core::stringify!($left),
+            ::core::stringify!($right),
+            left,
         );
     }};
 }

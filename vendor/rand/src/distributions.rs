@@ -86,11 +86,8 @@ pub mod uniform {
         fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
 
         /// Samples uniformly from `[low, high]`.
-        fn sample_single_inclusive<R: RngCore + ?Sized>(
-            low: Self,
-            high: Self,
-            rng: &mut R,
-        ) -> Self;
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
     }
 
     /// Range types usable with [`crate::Rng::gen_range`].
