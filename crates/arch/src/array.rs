@@ -409,6 +409,69 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
         }
     }
 
+    /// [`CamArray::search_packed`] restricted to a shortlist of rows: the
+    /// controller's row-mask gating. Only the listed rows run the digital
+    /// pre-pass and draw sensing noise (in ascending row order, exactly the
+    /// order a full search would reach them), and the energy model is
+    /// charged for the sensed rows only — unlisted matchlines stay
+    /// pre-charged and untouched.
+    ///
+    /// Searching with every row listed is byte-identical to
+    /// [`CamArray::search_packed`], RNG draws included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read width differs from the array width, HD mode is
+    /// requested on hardware without the HD MUX, `rows` is not strictly
+    /// ascending, or a listed row is unoccupied.
+    #[must_use]
+    pub fn search_packed_rows(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        rows: &[usize],
+        rng: &mut Rng,
+    ) -> SearchOutcome {
+        assert_eq!(read.len(), self.width, "read must match the array width");
+        self.check_mode(mode);
+        assert!(
+            rows.windows(2).all(|pair| pair[0] < pair[1]),
+            "row shortlist must be strictly ascending"
+        );
+        let rows: Vec<RowSearchOutcome> = rows
+            .iter()
+            .map(|&row| {
+                let stored = &self.rows[row];
+                let n_mis = match mode {
+                    MatchMode::EdStar => ed_star_packed(stored, read),
+                    MatchMode::Hamming => hamming_packed(stored, read),
+                };
+                let matched = self.sense.decide(n_mis, self.width, threshold, rng);
+                RowSearchOutcome {
+                    row,
+                    n_mis,
+                    matched,
+                }
+            })
+            .collect();
+        let mean = if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().map(|r| r.n_mis as f64).sum::<f64>() / rows.len() as f64
+        };
+        let energy_j = self
+            .sense
+            .cam()
+            .search_energy_j(rows.len(), self.width, mean);
+        SearchOutcome {
+            rows,
+            mode,
+            threshold,
+            energy_j,
+        }
+    }
+
     fn check_mode(&self, mode: MatchMode) {
         assert!(
             self.supports_hd || mode == MatchMode::EdStar,

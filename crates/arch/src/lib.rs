@@ -36,6 +36,7 @@ pub use controller::{Controller, Instruction, RunStats};
 pub use driver::SlDriver;
 pub use registers::{RotateDirection, ShiftRegisterFile};
 pub use top::{
-    AsmcapDevice, CapacityError, DeviceBuilder, DeviceMatch, DeviceSearchResult, RowId, SearchStats,
+    AsmcapDevice, CapacityError, DeviceBuilder, DeviceMatch, DeviceSearchResult, RowId, RowMask,
+    SearchStats,
 };
 pub use trace::{Trace, TraceEvent};

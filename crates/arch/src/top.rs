@@ -11,6 +11,114 @@ use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, Rng};
 use asmcap_genome::{Base, DnaSeq, PackedRef, PackedSeq, PackedWords as _};
 use std::fmt;
 
+/// A bitset over the device's stored rows (flat storage order), selecting
+/// which rows a masked search may sense.
+///
+/// This is the software model of the controller's row gating: the k-mer
+/// prefilter shortlists candidate segment origins, [`AsmcapDevice::mask_for_origins`]
+/// turns them into a mask, and [`AsmcapDevice::search_packed_masked`] drives
+/// only the masked-in matchlines.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_arch::RowMask;
+/// let mut mask = RowMask::new(8);
+/// mask.set(2);
+/// mask.set(5);
+/// assert!(mask.get(2) && !mask.get(3));
+/// assert_eq!(mask.count_ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl RowMask {
+    /// An all-clear mask over `len` rows.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            bits: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-set mask over `len` rows (masked search degenerates to the
+    /// full search, byte-identically).
+    #[must_use]
+    pub fn full(len: usize) -> Self {
+        let mut mask = Self::new(len);
+        for i in 0..len {
+            mask.set(i);
+        }
+        mask
+    }
+
+    /// Number of rows the mask covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks row `i` for sensing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "row {i} out of mask of {} rows", self.len);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether row `i` is marked.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of marked rows.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The marked rows inside `range`, ascending — walking whole words and
+    /// popping set bits, so a sparse mask over many rows costs
+    /// `O(range/64 + ones)`, not `O(range)` membership probes.
+    pub fn ones_in(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = usize> + '_ {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len).max(start);
+        let first_word = start / 64;
+        let last_word = end.div_ceil(64);
+        (first_word..last_word).flat_map(move |w| {
+            let mut word = self.bits[w];
+            if w == first_word {
+                word &= u64::MAX << (start % 64);
+            }
+            if w == last_word - 1 && !end.is_multiple_of(64) {
+                word &= (1u64 << (end % 64)) - 1;
+            }
+            let base = w * 64;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(base + bit)
+            })
+        })
+    }
+}
+
 /// Location of one stored row inside the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowId {
@@ -164,6 +272,10 @@ impl Default for DeviceBuilder {
 pub struct AsmcapDevice<M> {
     arrays: Vec<CamArray<M>>,
     origins: Vec<usize>, // flat, in storage order
+    // Whether `origins` is ascending (true for one stored reference; a
+    // second `store_reference` call restarts at 0 and clears it), which is
+    // what lets `mask_for_origins` binary-search instead of scanning.
+    origins_sorted: bool,
     width: usize,
 }
 
@@ -184,6 +296,7 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
         Self {
             arrays,
             origins: Vec::new(),
+            origins_sorted: true,
             width,
         }
     }
@@ -281,6 +394,9 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
             array
                 .store_row_packed(segment)
                 .expect("width and capacity checked");
+            if self.origins.last().is_some_and(|&last| start < last) {
+                self.origins_sorted = false;
+            }
             self.origins.push(start);
         }
         Ok(starts.len())
@@ -359,6 +475,112 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
                         origin: self.origins[flat_base + row.row],
                         n_mis: row.n_mis,
                     });
+                }
+            }
+            flat_base += array.rows();
+        }
+        DeviceSearchResult {
+            matches,
+            stats: SearchStats {
+                array_searches: searches,
+                energy_j: energy,
+                latency_s: latency,
+            },
+        }
+    }
+
+    /// The [`RowMask`] (flat storage order) selecting every stored row
+    /// whose genome origin appears in `origins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origins` is not sorted ascending (the shape the
+    /// prefilter's shortlist hands over).
+    #[must_use]
+    pub fn mask_for_origins(&self, origins: &[usize]) -> RowMask {
+        assert!(
+            origins.windows(2).all(|pair| pair[0] <= pair[1]),
+            "candidate origins must be sorted ascending"
+        );
+        let mut mask = RowMask::new(self.origins.len());
+        if self.origins_sorted {
+            // One stored reference: each candidate binary-searches straight
+            // to its row, so mask construction is O(c log rows) — a
+            // shortlist must not cost O(reference) to apply.
+            for &origin in origins {
+                if let Ok(flat) = self.origins.binary_search(&origin) {
+                    mask.set(flat);
+                }
+            }
+        } else {
+            for (flat, origin) in self.origins.iter().enumerate() {
+                if origins.binary_search(origin).is_ok() {
+                    mask.set(flat);
+                }
+            }
+        }
+        mask
+    }
+
+    /// [`AsmcapDevice::search_packed`] under a row mask: the controller
+    /// broadcasts the read, but only masked-in rows run the digital
+    /// pre-pass and are sensed (each array senses its masked rows in row
+    /// order, so the noise stream for the rows actually sensed is drawn in
+    /// the same order a full search would draw it). Arrays with no
+    /// masked-in row issue no search operation and burn no energy.
+    ///
+    /// Searching under [`RowMask::full`] is byte-identical to
+    /// [`AsmcapDevice::search_packed`], RNG draws included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read width differs from the row width or the mask
+    /// does not cover exactly the stored rows.
+    #[must_use]
+    pub fn search_packed_masked(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        mask: &RowMask,
+        rng: &mut Rng,
+    ) -> DeviceSearchResult {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        assert_eq!(
+            mask.len(),
+            self.origins.len(),
+            "mask must cover the stored rows"
+        );
+        let mut matches = Vec::new();
+        let mut energy = 0.0;
+        let mut searches = 0usize;
+        let mut latency: f64 = 0.0;
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            let rows: Vec<usize> = mask
+                .ones_in(flat_base..flat_base + array.rows())
+                .map(|flat| flat - flat_base)
+                .collect();
+            if !rows.is_empty() {
+                let outcome = array.search_packed_rows(read, threshold, mode, &rows, rng);
+                energy += outcome.energy_j;
+                searches += 1;
+                latency = latency.max(array.sense().cam().search_time_s());
+                for row in &outcome.rows {
+                    if row.matched {
+                        let id = RowId {
+                            array: array_idx,
+                            row: row.row,
+                        };
+                        matches.push(DeviceMatch {
+                            id,
+                            origin: self.origins[flat_base + row.row],
+                            n_mis: row.n_mis,
+                        });
+                    }
                 }
             }
             flat_base += array.rows();
@@ -456,6 +678,109 @@ mod tests {
             Some((16 + 2) * 64)
         );
         assert_eq!(device.origin_of(RowId { array: 3, row: 0 }), None);
+    }
+
+    #[test]
+    fn full_mask_search_is_byte_identical_to_unmasked() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 15);
+        device.store_reference(&genome, 16).unwrap();
+        let read = asmcap_genome::PackedSeq::from_seq(&genome.window(320..384));
+        let mask = RowMask::full(device.stored_rows());
+        for t in [0usize, 2, 6] {
+            let mut rng_a = rng(21);
+            let mut rng_b = rng(21);
+            let full = device.search_packed(&read, t, MatchMode::EdStar, &mut rng_a);
+            let masked =
+                device.search_packed_masked(&read, t, MatchMode::EdStar, &mask, &mut rng_b);
+            assert_eq!(full, masked, "full mask diverged at T={t}");
+            // A second search from the same streams agrees too, proving the
+            // RNGs stayed in lockstep through the first one.
+            assert_eq!(
+                device.search_packed(&read, t, MatchMode::Hamming, &mut rng_a),
+                device.search_packed_masked(&read, t, MatchMode::Hamming, &mask, &mut rng_b),
+                "RNG streams fell out of lockstep at T={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_search_touches_only_masked_rows() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 16);
+        device.store_reference(&genome, 16).unwrap();
+        let read = asmcap_genome::PackedSeq::from_seq(&genome.window(320..384));
+        // Shortlist exactly the true origin: one row, one array searched.
+        let mask = device.mask_for_origins(&[320]);
+        assert_eq!(mask.count_ones(), 1);
+        let mut noise = rng(22);
+        let result = device.search_packed_masked(&read, 1, MatchMode::EdStar, &mask, &mut noise);
+        assert_eq!(result.stats.array_searches, 1, "idle arrays must be gated");
+        assert!(result
+            .matches
+            .iter()
+            .any(|m| m.origin == 320 && m.n_mis == 0));
+        // Energy scales with sensed rows: far below the full search.
+        let mut noise = rng(22);
+        let full = device.search_packed(&read, 1, MatchMode::EdStar, &mut noise);
+        assert!(result.stats.energy_j < full.stats.energy_j / 4.0);
+
+        // An all-clear mask issues no search at all.
+        let mut noise = rng(23);
+        let none = device.search_packed_masked(
+            &read,
+            1,
+            MatchMode::EdStar,
+            &RowMask::new(device.stored_rows()),
+            &mut noise,
+        );
+        assert_eq!(none.stats.array_searches, 0);
+        assert_eq!(none.stats.energy_j, 0.0);
+        assert!(none.matches.is_empty());
+    }
+
+    #[test]
+    fn mask_for_origins_selects_matching_rows() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(20, 64, 64), 17);
+        device.store_reference(&genome, 64).unwrap();
+        let mask = device.mask_for_origins(&[0, 192, 640]);
+        assert_eq!(mask.count_ones(), 3);
+        assert!(mask.get(0) && mask.get(3) && mask.get(10));
+        assert!(!mask.get(1));
+        // Origins not on the stored grid simply select nothing.
+        let empty = device.mask_for_origins(&[1, 65]);
+        assert_eq!(empty.count_ones(), 0);
+    }
+
+    #[test]
+    fn row_mask_ones_in_walks_word_boundaries() {
+        let mut mask = RowMask::new(200);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            mask.set(i);
+        }
+        let all: Vec<usize> = mask.ones_in(0..200).collect();
+        assert_eq!(all, vec![0, 1, 63, 64, 65, 127, 128, 199]);
+        assert_eq!(mask.ones_in(1..64).collect::<Vec<_>>(), vec![1, 63]);
+        assert_eq!(mask.ones_in(64..128).collect::<Vec<_>>(), vec![64, 65, 127]);
+        assert_eq!(mask.ones_in(65..65).count(), 0);
+        assert_eq!(mask.ones_in(130..199).count(), 0);
+        assert_eq!(mask.ones_in(0..500).count(), 8, "range clamps to len");
+    }
+
+    #[test]
+    fn mask_for_origins_survives_a_second_stored_reference() {
+        // Two references stored back to back: the flat origin list restarts
+        // at 0, so the sorted binary-search fast path must disable itself
+        // and the duplicate origin must select *both* rows.
+        let mut device = small_device();
+        let g1 = GenomeModel::uniform().generate(offset_len(10, 64, 64), 31);
+        let g2 = GenomeModel::uniform().generate(offset_len(10, 64, 64), 32);
+        device.store_reference(&g1, 64).unwrap();
+        device.store_reference(&g2, 64).unwrap();
+        let mask = device.mask_for_origins(&[128]);
+        assert_eq!(mask.count_ones(), 2, "both stored copies of origin 128");
+        assert!(mask.get(2) && mask.get(12));
     }
 
     #[test]

@@ -51,10 +51,14 @@ impl ResmaAccelerator {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is zero.
+    /// Panics if `k` is zero or greater than 32 (the filter compares
+    /// packed k-mer codes).
     #[must_use]
     pub fn with_filter_k(filter_k: usize) -> Self {
-        assert!(filter_k > 0, "filter k-mer length must be positive");
+        assert!(
+            asmcap_genome::kmer::check_k(filter_k).is_ok(),
+            "filter k-mer length must be in 1..=32"
+        );
         Self { filter_k }
     }
 
@@ -67,7 +71,7 @@ impl ResmaAccelerator {
             // Degenerate rows: fall through to the exact stage.
             return true;
         }
-        let index = KmerIndex::build(segment, k);
+        let index = KmerIndex::build(segment, k).expect("filter k validated at construction");
         kmers(read, k).any(|(read_pos, code)| {
             index
                 .positions_of_code(code)

@@ -51,10 +51,14 @@ impl SaviAccelerator {
     ///
     /// # Panics
     ///
-    /// Panics if `seed_len` is zero.
+    /// Panics if `seed_len` is zero or greater than 32 (seeds are packed
+    /// k-mer codes).
     #[must_use]
     pub fn with_seed_len(seed_len: usize) -> Self {
-        assert!(seed_len > 0, "seed length must be positive");
+        assert!(
+            asmcap_genome::kmer::check_k(seed_len).is_ok(),
+            "seed length must be in 1..=32"
+        );
         Self { seed_len }
     }
 
@@ -79,7 +83,7 @@ impl SaviAccelerator {
         if read.len() < k || segment.len() < k {
             return 0;
         }
-        let index = KmerIndex::build(segment, k);
+        let index = KmerIndex::build(segment, k).expect("seed length validated at construction");
         // One vote per (seed, supported offset); a repeated seed votes for
         // each hit (the TCAM reports all matching rows).
         let mut votes: HashMap<isize, usize> = HashMap::new();

@@ -2,9 +2,10 @@
 //! batch sizes 1/64/1024 across worker counts — the baseline trajectory for
 //! future batching/sharding work — plus a backend axis (device/pair/
 //! software) tracking what the packed matchplane buys each execution
-//! engine.
+//! engine, and a prefilter on/off axis measuring what the k-mer shortlist
+//! buys once the per-pair kernels are cheap (O(hits) vs O(reference)).
 
-use asmcap::{AsmcapPipeline, BackendKind, PipelineConfig};
+use asmcap::{AsmcapPipeline, BackendKind, PipelineConfig, PrefilterConfig};
 use asmcap_bench::genome;
 use asmcap_genome::{DnaSeq, ErrorProfile, ReadSampler};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -12,19 +13,29 @@ use std::hint::black_box;
 
 const WIDTH: usize = 128;
 
-fn pipeline_on(reference: &DnaSeq, workers: usize, backend: BackendKind) -> AsmcapPipeline {
+fn pipeline_with(
+    reference: &DnaSeq,
+    workers: usize,
+    backend: BackendKind,
+    prefilter: Option<PrefilterConfig>,
+) -> AsmcapPipeline {
     AsmcapPipeline::builder()
         .reference(reference.clone())
         .config(PipelineConfig {
             row_width: WIDTH,
             stride: 8, // keep the device small enough to bench batches of 1024
             seed: 0xBE,
+            prefilter,
             ..PipelineConfig::paper(6, ErrorProfile::condition_a())
         })
         .backend(backend)
         .workers(workers)
         .build()
         .expect("pipeline builds")
+}
+
+fn pipeline_on(reference: &DnaSeq, workers: usize, backend: BackendKind) -> AsmcapPipeline {
+    pipeline_with(reference, workers, backend, None)
 }
 
 fn pipeline(reference: &DnaSeq, workers: usize) -> AsmcapPipeline {
@@ -86,5 +97,48 @@ fn bench_backend_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_throughput, bench_backend_throughput);
+fn bench_prefilter_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_prefilter");
+    group.sample_size(10);
+    // Large enough that the full scan dominates the per-read cost: the
+    // device stores reference/stride segments and the prefilter shortlists
+    // a few dozen of them.
+    for ref_len in [8_192usize, 65_536] {
+        let reference = genome(ref_len);
+        let sampler = ReadSampler::new(WIDTH, ErrorProfile::condition_a());
+        let reads: Vec<DnaSeq> = sampler
+            .sample_many(&reference, 256, 0x77)
+            .into_iter()
+            .map(|r| r.bases)
+            .collect();
+        for backend in [
+            BackendKind::Device,
+            BackendKind::Pair,
+            BackendKind::Software,
+        ] {
+            for (label, prefilter) in [("off", None), ("on", Some(PrefilterConfig::default()))] {
+                let pipeline = pipeline_with(&reference, 4, backend, prefilter);
+                group.throughput(Throughput::Elements(reads.len() as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        &format!("{backend:?}").to_lowercase(),
+                        format!("ref{ref_len}_prefilter_{label}"),
+                    ),
+                    &reads.len(),
+                    |bencher, _| {
+                        bencher.iter(|| pipeline.map_batch(black_box(&reads)));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_throughput,
+    bench_backend_throughput,
+    bench_prefilter_axis
+);
 criterion_main!(benches);

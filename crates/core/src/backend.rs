@@ -23,9 +23,16 @@
 //! [`MappingBackend::map_packed`], and every distance is computed by the
 //! word-parallel kernels in `asmcap-metrics` over zero-copy
 //! [`asmcap_genome::SegmentView`]s — no per-segment re-slicing anywhere.
+//!
+//! They also all honour a prefilter shortlist
+//! ([`MappingBackend::map_shortlisted`]): when the pipeline's k-mer
+//! prefilter is on, only shortlisted segment starts reach the kernels —
+//! the software and pair paths skip unlisted segments outright, and the
+//! device path senses only the masked-in rows through
+//! [`asmcap_arch::AsmcapDevice::search_packed_masked`].
 
 use crate::mapper::MapperConfig;
-use asmcap_arch::{AsmcapDevice, DeviceSearchResult, MatchMode, RowId};
+use asmcap_arch::{AsmcapDevice, DeviceSearchResult, MatchMode, RowId, RowMask};
 use asmcap_circuit::ChargeDomainCam;
 use asmcap_genome::{DnaSeq, PackedRef, PackedSeq};
 use asmcap_metrics::ed_star_packed;
@@ -81,6 +88,27 @@ pub trait MappingBackend: Send + Sync {
     /// Implementations panic if `read.len() != self.row_width()`.
     fn map_packed(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
         self.map_seeded(&read.to_seq(), seed)
+    }
+
+    /// [`MappingBackend::map_packed`] restricted to a prefilter shortlist:
+    /// `candidates` holds segment start offsets (ascending, on the shared
+    /// [`segment_starts`] grid) and only those segments may be evaluated.
+    ///
+    /// The default ignores the shortlist and scans everything — always
+    /// correct, so custom backends keep compiling — while the three
+    /// built-ins override it: the software and pair paths iterate only the
+    /// shortlisted starts, and the device path senses only the masked-in
+    /// rows ([`asmcap_arch::AsmcapDevice::search_packed_masked`]). With
+    /// every stored start listed, each built-in is byte-identical to
+    /// [`MappingBackend::map_packed`], RNG draws included.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `read.len() != self.row_width()` or
+    /// `candidates` is not sorted ascending.
+    fn map_shortlisted(&self, read: &PackedSeq, seed: u64, candidates: &[usize]) -> BackendOutcome {
+        let _ = candidates;
+        self.map_packed(read, seed)
     }
 }
 
@@ -146,22 +174,29 @@ impl DeviceBackend {
     pub fn config(&self) -> &MapperConfig {
         &self.config
     }
-}
 
-impl MappingBackend for DeviceBackend {
-    fn name(&self) -> &'static str {
-        "device"
+    /// One device search, full or row-masked.
+    fn search(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        mask: Option<&RowMask>,
+        rng: &mut crate::Rng,
+    ) -> DeviceSearchResult {
+        match mask {
+            Some(mask) => self
+                .device
+                .search_packed_masked(read, threshold, mode, mask, rng),
+            None => self.device.search_packed(read, threshold, mode, rng),
+        }
     }
 
-    fn row_width(&self) -> usize {
-        self.device.row_width()
-    }
-
-    fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome {
-        self.map_packed(&PackedSeq::from_seq(read), seed)
-    }
-
-    fn map_packed(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
+    /// The shared body of [`MappingBackend::map_packed`] (no mask) and
+    /// [`MappingBackend::map_shortlisted`] (shortlist mask): identical
+    /// instruction sequencing either way, so the unmasked call stays
+    /// byte-identical to the pre-prefilter path.
+    fn run(&self, read: &PackedSeq, seed: u64, mask: Option<&RowMask>) -> BackendOutcome {
         assert_eq!(
             read.len(),
             self.row_width(),
@@ -176,9 +211,7 @@ impl MappingBackend for DeviceBackend {
         let mut energy = 0.0f64;
 
         // Cycle 1 (after the latch): the ED* search.
-        let base = self
-            .device
-            .search_packed(read, t, MatchMode::EdStar, &mut sense_rng);
+        let base = self.search(read, t, MatchMode::EdStar, mask, &mut sense_rng);
         searches += 1;
         energy += base.stats.energy_j;
         let mut matched: BTreeMap<RowId, usize> = collect(&base);
@@ -186,9 +219,7 @@ impl MappingBackend for DeviceBackend {
         // HDAC: one HD-mode search, one host-side draw for the result MUX.
         if let Some(hdac) = self.config.hdac {
             if hdac.enabled(&self.config.profile, t) {
-                let hd = self
-                    .device
-                    .search_packed(read, t, MatchMode::Hamming, &mut sense_rng);
+                let hd = self.search(read, t, MatchMode::Hamming, mask, &mut sense_rng);
                 searches += 1;
                 energy += hd.stats.energy_j;
                 if host_rng.gen::<f64>() < hdac.probability(&self.config.profile, t) {
@@ -204,12 +235,8 @@ impl MappingBackend for DeviceBackend {
             if tasr.active(&self.config.profile, read.len(), t) {
                 for i in 1..=tasr.rotations {
                     let rotated_read = tasr.schedule.rotated_packed(read, i);
-                    let rotated = self.device.search_packed(
-                        &rotated_read,
-                        t,
-                        MatchMode::EdStar,
-                        &mut sense_rng,
-                    );
+                    let rotated =
+                        self.search(&rotated_read, t, MatchMode::EdStar, mask, &mut sense_rng);
                     searches += 1;
                     energy += rotated.stats.energy_j;
                     for (id, n_mis) in collect(&rotated) {
@@ -231,6 +258,29 @@ impl MappingBackend for DeviceBackend {
             searches,
             energy_j: energy,
         }
+    }
+}
+
+impl MappingBackend for DeviceBackend {
+    fn name(&self) -> &'static str {
+        "device"
+    }
+
+    fn row_width(&self) -> usize {
+        self.device.row_width()
+    }
+
+    fn map_seeded(&self, read: &DnaSeq, seed: u64) -> BackendOutcome {
+        self.map_packed(&PackedSeq::from_seq(read), seed)
+    }
+
+    fn map_packed(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
+        self.run(read, seed, None)
+    }
+
+    fn map_shortlisted(&self, read: &PackedSeq, seed: u64, candidates: &[usize]) -> BackendOutcome {
+        let mask = self.device.mask_for_origins(candidates);
+        self.run(read, seed, Some(&mask))
     }
 }
 
@@ -274,6 +324,35 @@ impl PairBackend {
     pub fn segments(&self) -> usize {
         self.starts.len()
     }
+
+    /// One per-pair engine pass over `starts` (the full segment list or a
+    /// prefilter shortlist).
+    fn run(&self, read: &PackedSeq, seed: u64, starts: &[usize]) -> BackendOutcome {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        let mut builder = crate::config::AsmcapConfig::new(self.config.profile);
+        builder
+            .hdac(self.config.hdac)
+            .tasr(self.config.tasr)
+            .seed(seed);
+        let mut engine = builder.build();
+        let t = self.config.threshold;
+        let mut positions = Vec::new();
+        let mut max_cycles = 0u64;
+        for &start in starts {
+            let segment = self.reference.segment(start, self.width);
+            let outcome = engine.matches_packed(&segment, read, t);
+            max_cycles = max_cycles.max(u64::from(outcome.cycles));
+            if outcome.matched {
+                positions.push(start);
+            }
+        }
+        BackendOutcome {
+            positions,
+            cycles: 1 + max_cycles,
+            searches: max_cycles,
+            energy_j: 0.0,
+        }
+    }
 }
 
 impl MappingBackend for PairBackend {
@@ -290,30 +369,12 @@ impl MappingBackend for PairBackend {
     }
 
     fn map_packed(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
-        assert_eq!(read.len(), self.width, "read must match the row width");
-        let mut builder = crate::config::AsmcapConfig::new(self.config.profile);
-        builder
-            .hdac(self.config.hdac)
-            .tasr(self.config.tasr)
-            .seed(seed);
-        let mut engine = builder.build();
-        let t = self.config.threshold;
-        let mut positions = Vec::new();
-        let mut max_cycles = 0u64;
-        for &start in &self.starts {
-            let segment = self.reference.segment(start, self.width);
-            let outcome = engine.matches_packed(&segment, read, t);
-            max_cycles = max_cycles.max(u64::from(outcome.cycles));
-            if outcome.matched {
-                positions.push(start);
-            }
-        }
-        BackendOutcome {
-            positions,
-            cycles: 1 + max_cycles,
-            searches: max_cycles,
-            energy_j: 0.0,
-        }
+        self.run(read, seed, &self.starts)
+    }
+
+    fn map_shortlisted(&self, read: &PackedSeq, seed: u64, candidates: &[usize]) -> BackendOutcome {
+        debug_assert!(candidates.windows(2).all(|pair| pair[0] < pair[1]));
+        self.run(read, seed, candidates)
     }
 }
 
@@ -348,6 +409,25 @@ impl SoftwareBackend {
             threshold,
         }
     }
+
+    /// One noiseless ED\* pass over `starts` (the full segment list or a
+    /// prefilter shortlist).
+    fn run(&self, read: &PackedSeq, starts: &[usize]) -> BackendOutcome {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        let positions = starts
+            .iter()
+            .copied()
+            .filter(|&start| {
+                ed_star_packed(&self.reference.segment(start, self.width), read) <= self.threshold
+            })
+            .collect();
+        BackendOutcome {
+            positions,
+            cycles: 2,
+            searches: 1,
+            energy_j: 0.0,
+        }
+    }
 }
 
 impl MappingBackend for SoftwareBackend {
@@ -364,21 +444,17 @@ impl MappingBackend for SoftwareBackend {
     }
 
     fn map_packed(&self, read: &PackedSeq, _seed: u64) -> BackendOutcome {
-        assert_eq!(read.len(), self.width, "read must match the row width");
-        let positions = self
-            .starts
-            .iter()
-            .copied()
-            .filter(|&start| {
-                ed_star_packed(&self.reference.segment(start, self.width), read) <= self.threshold
-            })
-            .collect();
-        BackendOutcome {
-            positions,
-            cycles: 2,
-            searches: 1,
-            energy_j: 0.0,
-        }
+        self.run(read, &self.starts)
+    }
+
+    fn map_shortlisted(
+        &self,
+        read: &PackedSeq,
+        _seed: u64,
+        candidates: &[usize],
+    ) -> BackendOutcome {
+        debug_assert!(candidates.windows(2).all(|pair| pair[0] < pair[1]));
+        self.run(read, candidates)
     }
 }
 

@@ -91,6 +91,11 @@ pub use pipeline::{
 };
 pub use tasr::{RotationSchedule, Tasr, TasrParams};
 
+// The prefilter's types live in `asmcap-genome` (the index is a genome
+// artefact, like the packing); re-exported here because the pipeline
+// config embeds them.
+pub use asmcap_genome::{PrefilterConfig, PrefilterError, PrefilterIndex, Shortlist};
+
 #[allow(deprecated)]
 pub use mapper::ReadMapper;
 

@@ -49,7 +49,9 @@ use crate::hdac::HdacParams;
 use crate::mapper::MapperConfig;
 use crate::tasr::TasrParams;
 use asmcap_arch::DeviceBuilder;
-use asmcap_genome::{DnaSeq, ErrorProfile, PackedSeq};
+use asmcap_genome::{
+    DnaSeq, ErrorProfile, PackedRef, PackedSeq, PrefilterConfig, PrefilterError, PrefilterIndex,
+};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,6 +78,13 @@ pub struct PipelineConfig {
     pub rows_per_array: usize,
     /// Pipeline seed; per-read seeds derive from it (see [`read_seed`]).
     pub seed: u64,
+    /// Seed-and-extend k-mer prefilter, or `None` (the default) to scan
+    /// the full segment list per read. With `None` the pipeline is
+    /// byte-identical to the pre-prefilter behaviour; with `Some` each
+    /// read's candidates are shortlisted first and only those segments
+    /// reach the matching kernels (recall pinned by
+    /// `tests/prefilter_equivalence.rs`).
+    pub prefilter: Option<PrefilterConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -92,6 +101,7 @@ impl Default for PipelineConfig {
             row_width: 256,
             rows_per_array: 256,
             seed: 0,
+            prefilter: None,
         }
     }
 }
@@ -176,6 +186,9 @@ pub enum PipelineError {
     },
     /// The segmentation stride is zero.
     ZeroStride,
+    /// The prefilter configuration is unusable (k-mer length outside
+    /// `1..=32`, zero minimizer window, or zero candidate cap).
+    BadPrefilter(PrefilterError),
     /// The segmented reference does not fit the device.
     Capacity(asmcap_arch::CapacityError),
 }
@@ -194,6 +207,7 @@ impl fmt::Display for PipelineError {
                 "reference of {reference} bases is shorter than one {row_width}-base row"
             ),
             PipelineError::ZeroStride => write!(f, "segmentation stride must be positive"),
+            PipelineError::BadPrefilter(e) => write!(f, "bad prefilter configuration: {e}"),
             PipelineError::Capacity(e) => write!(f, "{e}"),
         }
     }
@@ -369,6 +383,39 @@ impl PipelineBuilder {
         self
     }
 
+    /// Arms the seed-and-extend k-mer prefilter: each read is shortlisted
+    /// against a [`asmcap_genome::PrefilterIndex`] built over the packed
+    /// reference at [`PipelineBuilder::build`] time, and only shortlisted
+    /// segments reach the matching kernels (on the device backend, only
+    /// shortlisted rows are sensed). Equivalent to setting
+    /// [`PipelineConfig::prefilter`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use asmcap::{AsmcapPipeline, PipelineConfig};
+    /// use asmcap_genome::{GenomeModel, PrefilterConfig};
+    ///
+    /// let genome = GenomeModel::uniform().generate(8_192, 1);
+    /// let pipeline = AsmcapPipeline::builder()
+    ///     .reference(genome.clone())
+    ///     .config(PipelineConfig {
+    ///         threshold: 2,
+    ///         row_width: 128,
+    ///         ..PipelineConfig::default()
+    ///     })
+    ///     .prefilter(PrefilterConfig::default())
+    ///     .build()?;
+    /// let record = pipeline.map(&genome.window(700..828));
+    /// assert!(record.positions.contains(&700));
+    /// # Ok::<(), asmcap::PipelineError>(())
+    /// ```
+    #[must_use]
+    pub fn prefilter(mut self, prefilter: PrefilterConfig) -> Self {
+        self.config.prefilter = Some(prefilter);
+        self
+    }
+
     /// A user-supplied backend, overriding [`PipelineBuilder::backend`].
     /// The backend's row width replaces the configured one.
     #[must_use]
@@ -395,50 +442,82 @@ impl PipelineBuilder {
     /// [`PipelineError::Capacity`] if the device cannot hold the segments.
     pub fn build(self) -> Result<AsmcapPipeline, PipelineError> {
         let config = self.config;
-        let backend: Box<dyn MappingBackend> = if let Some(custom) = self.custom {
-            custom
-        } else {
-            let reference = self.reference.ok_or(PipelineError::MissingReference)?;
+        // The one validation rule both branches share: a reference must
+        // exist, segment on a positive stride, and hold at least one row.
+        let validate = |reference: Option<&DnaSeq>, width: usize| -> Result<(), PipelineError> {
+            let reference = reference.ok_or(PipelineError::MissingReference)?;
             if config.stride == 0 {
                 return Err(PipelineError::ZeroStride);
             }
-            if reference.len() < config.row_width {
+            if reference.len() < width {
                 return Err(PipelineError::ReferenceTooShort {
                     reference: reference.len(),
-                    row_width: config.row_width,
+                    row_width: width,
                 });
             }
-            match self.kind {
-                BackendKind::Device => {
-                    let rows = crate::backend::segment_count(
-                        reference.len(),
-                        config.row_width,
-                        config.stride,
-                    );
-                    let mut device = DeviceBuilder::new()
-                        .arrays(rows.div_ceil(config.rows_per_array))
-                        .rows_per_array(config.rows_per_array)
-                        .row_width(config.row_width)
-                        .build_asmcap();
-                    device
-                        .store_reference(&reference, config.stride)
-                        .map_err(PipelineError::Capacity)?;
-                    Box::new(DeviceBackend::new(device, config.mapper()))
-                }
-                BackendKind::Pair => Box::new(PairBackend::new(
-                    reference,
-                    config.stride,
-                    config.row_width,
-                    config.mapper(),
-                )),
-                BackendKind::Software => Box::new(SoftwareBackend::new(
-                    reference,
-                    config.stride,
-                    config.row_width,
-                    config.threshold,
-                )),
-            }
+            Ok(())
         };
+        // Builds the prefilter index over the packed reference (shared
+        // segmentation rule: `width`-base segments every `stride` bases).
+        let build_prefilter = |reference: &DnaSeq,
+                               width: usize|
+         -> Result<Option<PrefilterIndex>, PipelineError> {
+            config
+                .prefilter
+                .map(|prefilter| {
+                    PrefilterIndex::new(&PackedRef::new(reference), width, config.stride, prefilter)
+                        .map_err(PipelineError::BadPrefilter)
+                })
+                .transpose()
+        };
+        let (backend, prefilter): (Box<dyn MappingBackend>, Option<PrefilterIndex>) =
+            if let Some(custom) = self.custom {
+                let prefilter = if config.prefilter.is_some() {
+                    validate(self.reference.as_ref(), custom.row_width())?;
+                    build_prefilter(
+                        self.reference.as_ref().expect("validated above"),
+                        custom.row_width(),
+                    )?
+                } else {
+                    None
+                };
+                (custom, prefilter)
+            } else {
+                validate(self.reference.as_ref(), config.row_width)?;
+                let reference = self.reference.expect("validated above");
+                let prefilter = build_prefilter(&reference, config.row_width)?;
+                let backend: Box<dyn MappingBackend> = match self.kind {
+                    BackendKind::Device => {
+                        let rows = crate::backend::segment_count(
+                            reference.len(),
+                            config.row_width,
+                            config.stride,
+                        );
+                        let mut device = DeviceBuilder::new()
+                            .arrays(rows.div_ceil(config.rows_per_array))
+                            .rows_per_array(config.rows_per_array)
+                            .row_width(config.row_width)
+                            .build_asmcap();
+                        device
+                            .store_reference(&reference, config.stride)
+                            .map_err(PipelineError::Capacity)?;
+                        Box::new(DeviceBackend::new(device, config.mapper()))
+                    }
+                    BackendKind::Pair => Box::new(PairBackend::new(
+                        reference,
+                        config.stride,
+                        config.row_width,
+                        config.mapper(),
+                    )),
+                    BackendKind::Software => Box::new(SoftwareBackend::new(
+                        reference,
+                        config.stride,
+                        config.row_width,
+                        config.threshold,
+                    )),
+                };
+                (backend, prefilter)
+            };
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -448,6 +527,7 @@ impl PipelineBuilder {
         Ok(AsmcapPipeline {
             width: backend.row_width(),
             backend,
+            prefilter,
             workers,
             seed: config.seed,
             counter: AtomicU64::new(0),
@@ -461,6 +541,7 @@ impl PipelineBuilder {
 /// construct one.
 pub struct AsmcapPipeline {
     backend: Box<dyn MappingBackend>,
+    prefilter: Option<PrefilterIndex>,
     width: usize,
     workers: usize,
     seed: u64,
@@ -472,6 +553,7 @@ impl fmt::Debug for AsmcapPipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AsmcapPipeline")
             .field("backend", &self.backend.name())
+            .field("prefilter", &self.prefilter.as_ref().map(PrefilterIndex::k))
             .field("row_width", &self.width)
             .field("workers", &self.workers)
             .field("seed", &self.seed)
@@ -504,6 +586,13 @@ impl AsmcapPipeline {
         self.workers
     }
 
+    /// The armed prefilter index, or `None` when every read takes the
+    /// full scan.
+    #[must_use]
+    pub fn prefilter(&self) -> Option<&PrefilterIndex> {
+        self.prefilter.as_ref()
+    }
+
     /// Aggregated statistics across everything mapped so far.
     ///
     /// # Panics
@@ -524,6 +613,24 @@ impl AsmcapPipeline {
         *self.stats.lock().expect("stats lock poisoned") = PipelineStats::default();
     }
 
+    /// The per-read backend dispatch: full scan when no prefilter is
+    /// armed (or when the shortlist's fallback fires), shortlist-only
+    /// otherwise. `read` is already exactly one row wide here.
+    fn dispatch(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
+        match &self.prefilter {
+            None => self.backend.map_packed(read, seed),
+            Some(prefilter) => {
+                let shortlist = prefilter.shortlist(read);
+                if shortlist.is_full_scan() {
+                    self.backend.map_packed(read, seed)
+                } else {
+                    self.backend
+                        .map_shortlisted(read, seed, &shortlist.starts_ascending())
+                }
+            }
+        }
+    }
+
     fn map_indexed(&self, read: &PackedSeq, index: u64) -> MapRecord {
         if read.len() < self.width {
             return MapRecord {
@@ -536,11 +643,11 @@ impl AsmcapPipeline {
             };
         }
         let truncated = read.len() > self.width;
+        let seed = read_seed(self.seed, index);
         let outcome: BackendOutcome = if truncated {
-            self.backend
-                .map_packed(&read.window(0..self.width), read_seed(self.seed, index))
+            self.dispatch(&read.window(0..self.width), seed)
         } else {
-            self.backend.map_packed(read, read_seed(self.seed, index))
+            self.dispatch(read, seed)
         };
         let status = if truncated {
             MapStatus::Truncated
@@ -734,6 +841,108 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, PipelineError::ZeroStride);
+    }
+
+    #[test]
+    fn bad_prefilter_k_is_a_typed_error() {
+        use asmcap_genome::{KmerError, PrefilterConfig, PrefilterError};
+        let genome = GenomeModel::uniform().generate(2_048, 9);
+        let build_with = |prefilter: PrefilterConfig| {
+            AsmcapPipeline::builder()
+                .reference(genome.clone())
+                .config(PipelineConfig {
+                    threshold: 2,
+                    row_width: 64,
+                    ..PipelineConfig::default()
+                })
+                .prefilter(prefilter)
+                .build()
+        };
+        for k in [0usize, 33] {
+            let err = build_with(PrefilterConfig {
+                k,
+                ..PrefilterConfig::default()
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                PipelineError::BadPrefilter(PrefilterError::BadK(KmerError { k }))
+            );
+            assert!(err.to_string().contains("1..=32"), "{err}");
+        }
+        // Degenerate windows and caps are errors too, not panics.
+        assert_eq!(
+            build_with(PrefilterConfig {
+                window: 0,
+                ..PrefilterConfig::default()
+            })
+            .unwrap_err(),
+            PipelineError::BadPrefilter(PrefilterError::ZeroWindow)
+        );
+        assert_eq!(
+            build_with(PrefilterConfig {
+                max_candidates: 0,
+                ..PrefilterConfig::default()
+            })
+            .unwrap_err(),
+            PipelineError::BadPrefilter(PrefilterError::ZeroCandidateCap)
+        );
+        // The k = 32 boundary builds (and still maps).
+        let pipeline = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                threshold: 2,
+                row_width: 64,
+                ..PipelineConfig::default()
+            })
+            .prefilter(PrefilterConfig {
+                k: 32,
+                ..PrefilterConfig::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(pipeline.prefilter().unwrap().k(), 32);
+        let record = pipeline.map(&genome.window(500..564));
+        assert!(record.positions.contains(&500));
+    }
+
+    #[test]
+    fn prefilter_with_custom_backend_needs_a_reference() {
+        use asmcap_genome::PrefilterConfig;
+        struct Always;
+        impl crate::MappingBackend for Always {
+            fn name(&self) -> &'static str {
+                "always"
+            }
+            fn row_width(&self) -> usize {
+                64
+            }
+            fn map_seeded(&self, _read: &DnaSeq, _seed: u64) -> BackendOutcome {
+                BackendOutcome {
+                    positions: vec![0],
+                    cycles: 2,
+                    searches: 1,
+                    energy_j: 0.0,
+                }
+            }
+        }
+        let err = AsmcapPipeline::builder()
+            .custom_backend(Always)
+            .prefilter(PrefilterConfig::default())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PipelineError::MissingReference);
+        // With a reference, the prefilter shortlists for the custom
+        // backend too (its default map_shortlisted ignores the hint).
+        let genome = GenomeModel::uniform().generate(2_048, 10);
+        let pipeline = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .custom_backend(Always)
+            .prefilter(PrefilterConfig::default())
+            .build()
+            .unwrap();
+        assert!(pipeline.prefilter().is_some());
+        assert_eq!(pipeline.map(&genome.window(0..64)).positions, vec![0]);
     }
 
     #[test]

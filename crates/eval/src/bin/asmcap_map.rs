@@ -15,6 +15,11 @@
 //!   --seed N          sensing seed (default 0)
 //!   --backend B       execution backend: device|pair|software (default device)
 //!   --workers N       worker threads for the batch (default: auto)
+//!   --prefilter       arm the seed-and-extend k-mer prefilter
+//!   --prefilter-k K   seed k-mer length (default 12, implies --prefilter)
+//!   --min-seed-hits N shortlist vote floor (default 2, implies --prefilter)
+//!   --max-candidates N  shortlist cap (default 64, implies --prefilter)
+//!   --no-prefilter-fallback  unmatched reads are NOT full-scanned
 //! ```
 //!
 //! Output columns: `read_id  n_candidates  positions(;)  cycles  status`.
@@ -70,6 +75,7 @@ fn run() -> Result<(), String> {
     if let Some(n) = flag_value(&args, "--seed") {
         config.seed = n.parse().map_err(|_| format!("bad seed '{n}'"))?;
     }
+    config.prefilter = parse_prefilter(&args)?;
     let backend = match flag_value(&args, "--backend") {
         Some(name) => BackendKind::parse(&name)?,
         None => BackendKind::Device,
@@ -116,6 +122,39 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parses the prefilter flag family. Any prefilter-tuning flag arms the
+/// prefilter; plain `--prefilter` arms it with the default knobs.
+fn parse_prefilter(args: &[String]) -> Result<Option<asmcap::PrefilterConfig>, String> {
+    let tuning = [
+        "--prefilter-k",
+        "--min-seed-hits",
+        "--max-candidates",
+        "--no-prefilter-fallback",
+    ];
+    let armed = args.iter().any(|a| a == "--prefilter")
+        || args.iter().any(|a| tuning.contains(&a.as_str()));
+    if !armed {
+        return Ok(None);
+    }
+    let mut prefilter = asmcap::PrefilterConfig::default();
+    if let Some(k) = flag_value(args, "--prefilter-k") {
+        prefilter.k = k.parse().map_err(|_| format!("bad prefilter k '{k}'"))?;
+    }
+    if let Some(n) = flag_value(args, "--min-seed-hits") {
+        prefilter.min_seed_hits = n.parse().map_err(|_| format!("bad seed-hit floor '{n}'"))?;
+    }
+    if let Some(n) = flag_value(args, "--max-candidates") {
+        prefilter.max_candidates = n.parse().map_err(|_| format!("bad candidate cap '{n}'"))?;
+        if prefilter.max_candidates == 0 {
+            return Err("candidate cap must be positive".into());
+        }
+    }
+    if args.iter().any(|a| a == "--no-prefilter-fallback") {
+        prefilter.full_scan_fallback = false;
+    }
+    Ok(Some(prefilter))
+}
+
 fn demo_data(row_width: usize) -> (DnaSeq, Vec<fastq::FastqRecord>) {
     use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
     let genome = GenomeModel::human_like().generate(20_000, 7);
@@ -152,6 +191,19 @@ options:
   --backend B       execution backend: device|pair|software (default device)
   --workers N       worker threads for the batch (default: auto; results
                     are identical for every worker count)
+  --prefilter       arm the seed-and-extend k-mer prefilter: each read is
+                    shortlisted by minimizer seed hits and only shortlisted
+                    segments are searched (O(hits) instead of O(reference))
+  --prefilter-k K   seed k-mer length, 1..=32 (default 12; implies
+                    --prefilter)
+  --min-seed-hits N vote floor a segment offset needs to be shortlisted
+                    (default 2; implies --prefilter)
+  --max-candidates N  shortlist cap per read (default 64; implies
+                    --prefilter)
+  --no-prefilter-fallback
+                    close the escape hatch: reads with an empty shortlist
+                    come back unmapped instead of falling back to a full
+                    scan
   --demo            generate a reference and reads instead of reading files
 
 output (TSV): read_id  n_candidates  positions(;-separated, * if none)

@@ -121,5 +121,43 @@ fn asmcap_map_runs_on_synthetic_fasta_fastq() {
         "missing summary in stderr:\n{stderr}"
     );
 
+    // Same run with the k-mer prefilter armed: every origin must survive
+    // the shortlist (recall), through the same CLI surface.
+    let output = Command::new(env!("CARGO_BIN_EXE_asmcap_map"))
+        .args([
+            "--reference",
+            ref_path.to_str().expect("utf-8 path"),
+            "--reads",
+            reads_path.to_str().expect("utf-8 path"),
+            "--row-width",
+            "64",
+            "--threshold",
+            "6",
+            "--seed",
+            "3",
+            "--prefilter",
+            "--prefilter-k",
+            "11",
+        ])
+        .output()
+        .expect("spawn asmcap_map with --prefilter");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    assert!(
+        output.status.success(),
+        "asmcap_map --prefilter failed:\n{stdout}"
+    );
+    for (row, read) in stdout.lines().skip(1).zip(&reads) {
+        let fields: Vec<&str> = row.split('\t').collect();
+        let positions: Vec<usize> = fields[2]
+            .split(';')
+            .map(|p| p.parse().expect("numeric position"))
+            .collect();
+        assert!(
+            positions.contains(&read.origin),
+            "prefilter lost origin {} in row: {row}",
+            read.origin
+        );
+    }
+
     std::fs::remove_dir_all(&dir).expect("clean temp dir");
 }

@@ -8,10 +8,45 @@
 //! integer instead of a slice.
 
 use crate::base::Base;
+use crate::packed::{PackedWords, BASES_PER_WORD};
 use std::collections::HashMap;
+use std::fmt;
 
 /// A 2-bit-packed k-mer code. Only meaningful together with its length.
 pub type KmerCode = u64;
+
+/// A k-mer length outside the supported `1..=32` range (codes are packed
+/// into a `u64` at 2 bits per base, so 32 is the hard ceiling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmerError {
+    /// The rejected k-mer length.
+    pub k: usize,
+}
+
+impl fmt::Display for KmerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k-mer length {} is unsupported (k must be in 1..=32)",
+            self.k
+        )
+    }
+}
+
+impl std::error::Error for KmerError {}
+
+/// Validates a k-mer length.
+///
+/// # Errors
+///
+/// Returns [`KmerError`] unless `k` is in `1..=32`.
+pub fn check_k(k: usize) -> Result<(), KmerError> {
+    if (1..=32).contains(&k) {
+        Ok(())
+    } else {
+        Err(KmerError { k })
+    }
+}
 
 /// Packs `bases` (length ≤ 32) into a [`KmerCode`].
 ///
@@ -55,6 +90,43 @@ pub fn kmers(seq: &[Base], k: usize) -> impl Iterator<Item = (usize, KmerCode)> 
     })
 }
 
+/// [`kmers`] over a 2-bit packed sequence: the same rolling scan, but each
+/// base lane is read straight out of the packed words (one word fetch per
+/// 32 bases) — no byte-per-base unpacking anywhere.
+///
+/// Yields exactly what `kmers(seq.to_packed().to_seq().as_slice(), k)`
+/// would, pinned by property tests in `tests/properties.rs`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or greater than 32 (use [`check_k`] to validate
+/// first when the length is untrusted).
+pub fn packed_kmers<S: PackedWords + ?Sized>(
+    seq: &S,
+    k: usize,
+) -> impl Iterator<Item = (usize, KmerCode)> + '_ {
+    assert!(check_k(k).is_ok(), "k must be in 1..=32");
+    let mask: u64 = if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
+    let mut code: u64 = 0;
+    let mut word: u64 = 0;
+    (0..seq.len()).filter_map(move |i| {
+        let lane = i % BASES_PER_WORD;
+        if lane == 0 {
+            word = seq.word(i / BASES_PER_WORD);
+        }
+        code = ((code << 2) | ((word >> (2 * lane)) & 0b11)) & mask;
+        if i + 1 >= k {
+            Some((i + 1 - k, code))
+        } else {
+            None
+        }
+    })
+}
+
 /// An exact-match k-mer index over one sequence.
 ///
 /// # Examples
@@ -62,11 +134,11 @@ pub fn kmers(seq: &[Base], k: usize) -> impl Iterator<Item = (usize, KmerCode)> 
 /// ```
 /// use asmcap_genome::{kmer::KmerIndex, DnaSeq};
 /// let reference: DnaSeq = "ACGTACGTAC".parse()?;
-/// let index = KmerIndex::build(reference.as_slice(), 4);
+/// let index = KmerIndex::build(reference.as_slice(), 4)?;
 /// let query: DnaSeq = "GTAC".parse()?;
 /// assert_eq!(index.positions_of(query.as_slice()), &[2, 6]);
 /// assert!(index.contains(query.as_slice()));
-/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct KmerIndex {
@@ -78,21 +150,44 @@ pub struct KmerIndex {
 impl KmerIndex {
     /// Indexes every overlapping k-mer of `seq`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k` is zero or greater than 32.
-    #[must_use]
-    pub fn build(seq: &[Base], k: usize) -> Self {
-        let mut positions: HashMap<KmerCode, Vec<usize>> = HashMap::new();
-        let mut total = 0usize;
-        for (pos, code) in kmers(seq, k) {
-            positions.entry(code).or_default().push(pos);
-            total += 1;
-        }
+    /// Returns [`KmerError`] if `k` is zero or greater than 32 (it used to
+    /// panic; the pipeline's prefilter takes `k` from user configuration,
+    /// so the failure must be reportable).
+    pub fn build(seq: &[Base], k: usize) -> Result<Self, KmerError> {
+        check_k(k)?;
+        let mut index = Self::empty(k);
+        index.extend(kmers(seq, k));
+        Ok(index)
+    }
+
+    /// [`KmerIndex::build`] over a 2-bit packed sequence, extracting every
+    /// k-mer through [`packed_kmers`] — the zero-unpack path the mapping
+    /// prefilter uses to index a [`crate::PackedRef`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmerError`] if `k` is zero or greater than 32.
+    pub fn build_packed<S: PackedWords + ?Sized>(seq: &S, k: usize) -> Result<Self, KmerError> {
+        check_k(k)?;
+        let mut index = Self::empty(k);
+        index.extend(packed_kmers(seq, k));
+        Ok(index)
+    }
+
+    fn empty(k: usize) -> Self {
         Self {
             k,
-            positions,
-            total_kmers: total,
+            positions: HashMap::new(),
+            total_kmers: 0,
+        }
+    }
+
+    fn extend(&mut self, codes: impl Iterator<Item = (usize, KmerCode)>) {
+        for (pos, code) in codes {
+            self.positions.entry(code).or_default().push(pos);
+            self.total_kmers += 1;
         }
     }
 
@@ -181,14 +276,14 @@ mod tests {
     fn kmers_shorter_than_k_yield_nothing() {
         let s = seq("AC");
         assert_eq!(kmers(s.as_slice(), 3).count(), 0);
-        let index = KmerIndex::build(s.as_slice(), 3);
+        let index = KmerIndex::build(s.as_slice(), 3).unwrap();
         assert!(index.is_empty());
     }
 
     #[test]
     fn index_reports_positions_in_order() {
         let s = seq("ACGTACGTAC");
-        let index = KmerIndex::build(s.as_slice(), 4);
+        let index = KmerIndex::build(s.as_slice(), 4).unwrap();
         assert_eq!(index.positions_of(seq("ACGT").as_slice()), &[0, 4]);
         assert_eq!(index.positions_of(seq("GTAC").as_slice()), &[2, 6]);
         assert!(!index.contains(seq("TTTT").as_slice()));
@@ -198,16 +293,33 @@ mod tests {
     #[test]
     fn k32_boundary_works() {
         let genome = GenomeModel::uniform().generate(100, 1);
-        let index = KmerIndex::build(genome.as_slice(), 32);
+        let index = KmerIndex::build(genome.as_slice(), 32).unwrap();
         let window = &genome.as_slice()[10..42];
         assert!(index.positions_of(window).contains(&10));
+        // The packed builder agrees at the boundary too.
+        let packed = crate::PackedSeq::from_seq(&genome);
+        let via_packed = KmerIndex::build_packed(&packed, 32).unwrap();
+        assert!(via_packed.positions_of(window).contains(&10));
+        assert_eq!(via_packed.len(), index.len());
     }
 
     #[test]
-    #[should_panic(expected = "1..=32")]
-    fn k_over_32_panics() {
+    fn bad_k_is_a_typed_error_not_a_panic() {
         let genome = GenomeModel::uniform().generate(100, 2);
-        let _ = KmerIndex::build(genome.as_slice(), 33);
+        for k in [0usize, 33, 64] {
+            assert_eq!(
+                KmerIndex::build(genome.as_slice(), k).unwrap_err(),
+                KmerError { k }
+            );
+            let packed = crate::PackedSeq::from_seq(&genome);
+            assert_eq!(
+                KmerIndex::build_packed(&packed, k).unwrap_err(),
+                KmerError { k }
+            );
+        }
+        assert!(KmerError { k: 33 }.to_string().contains("1..=32"));
+        assert!(check_k(32).is_ok());
+        assert!(check_k(1).is_ok());
     }
 
     proptest! {
@@ -232,7 +344,7 @@ mod tests {
             k in 2usize..=8
         ) {
             let s: DnaSeq = codes.into_iter().map(Base::from_code).collect();
-            let index = KmerIndex::build(s.as_slice(), k);
+            let index = KmerIndex::build(s.as_slice(), k).unwrap();
             for start in 0..=(s.len() - k) {
                 let window = &s.as_slice()[start..start + k];
                 prop_assert!(index.positions_of(window).contains(&start));

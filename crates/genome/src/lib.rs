@@ -45,6 +45,7 @@ pub mod fastq;
 pub mod kmer;
 pub mod packed;
 pub mod packedref;
+pub mod prefilter;
 pub mod reads;
 pub mod seq;
 pub mod synth;
@@ -52,9 +53,10 @@ pub mod synth;
 pub use base::Base;
 pub use dataset::{PairDataset, ReadPair};
 pub use errors::{EditKind, EditLog, ErrorModel, ErrorProfile};
-pub use kmer::KmerIndex;
+pub use kmer::{KmerError, KmerIndex};
 pub use packed::{PackedSeq, PackedWords};
 pub use packedref::{PackedRef, SegmentView};
+pub use prefilter::{PrefilterConfig, PrefilterError, PrefilterIndex, Shortlist};
 pub use reads::{ReadSampler, SampledRead};
 pub use seq::DnaSeq;
 pub use synth::GenomeModel;

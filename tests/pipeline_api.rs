@@ -63,6 +63,53 @@ fn map_batch_is_worker_count_independent() {
 }
 
 #[test]
+fn prefiltered_map_batch_is_worker_count_independent() {
+    // The prefilter's shortlist is computed per read from the read alone
+    // (seedless minimizer hash), so arming it must not perturb the
+    // determinism rule: identical records AND identical aggregated stats
+    // at every worker count, on every backend, through the packed batch
+    // entry point.
+    use asmcap_genome::{PackedSeq, PrefilterConfig};
+    let genome = GenomeModel::uniform().generate(16_384, 25);
+    let reads = workload(&genome);
+    let packed: Vec<PackedSeq> = reads.iter().map(PackedSeq::from_seq).collect();
+    let build = |backend: BackendKind, workers: usize| {
+        AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(config(6))
+            .prefilter(PrefilterConfig::default())
+            .backend(backend)
+            .workers(workers)
+            .build()
+            .expect("pipeline builds")
+    };
+    for backend in [
+        BackendKind::Device,
+        BackendKind::Pair,
+        BackendKind::Software,
+    ] {
+        let reference_pipeline = build(backend, 1);
+        let reference_records = reference_pipeline.map_batch_packed(&packed);
+        let reference_stats = reference_pipeline.stats();
+        for workers in [2usize, 8] {
+            let pipeline = build(backend, workers);
+            let records = pipeline.map_batch_packed(&packed);
+            assert_eq!(
+                records, reference_records,
+                "{backend:?} records diverged at {workers} workers with prefilter on"
+            );
+            let mut stats = pipeline.stats();
+            // Wall-clock is the one legitimately worker-dependent field.
+            stats.wall_s = reference_stats.wall_s;
+            assert_eq!(
+                stats, reference_stats,
+                "{backend:?} stats diverged at {workers} workers with prefilter on"
+            );
+        }
+    }
+}
+
+#[test]
 fn map_iter_streams_the_same_records() {
     let genome = GenomeModel::uniform().generate(8_192, 22);
     let reads = workload(&genome);

@@ -198,6 +198,50 @@ proptest! {
         );
     }
 
+    /// Packed k-mer extraction is a pure representation change: rolling the
+    /// codes straight out of the 2-bit words yields exactly the scalar
+    /// `kmers()` walk — every position, every code, every length 1..=200.
+    #[test]
+    fn packed_kmer_extraction_equals_scalar_walk(
+        seq in arbitrary_seq(1..200),
+        k in 1usize..=32
+    ) {
+        use asmcap_genome::kmer::{kmers, packed_kmers};
+        let packed = asmcap_genome::PackedSeq::from_seq(&seq);
+        let scalar: Vec<(usize, u64)> = kmers(seq.as_slice(), k).collect();
+        let rolled: Vec<(usize, u64)> = packed_kmers(&packed, k).collect();
+        prop_assert_eq!(&rolled, &scalar);
+        // And the indexes built from each agree on every lookup shape.
+        let a = asmcap_genome::KmerIndex::build(seq.as_slice(), k).unwrap();
+        let b = asmcap_genome::KmerIndex::build_packed(&packed, k).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.distinct(), b.distinct());
+        for &(pos, code) in &scalar {
+            prop_assert!(b.positions_of_code(code).contains(&pos));
+        }
+    }
+
+    /// Packed k-mer extraction over zero-copy segment views: a view at any
+    /// offset — word-aligned or straddling word boundaries — rolls the same
+    /// k-mers as the unpacked reference window.
+    #[test]
+    fn packed_kmers_over_views_equal_window_walk(
+        reference in arbitrary_seq(40..300),
+        k in 1usize..=16,
+        offset_frac in 0.0f64..1.0,
+        width_frac in 0.0f64..1.0
+    ) {
+        use asmcap_genome::kmer::{kmers, packed_kmers};
+        let offset = ((reference.len() as f64) * offset_frac) as usize;
+        let width = 1 + (((reference.len() - offset - 1) as f64) * width_frac) as usize;
+        let packed_ref = asmcap_genome::PackedRef::new(&reference);
+        let view = packed_ref.segment(offset, width);
+        let window = reference.window(offset..offset + width);
+        let from_view: Vec<(usize, u64)> = packed_kmers(&view, k).collect();
+        let from_window: Vec<(usize, u64)> = kmers(window.as_slice(), k).collect();
+        prop_assert_eq!(from_view, from_window, "segment({}, {})", offset, width);
+    }
+
     /// Device search finds an exact stored row at T=1 regardless of where
     /// it lands across arrays. (T=0 is a knife-edge by design: the V_ref
     /// boundary sits only ~3.3σ of SA offset above a perfect row, so a
