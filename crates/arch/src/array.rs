@@ -409,6 +409,48 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
         }
     }
 
+    /// [`CamArray::search_packed`] over a **batch** of reads in one array
+    /// pass: the software model of the paper's pipelined global buffer,
+    /// which drains a queue of latched reads against this array's rows
+    /// while the buffer stages the next array — so a multi-array device
+    /// touches each array's row store once per batch instead of once per
+    /// read (see [`crate::AsmcapDevice::search_packed_batch`]).
+    ///
+    /// Every read draws its sensing noise from its **own** RNG stream
+    /// `rngs[i]`, visiting rows in exactly the order
+    /// [`CamArray::search_packed`] would — so the outcome for read `i` is
+    /// byte-identical to `search_packed(&reads[i], …, &mut rngs[i])` run
+    /// on its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads` and `rngs` lengths differ, any read width differs
+    /// from the array width, or HD mode is requested on hardware without
+    /// the HD MUX.
+    #[must_use]
+    pub fn search_packed_batch(
+        &self,
+        reads: &[PackedSeq],
+        threshold: usize,
+        mode: MatchMode,
+        rngs: &mut [Rng],
+    ) -> Vec<SearchOutcome> {
+        assert_eq!(
+            reads.len(),
+            rngs.len(),
+            "one sensing RNG stream per batched read"
+        );
+        // Read-major over one array keeps this array's (small) row store
+        // cache-hot across the whole queue while each read's outcome rows
+        // fill contiguously; the per-read row order — and therefore the
+        // noise stream — is exactly the sequential search's.
+        reads
+            .iter()
+            .zip(rngs.iter_mut())
+            .map(|(read, rng)| self.search_packed(read, threshold, mode, rng))
+            .collect()
+    }
+
     /// [`CamArray::search_packed`] restricted to a shortlist of rows: the
     /// controller's row-mask gating. Only the listed rows run the digital
     /// pre-pass and draw sensing noise (in ascending row order, exactly the
@@ -589,6 +631,40 @@ mod tests {
             e.energy_j > a.energy_j,
             "EDAM should burn more energy per search"
         );
+    }
+
+    #[test]
+    fn batched_search_is_byte_identical_to_sequential() {
+        let genome = GenomeModel::uniform().generate(4_000, 8);
+        let mut array = CamArray::asmcap(12, 64);
+        for i in 0..12 {
+            array
+                .store_row(&genome.as_slice()[i * 120..i * 120 + 64])
+                .unwrap();
+        }
+        let reads: Vec<asmcap_genome::PackedSeq> = (0..5)
+            .map(|i| asmcap_genome::PackedSeq::from_seq(&genome.window(i * 300..i * 300 + 64)))
+            .collect();
+        for mode in [MatchMode::EdStar, MatchMode::Hamming] {
+            let mut batch_rngs: Vec<_> = (0..5).map(|i| rng(100 + i)).collect();
+            let batched = array.search_packed_batch(&reads, 2, mode, &mut batch_rngs);
+            for (i, read) in reads.iter().enumerate() {
+                let mut solo_rng = rng(100 + i as u64);
+                let solo = array.search_packed(read, 2, mode, &mut solo_rng);
+                assert_eq!(batched[i], solo, "read {i} diverged in {mode} mode");
+            }
+            // The RNG streams stayed in lockstep with the sequential path:
+            // a follow-up search from each stream agrees too.
+            for (i, read) in reads.iter().enumerate() {
+                let mut solo_rng = rng(100 + i as u64);
+                let _ = array.search_packed(read, 2, mode, &mut solo_rng);
+                assert_eq!(
+                    array.search_packed(read, 5, mode, &mut batch_rngs[i]),
+                    array.search_packed(read, 5, mode, &mut solo_rng),
+                    "stream {i} fell out of lockstep"
+                );
+            }
+        }
     }
 
     #[test]

@@ -489,6 +489,116 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
         }
     }
 
+    /// [`AsmcapDevice::search_packed`] over a **batch** of reads: the
+    /// global buffer latches the whole read queue once and every array
+    /// drains it in one pass ([`CamArray::search_packed_batch`]) before
+    /// the buffer stages the next array — the software model of the
+    /// paper's pipelined global buffer, and the batch surface the
+    /// device-backend batching work builds on. (In this software model
+    /// the sense-amplifier noise draws dominate row fetches, so the pass
+    /// reordering is about modeling and API shape, not host speed — see
+    /// the `device_batch_search` bench.)
+    ///
+    /// Read `i` draws all sensing noise from `rngs[i]`, visiting arrays
+    /// and rows in exactly the order [`AsmcapDevice::search_packed`]
+    /// would, so `results[i]` is **byte-identical** to
+    /// `search_packed(&reads[i], …, &mut rngs[i])` run on its own —
+    /// matches, energy, and RNG stream state included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads` and `rngs` lengths differ or any read width
+    /// differs from the row width.
+    #[must_use]
+    pub fn search_packed_batch(
+        &self,
+        reads: &[PackedSeq],
+        threshold: usize,
+        mode: MatchMode,
+        rngs: &mut [Rng],
+    ) -> Vec<DeviceSearchResult> {
+        assert_eq!(
+            reads.len(),
+            rngs.len(),
+            "one sensing RNG stream per batched read"
+        );
+        let mut results: Vec<DeviceSearchResult> = reads
+            .iter()
+            .map(|_| DeviceSearchResult {
+                matches: Vec::new(),
+                stats: SearchStats::default(),
+            })
+            .collect();
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            let outcomes = array.search_packed_batch(reads, threshold, mode, rngs);
+            for (result, outcome) in results.iter_mut().zip(outcomes) {
+                result.stats.energy_j += outcome.energy_j;
+                result.stats.array_searches += 1;
+                result.stats.latency_s = result
+                    .stats
+                    .latency_s
+                    .max(array.sense().cam().search_time_s());
+                for row in &outcome.rows {
+                    if row.matched {
+                        result.matches.push(DeviceMatch {
+                            id: RowId {
+                                array: array_idx,
+                                row: row.row,
+                            },
+                            origin: self.origins[flat_base + row.row],
+                            n_mis: row.n_mis,
+                        });
+                    }
+                }
+            }
+            flat_base += array.rows();
+        }
+        results
+    }
+
+    /// [`AsmcapDevice::search_packed_batch`] under per-read row masks:
+    /// read `i` senses only the rows `masks[i]` selects, drawing noise in
+    /// the same order [`AsmcapDevice::search_packed_masked`] would — so
+    /// `results[i]` is byte-identical to
+    /// `search_packed_masked(&reads[i], …, &masks[i], &mut rngs[i])` run
+    /// on its own. Arrays with no masked-in row for a read issue no search
+    /// operation and burn no energy for that read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads`, `masks`, and `rngs` lengths differ, any read
+    /// width differs from the row width, or a mask does not cover exactly
+    /// the stored rows.
+    #[must_use]
+    pub fn search_packed_batch_masked(
+        &self,
+        reads: &[PackedSeq],
+        threshold: usize,
+        mode: MatchMode,
+        masks: &[RowMask],
+        rngs: &mut [Rng],
+    ) -> Vec<DeviceSearchResult> {
+        assert_eq!(
+            reads.len(),
+            rngs.len(),
+            "one sensing RNG stream per batched read"
+        );
+        assert_eq!(reads.len(), masks.len(), "one row mask per batched read");
+        // Each read touches only its own masked rows and its own RNG
+        // stream, so the batch is exactly the per-read masked searches in
+        // queue order — one implementation of the masked walk, not two.
+        reads
+            .iter()
+            .zip(masks)
+            .zip(rngs.iter_mut())
+            .map(|((read, mask), rng)| self.search_packed_masked(read, threshold, mode, mask, rng))
+            .collect()
+    }
+
     /// The [`RowMask`] (flat storage order) selecting every stored row
     /// whose genome origin appears in `origins`.
     ///
@@ -737,6 +847,70 @@ mod tests {
         assert_eq!(none.stats.array_searches, 0);
         assert_eq!(none.stats.energy_j, 0.0);
         assert!(none.matches.is_empty());
+    }
+
+    #[test]
+    fn batched_device_search_is_byte_identical_to_sequential() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 41);
+        device.store_reference(&genome, 16).unwrap();
+        let reads: Vec<asmcap_genome::PackedSeq> = (0..6)
+            .map(|i| asmcap_genome::PackedSeq::from_seq(&genome.window(i * 100..i * 100 + 64)))
+            .collect();
+        for t in [0usize, 2, 6] {
+            let mut batch_rngs: Vec<_> = (0..6).map(|i| rng(500 + i)).collect();
+            let batched = device.search_packed_batch(&reads, t, MatchMode::EdStar, &mut batch_rngs);
+            for (i, read) in reads.iter().enumerate() {
+                let mut solo_rng = rng(500 + i as u64);
+                let solo = device.search_packed(read, t, MatchMode::EdStar, &mut solo_rng);
+                assert_eq!(batched[i], solo, "read {i} diverged at T={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_masked_search_is_byte_identical_to_sequential_masked() {
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 42);
+        device.store_reference(&genome, 16).unwrap();
+        let reads: Vec<asmcap_genome::PackedSeq> = (0..4)
+            .map(|i| asmcap_genome::PackedSeq::from_seq(&genome.window(i * 160..i * 160 + 64)))
+            .collect();
+        // Per-read masks of very different sizes: an adversarially skewed
+        // shortlist (read 0 senses almost everything, read 3 one row).
+        let masks: Vec<RowMask> = (0..4)
+            .map(|i| {
+                let mut mask = RowMask::new(device.stored_rows());
+                for row in (0..device.stored_rows()).step_by(i * 8 + 1) {
+                    mask.set(row);
+                }
+                mask
+            })
+            .collect();
+        let mut batch_rngs: Vec<_> = (0..4).map(|i| rng(900 + i)).collect();
+        let batched = device.search_packed_batch_masked(
+            &reads,
+            2,
+            MatchMode::EdStar,
+            &masks,
+            &mut batch_rngs,
+        );
+        for (i, read) in reads.iter().enumerate() {
+            let mut solo_rng = rng(900 + i as u64);
+            let solo =
+                device.search_packed_masked(read, 2, MatchMode::EdStar, &masks[i], &mut solo_rng);
+            assert_eq!(batched[i], solo, "masked read {i} diverged");
+        }
+        // A batch whose masks are all-set degenerates to the unmasked batch.
+        let full: Vec<RowMask> = (0..4)
+            .map(|_| RowMask::full(device.stored_rows()))
+            .collect();
+        let mut a: Vec<_> = (0..4).map(|i| rng(31 + i)).collect();
+        let mut b: Vec<_> = (0..4).map(|i| rng(31 + i)).collect();
+        assert_eq!(
+            device.search_packed_batch_masked(&reads, 2, MatchMode::EdStar, &full, &mut a),
+            device.search_packed_batch(&reads, 2, MatchMode::EdStar, &mut b),
+        );
     }
 
     #[test]

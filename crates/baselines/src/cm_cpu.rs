@@ -9,8 +9,8 @@
 //! `EXPERIMENTS.md`.
 
 use asmcap::{AsmMatcher, MatchOutcome};
-use asmcap_genome::Base;
-use asmcap_metrics::{edit_distance_banded, edit_distance_myers};
+use asmcap_genome::{Base, PackedSeq};
+use asmcap_metrics::{edit_distance_banded, edit_distance_banded_packed, edit_distance_myers};
 use std::time::Instant;
 
 /// The software comparison-matrix aligner.
@@ -78,6 +78,15 @@ impl AsmMatcher for CmCpuAligner {
         MatchOutcome::plain(edit_distance_banded(segment, read, threshold).is_some())
     }
 
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        MatchOutcome::plain(edit_distance_banded_packed(segment, read, threshold).is_some())
+    }
+
     fn name(&self) -> &str {
         "CM-CPU"
     }
@@ -99,6 +108,28 @@ mod tests {
         let mut cpu = CmCpuAligner::new();
         assert!(!cpu.matches(a.as_slice(), b.as_slice(), 1).matched);
         assert!(cpu.matches(a.as_slice(), b.as_slice(), 2).matched);
+    }
+
+    #[test]
+    fn packed_matcher_agrees_with_slice_matcher() {
+        let genome = GenomeModel::uniform().generate(600, 3);
+        let a = genome.window(0..128);
+        let mut bases = a.clone().into_bases();
+        bases.remove(40);
+        bases.push(asmcap_genome::Base::G);
+        let b = asmcap_genome::DnaSeq::from_bases(bases);
+        let mut cpu = CmCpuAligner::new();
+        for t in [0usize, 1, 2, 8] {
+            assert_eq!(
+                cpu.matches(a.as_slice(), b.as_slice(), t),
+                cpu.matches_packed(
+                    &asmcap_genome::PackedSeq::from_seq(&a),
+                    &asmcap_genome::PackedSeq::from_seq(&b),
+                    t,
+                ),
+                "T={t}"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   ablation benches.
 
 use asmcap::{AsmMatcher, MatchOutcome};
-use asmcap_genome::Base;
+use asmcap_genome::{Base, PackedSeq};
 use std::collections::HashSet;
 
 /// Decision rule of the classifier.
@@ -110,6 +110,26 @@ impl AsmMatcher for KrakenClassifier {
         MatchOutcome::plain(matched)
     }
 
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        match self.mode {
+            // Exact identity is a word compare on the packings — 32 bases
+            // per comparison, no unpack.
+            KrakenMode::Exact => MatchOutcome::plain(segment == read),
+            // Kraken2's real k = 35 exceeds the 32-base packed-code limit,
+            // so the k-mer mode keeps the byte-windowed scan.
+            KrakenMode::KmerHit { .. } => self.matches(
+                segment.to_seq().as_slice(),
+                read.to_seq().as_slice(),
+                threshold,
+            ),
+        }
+    }
+
     fn name(&self) -> &str {
         match self.mode {
             KrakenMode::Exact => "Kraken2 (exact)",
@@ -178,6 +198,29 @@ mod tests {
                 .matches(segment.as_slice(), read.as_slice(), 0)
                 .matched
         );
+    }
+
+    #[test]
+    fn packed_matcher_agrees_with_slice_matcher() {
+        let genome = GenomeModel::uniform().generate(1_000, 8);
+        let segment = genome.window(0..256);
+        let mut bases = segment.clone().into_bases();
+        bases[100] = bases[100].substituted(2);
+        let near = DnaSeq::from_bases(bases);
+        for mode in [KrakenMode::Exact, KrakenMode::kraken2_defaults()] {
+            let mut kraken = KrakenClassifier::new(mode);
+            for read in [&segment, &near] {
+                assert_eq!(
+                    kraken.matches(segment.as_slice(), read.as_slice(), 0),
+                    kraken.matches_packed(
+                        &asmcap_genome::PackedSeq::from_seq(&segment),
+                        &asmcap_genome::PackedSeq::from_seq(read),
+                        0,
+                    ),
+                    "{mode:?}"
+                );
+            }
+        }
     }
 
     #[test]

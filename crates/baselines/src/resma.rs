@@ -15,8 +15,8 @@
 //! The per-step latency/energy model for Fig. 8 lives in [`crate::perf`].
 
 use asmcap::{AsmMatcher, MatchOutcome};
-use asmcap_genome::kmer::{kmers, KmerIndex};
-use asmcap_genome::Base;
+use asmcap_genome::kmer::{kmers, packed_kmers, KmerIndex};
+use asmcap_genome::{Base, PackedSeq, PackedWords};
 
 /// The ReSMA functional model.
 ///
@@ -73,6 +73,32 @@ impl ResmaAccelerator {
         }
         let index = KmerIndex::build(segment, k).expect("filter k validated at construction");
         kmers(read, k).any(|(read_pos, code)| {
+            index
+                .positions_of_code(code)
+                .iter()
+                .any(|&p| p.abs_diff(read_pos) <= threshold)
+        })
+    }
+
+    /// [`ResmaAccelerator::filter_passes`] over 2-bit packed operands: the
+    /// CAM words are rolled straight out of the packed words on both sides,
+    /// so the filter — which rejects the overwhelming majority of decoy
+    /// pairs — never unpacks anything.
+    #[must_use]
+    pub fn filter_passes_packed<S: PackedWords, R: PackedWords>(
+        &self,
+        segment: &S,
+        read: &R,
+        threshold: usize,
+    ) -> bool {
+        let k = self.filter_k;
+        if read.len() < k || segment.len() < k {
+            // Degenerate rows: fall through to the exact stage.
+            return true;
+        }
+        let index =
+            KmerIndex::build_packed(segment, k).expect("filter k validated at construction");
+        packed_kmers(read, k).any(|(read_pos, code)| {
             index
                 .positions_of_code(code)
                 .iter()
@@ -188,6 +214,38 @@ impl AsmMatcher for ResmaAccelerator {
         }
     }
 
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        // Stage 1 runs fully packed; only filter survivors (true pairs and
+        // near-misses, a small minority of a decoy-heavy sweep) pay the
+        // unpack for the base-indexed wavefront DP.
+        let mut cycles = 1u32;
+        if !self.filter_passes_packed(segment, read, threshold) {
+            return MatchOutcome {
+                matched: false,
+                cycles,
+                used_hd: false,
+                rotations: 0,
+            };
+        }
+        let (matched, steps) = self.wavefront_within(
+            segment.to_seq().as_slice(),
+            read.to_seq().as_slice(),
+            threshold,
+        );
+        cycles += steps;
+        MatchOutcome {
+            matched,
+            cycles,
+            used_hd: false,
+            rotations: 0,
+        }
+    }
+
     fn name(&self) -> &str {
         "ReSMA"
     }
@@ -268,6 +326,30 @@ mod tests {
                 .matches(segment.as_slice(), read.as_slice(), ed - 1)
                 .matched
         );
+    }
+
+    #[test]
+    fn packed_matcher_agrees_with_slice_matcher() {
+        let genome = GenomeModel::uniform().generate(2_000, 11);
+        let mut resma = ResmaAccelerator::paper();
+        let segment = genome.window(100..356);
+        let mut bases = segment.clone().into_bases();
+        bases.remove(30);
+        bases.push(asmcap_genome::Base::C);
+        bases[200] = bases[200].substituted(1);
+        let near = DnaSeq::from_bases(bases);
+        let decoy = GenomeModel::uniform().generate(256, 12);
+        for read in [&segment, &near, &decoy] {
+            for t in [0usize, 2, 8] {
+                let scalar = resma.matches(segment.as_slice(), read.as_slice(), t);
+                let packed = resma.matches_packed(
+                    &asmcap_genome::PackedSeq::from_seq(&segment),
+                    &asmcap_genome::PackedSeq::from_seq(read),
+                    t,
+                );
+                assert_eq!(scalar, packed, "T={t}");
+            }
+        }
     }
 
     proptest! {

@@ -14,8 +14,8 @@
 //! modelling: the losses are algorithmic.
 
 use asmcap::{AsmMatcher, MatchOutcome};
-use asmcap_genome::kmer::{pack_kmer, KmerIndex};
-use asmcap_genome::Base;
+use asmcap_genome::kmer::{pack_kmer, packed_kmers, KmerIndex};
+use asmcap_genome::{Base, PackedSeq, PackedWords};
 use std::collections::HashMap;
 
 /// The SaVI functional model.
@@ -96,6 +96,40 @@ impl SaviAccelerator {
             }
         }
         // Best window of offsets within ±tolerance.
+        Self::best_window(&votes, tolerance)
+    }
+
+    /// [`SaviAccelerator::best_vote_count`] over 2-bit packed operands: the
+    /// segment is indexed through the packed k-mer roller and the read's
+    /// non-overlapping seeds are packed codes read straight out of the
+    /// words — identical votes, no byte-per-base walk.
+    #[must_use]
+    pub fn best_vote_count_packed<S: PackedWords, R: PackedWords>(
+        &self,
+        segment: &S,
+        read: &R,
+        tolerance: usize,
+    ) -> usize {
+        let k = self.seed_len;
+        if read.len() < k || segment.len() < k {
+            return 0;
+        }
+        let index =
+            KmerIndex::build_packed(segment, k).expect("seed length validated at construction");
+        let mut votes: HashMap<isize, usize> = HashMap::new();
+        // Non-overlapping seeds sit at read positions 0, k, 2k, …: keep
+        // exactly those codes from the rolling packed scan.
+        for (read_pos, seed) in packed_kmers(read, k).filter(|(pos, _)| pos % k == 0) {
+            for &segment_pos in index.positions_of_code(seed) {
+                let offset = segment_pos as isize - read_pos as isize;
+                *votes.entry(offset).or_insert(0) += 1;
+            }
+        }
+        Self::best_window(&votes, tolerance)
+    }
+
+    /// Vote count of the best `±tolerance` offset window.
+    fn best_window(votes: &HashMap<isize, usize>, tolerance: usize) -> usize {
         let mut best = 0usize;
         for &center in votes.keys() {
             let total: usize = votes
@@ -117,6 +151,23 @@ impl AsmMatcher for SaviAccelerator {
         MatchOutcome {
             matched: votes >= required,
             // One TCAM lookup cycle per seed plus one voting cycle.
+            cycles: seeds as u32 + 1,
+            used_hd: false,
+            rotations: 0,
+        }
+    }
+
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        let seeds = self.seed_count(read.len());
+        let required = seeds.saturating_sub(threshold).max(1);
+        let votes = self.best_vote_count_packed(segment, read, threshold);
+        MatchOutcome {
+            matched: votes >= required,
             cycles: seeds as u32 + 1,
             used_hd: false,
             rotations: 0,
@@ -195,6 +246,28 @@ mod tests {
         let b = GenomeModel::uniform().generate(256, 7);
         for t in [0usize, 4, 8, 16] {
             assert!(!savi.matches(a.as_slice(), b.as_slice(), t).matched);
+        }
+    }
+
+    #[test]
+    fn packed_matcher_agrees_with_slice_matcher() {
+        let genome = GenomeModel::uniform().generate(20_000, 9);
+        let sampler = ReadSampler::new(256, ErrorProfile::condition_a());
+        let mut savi = SaviAccelerator::paper();
+        for (i, read) in sampler.sample_many(&genome, 12, 10).into_iter().enumerate() {
+            let segment = read.aligned_segment(&genome);
+            let decoy = genome.window(5_000 + i * 300..5_256 + i * 300);
+            for (seg, r) in [(&segment, &read.bases), (&decoy, &read.bases)] {
+                for t in [0usize, 4, 8] {
+                    let scalar = savi.matches(seg.as_slice(), r.as_slice(), t);
+                    let packed = savi.matches_packed(
+                        &asmcap_genome::PackedSeq::from_seq(seg),
+                        &asmcap_genome::PackedSeq::from_seq(r),
+                        t,
+                    );
+                    assert_eq!(scalar, packed, "pair {i} diverged at T={t}");
+                }
+            }
         }
     }
 

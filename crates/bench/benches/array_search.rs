@@ -42,6 +42,61 @@ fn bench_array_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// One read at a time vs one batched device pass (sized so the packed row
+/// store — 16k × 256-base rows = 1 MiB — exceeds cache). Honest result on
+/// current hosts: the two are within a few percent of each other, because
+/// the software sense-amplifier model (an RNG draw per sensed row)
+/// dominates the row fetches the batch pass amortizes; the batch entry
+/// point's value is the pipelined-global-buffer modeling, the single-call
+/// batch surface with per-read RNG isolation, and the masked variant for
+/// prefiltered batches. Track both here so a future sense-model speedup
+/// shows when the balance tips.
+fn bench_device_batch_search(c: &mut Criterion) {
+    use asmcap_genome::PackedSeq;
+    let mut group = c.benchmark_group("device_batch_search");
+    group.sample_size(10);
+    let width = 256usize;
+    let arrays = 64usize;
+    let reference = genome(arrays * 256 + width - 1);
+    let mut device = DeviceBuilder::new()
+        .arrays(arrays)
+        .rows_per_array(256)
+        .row_width(width)
+        .build_asmcap();
+    device.store_reference(&reference, 1).unwrap();
+    let batch = 64usize;
+    let reads: Vec<PackedSeq> = (0..batch)
+        .map(|i| PackedSeq::from_seq(&reference.window(i * 17..i * 17 + width)))
+        .collect();
+    group.throughput(Throughput::Elements((device.stored_rows() * batch) as u64));
+    group.bench_function("sequential_64_reads", |bencher| {
+        bencher.iter(|| {
+            let mut rngs: Vec<_> = (0..batch as u64).map(rng).collect();
+            reads
+                .iter()
+                .zip(&mut rngs)
+                .map(|(read, r)| {
+                    device
+                        .search_packed(black_box(read), 8, MatchMode::EdStar, r)
+                        .matches
+                        .len()
+                })
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("batched_64_reads", |bencher| {
+        bencher.iter(|| {
+            let mut rngs: Vec<_> = (0..batch as u64).map(rng).collect();
+            device
+                .search_packed_batch(black_box(&reads), 8, MatchMode::EdStar, &mut rngs)
+                .iter()
+                .map(|result| result.matches.len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
 fn bench_device_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("device_search");
     group.sample_size(10);
@@ -64,5 +119,10 @@ fn bench_device_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_array_search, bench_device_search);
+criterion_group!(
+    benches,
+    bench_array_search,
+    bench_device_batch_search,
+    bench_device_search
+);
 criterion_main!(benches);

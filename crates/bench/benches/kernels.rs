@@ -6,7 +6,10 @@
 
 use asmcap_bench::pair;
 use asmcap_genome::{ErrorProfile, PackedRef, PackedSeq};
-use asmcap_metrics::{ed_star, ed_star_hamming_packed, ed_star_packed, hamming, hamming_packed};
+use asmcap_metrics::{
+    ed_star, ed_star_hamming_packed, ed_star_packed, ed_star_packed_scalar, hamming,
+    hamming_packed, hamming_packed_scalar,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -22,6 +25,17 @@ fn bench_ed_star_kernels(c: &mut Criterion) {
         });
         let ps = PackedSeq::from_seq(&stored);
         let pr = PackedSeq::from_seq(&read);
+        // The PR 4 single-word kernel: the baseline the lane dispatch is
+        // measured against.
+        group.bench_with_input(
+            BenchmarkId::new("packed_scalar", width),
+            &width,
+            |bencher, _| {
+                bencher.iter(|| ed_star_packed_scalar(black_box(&ps), black_box(&pr)));
+            },
+        );
+        // The dispatched multi-lane kernel (AVX2 when the host has it,
+        // 4×u64 SWAR otherwise).
         group.bench_with_input(BenchmarkId::new("packed", width), &width, |bencher, _| {
             bencher.iter(|| ed_star_packed(black_box(&ps), black_box(&pr)));
         });
@@ -42,6 +56,13 @@ fn bench_hamming_kernels(c: &mut Criterion) {
         });
         let ps = PackedSeq::from_seq(&stored);
         let pr = PackedSeq::from_seq(&read);
+        group.bench_with_input(
+            BenchmarkId::new("packed_scalar", width),
+            &width,
+            |bencher, _| {
+                bencher.iter(|| hamming_packed_scalar(black_box(&ps), black_box(&pr)));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("packed", width), &width, |bencher, _| {
             bencher.iter(|| hamming_packed(black_box(&ps), black_box(&pr)));
         });

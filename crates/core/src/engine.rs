@@ -13,7 +13,7 @@ use crate::tasr::Tasr;
 use crate::Rng;
 use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, SenseAmp, VrefPolicy};
 use asmcap_genome::{Base, ErrorProfile, PackedSeq, PackedWords};
-use asmcap_metrics::{ed_star, ed_star_hamming_packed, ed_star_packed};
+use asmcap_metrics::{ed_star_hamming_packed, ed_star_packed};
 
 /// The ASMCap engine: charge-domain sensing plus the HDAC and TASR
 /// misjudgment-correction strategies.
@@ -180,6 +180,15 @@ impl AsmMatcher for AsmcapEngine {
         )
     }
 
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        AsmcapEngine::matches_packed(self, segment, read, threshold)
+    }
+
     fn name(&self) -> &str {
         &self.label
     }
@@ -218,25 +227,38 @@ impl EdamEngine {
     pub fn sense(&self) -> &SenseAmp<CurrentDomainCam> {
         &self.sense
     }
-}
 
-impl AsmMatcher for EdamEngine {
-    fn matches(&mut self, segment: &[Base], read: &[Base], threshold: usize) -> MatchOutcome {
+    /// One (segment, read, T) decision over packed operands — the
+    /// word-parallel fast path the evaluation sweeps call via
+    /// [`AsmMatcher::matches_packed`]. Identical semantics, noise model,
+    /// and RNG draw order to [`AsmMatcher::matches`]; the scalar entry
+    /// point delegates here, so there is exactly one decision procedure
+    /// (the same single-procedure rule [`AsmcapEngine`] follows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` and `read` lengths differ.
+    pub fn matches_packed<S: PackedWords>(
+        &mut self,
+        segment: &S,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
         assert_eq!(
             segment.len(),
             read.len(),
             "segment and read must be equally long"
         );
         let n = read.len();
-        let n_mis = ed_star(segment, read);
+        let n_mis = ed_star_packed(segment, read);
         let mut decision = self.sense.decide(n_mis, n, threshold, &mut self.rng);
         let mut cycles = 1u32;
         let mut rotations = 0u32;
         if let Some(sr) = self.sr {
             let sense = &self.sense;
             let rng = &mut self.rng;
-            let (matched, issued) = sr.run(decision, read, threshold, |rotated| {
-                sense.decide(ed_star(segment, rotated), n, threshold, rng)
+            let (matched, issued) = sr.run_packed(decision, read, threshold, |rotated| {
+                sense.decide(ed_star_packed(segment, rotated), n, threshold, rng)
             });
             decision = matched;
             rotations = issued;
@@ -248,6 +270,25 @@ impl AsmMatcher for EdamEngine {
             used_hd: false,
             rotations,
         }
+    }
+}
+
+impl AsmMatcher for EdamEngine {
+    fn matches(&mut self, segment: &[Base], read: &[Base], threshold: usize) -> MatchOutcome {
+        self.matches_packed(
+            &PackedSeq::from_bases(segment),
+            &PackedSeq::from_bases(read),
+            threshold,
+        )
+    }
+
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        EdamEngine::matches_packed(self, segment, read, threshold)
     }
 
     fn name(&self) -> &str {

@@ -1,0 +1,155 @@
+//! The work-stealing batch executor behind [`crate::AsmcapPipeline`].
+//!
+//! PR 2's `map_batch` sharded a batch into `workers` equal chunks up
+//! front (`chunks(div_ceil)`), which serializes on the slowest chunk: with
+//! a prefilter armed, per-read cost is proportional to the shortlist
+//! length, and a handful of full-scan fallbacks landing in one chunk left
+//! every other worker idle while that chunk ground on. This module
+//! replaces the fixed sharding with a **chunk-queue work-stealing
+//! scheduler**: the batch is cut into fixed-size [`TILE`]-item tiles, a
+//! single atomic cursor hands tiles out, and each worker loops "claim next
+//! tile → map it" until the queue is dry. A worker stuck on an expensive
+//! tile simply stops claiming; the others drain the rest of the queue.
+//!
+//! No new dependencies: the queue is one `AtomicUsize` over
+//! `std::thread::scope` workers.
+//!
+//! # Determinism
+//!
+//! Tiles only partition the *index space* — each item is still mapped
+//! from its own index (per-read seeds in the pipeline's case), and the
+//! executor reassembles results in item order. Which worker claims which
+//! tile can vary run to run; the output cannot. The pipeline's
+//! worker-count-invariance tests (`tests/pipeline_api.rs`) pin this under
+//! adversarially skewed per-read costs.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Items per tile. Small enough that a skewed batch splits into many more
+/// tiles than workers (so stealing has something to steal), large enough
+/// that the atomic claim is amortized over real work.
+pub const TILE: usize = 16;
+
+/// Maps `items` indices through `map_tile` across up to `workers` threads
+/// and returns the tile results flattened **in item order**.
+///
+/// `map_tile` receives a half-open index range (one tile, except possibly
+/// a shorter final tile) and returns its results in range order. With one
+/// worker (or one tile) everything runs on the calling thread with no
+/// synchronization at all.
+///
+/// # Panics
+///
+/// Propagates panics from `map_tile` (a panicking worker).
+pub fn run_tiled<R, F>(items: usize, workers: usize, map_tile: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> Vec<R> + Sync,
+{
+    if items == 0 {
+        return Vec::new();
+    }
+    let tiles = items.div_ceil(TILE);
+    let workers = workers.max(1).min(tiles);
+    if workers == 1 {
+        return map_tile(0..items);
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut shards: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let tile = cursor.fetch_add(1, Ordering::Relaxed);
+                        if tile >= tiles {
+                            break;
+                        }
+                        let lo = tile * TILE;
+                        let hi = ((tile + 1) * TILE).min(items);
+                        claimed.push((tile, map_tile(lo..hi)));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("executor worker panicked"))
+            .collect()
+    });
+    shards.sort_unstable_by_key(|&(tile, _)| tile);
+    let mut out = Vec::with_capacity(items);
+    for (_, chunk) in shards {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn identity(items: usize, workers: usize) -> Vec<usize> {
+        run_tiled(items, workers, |range| range.collect())
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        for items in [0usize, 1, 15, 16, 17, 64, 100, 1000] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                assert_eq!(
+                    identity(items, workers),
+                    (0..items).collect::<Vec<_>>(),
+                    "items={items} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_is_mapped_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_tiled(500, 8, |range| {
+            range
+                .map(|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                    i * 2
+                })
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(out, (0..500).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn skewed_tiles_do_not_change_results() {
+        // Tiles near the front cost ~1000x the rest: a fixed equal-chunk
+        // shard would serialize on worker 0; the queue just drains around
+        // it, and the output is identical at every worker count.
+        let expensive = |i: usize| {
+            let spins = if i < 32 { 50_000 } else { 50 };
+            (0..spins).fold(i as u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+        };
+        let reference: Vec<u64> = (0..256).map(expensive).collect();
+        for workers in [1usize, 2, 8] {
+            let out = run_tiled(256, workers, |range| {
+                range.map(expensive).collect::<Vec<_>>()
+            });
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "executor worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = run_tiled(100, 4, |range| {
+            if range.contains(&50) {
+                panic!("boom");
+            }
+            range.collect::<Vec<_>>()
+        });
+    }
+}

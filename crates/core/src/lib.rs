@@ -68,6 +68,7 @@
 pub mod backend;
 pub mod config;
 pub mod engine;
+pub mod executor;
 pub mod fragment;
 pub mod hdac;
 pub mod mapper;

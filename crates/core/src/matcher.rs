@@ -1,7 +1,7 @@
 //! The matcher abstraction: one (read, segment, threshold) decision.
 
-use asmcap_genome::Base;
-use asmcap_metrics::{ed_star, edit_distance_banded};
+use asmcap_genome::{Base, PackedSeq};
+use asmcap_metrics::{ed_star, ed_star_packed, edit_distance_banded, edit_distance_banded_packed};
 
 /// Result of one match decision, with the cycle cost the decision incurred
 /// on the accelerator (1 for a plain search, +1 for an HDAC HD search, +1
@@ -45,6 +45,33 @@ pub trait AsmMatcher {
     /// row is exactly as wide as the read).
     fn matches(&mut self, segment: &[Base], read: &[Base], threshold: usize) -> MatchOutcome;
 
+    /// [`AsmMatcher::matches`] over 2-bit packed operands — the entry
+    /// point the evaluation harness calls (it packs each pair exactly
+    /// once; see `asmcap_eval::EvalDataset::evaluate`).
+    ///
+    /// The default unpacks and forwards to [`AsmMatcher::matches`], so
+    /// every matcher stays correct with no extra code; packed-native
+    /// matchers (the engines, the baselines) override it to run the
+    /// word-parallel kernels directly. Overrides must make the **same
+    /// decision and draw the same RNG stream** as the slice path —
+    /// `tests/packed_equivalence.rs` pins this for the built-ins.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `segment` and `read` lengths differ.
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        self.matches(
+            segment.to_seq().as_slice(),
+            read.to_seq().as_slice(),
+            threshold,
+        )
+    }
+
     /// Short display name for reports.
     fn name(&self) -> &str;
 }
@@ -85,6 +112,15 @@ impl AsmMatcher for ExactEdMatcher {
         MatchOutcome::plain(edit_distance_banded(segment, read, threshold).is_some())
     }
 
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        MatchOutcome::plain(edit_distance_banded_packed(segment, read, threshold).is_some())
+    }
+
     fn name(&self) -> &str {
         "exact-ED"
     }
@@ -109,6 +145,15 @@ impl NoiselessEdStarMatcher {
 impl AsmMatcher for NoiselessEdStarMatcher {
     fn matches(&mut self, segment: &[Base], read: &[Base], threshold: usize) -> MatchOutcome {
         MatchOutcome::plain(ed_star(segment, read) <= threshold)
+    }
+
+    fn matches_packed(
+        &mut self,
+        segment: &PackedSeq,
+        read: &PackedSeq,
+        threshold: usize,
+    ) -> MatchOutcome {
+        MatchOutcome::plain(ed_star_packed(segment, read) <= threshold)
     }
 
     fn name(&self) -> &str {

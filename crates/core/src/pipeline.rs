@@ -692,8 +692,12 @@ impl AsmcapPipeline {
         record
     }
 
-    /// Maps a batch of reads, sharded across up to
-    /// [`AsmcapPipeline::workers`] scoped threads.
+    /// Maps a batch of reads across up to [`AsmcapPipeline::workers`]
+    /// scoped threads through the work-stealing tile executor
+    /// ([`crate::executor`]): the batch is cut into fixed-size tiles and
+    /// workers claim tiles off a shared atomic queue, so a few expensive
+    /// reads (a skewed prefilter shortlist, a full-scan fallback) no longer
+    /// serialize the batch on one worker.
     ///
     /// Each read is packed once here; everything downstream runs
     /// word-parallel. Records come back in input order and are
@@ -718,39 +722,10 @@ impl AsmcapPipeline {
         let base = self
             .counter
             .fetch_add(reads.len() as u64, Ordering::Relaxed);
-        let workers = self.workers.min(reads.len()).max(1);
-        let chunk = reads.len().div_ceil(workers);
-        let mut records: Vec<MapRecord> = Vec::with_capacity(reads.len());
-        if workers <= 1 || reads.len() <= 1 {
-            records.extend(
-                reads
-                    .iter()
-                    .enumerate()
-                    .map(|(i, read)| self.map_indexed(read, base + i as u64)),
-            );
-        } else {
-            let chunks: Vec<Vec<MapRecord>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = reads
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(c, shard)| {
-                        let offset = base + (c * chunk) as u64;
-                        scope.spawn(move || {
-                            shard
-                                .iter()
-                                .enumerate()
-                                .map(|(i, read)| self.map_indexed(read, offset + i as u64))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("pipeline worker panicked"))
-                    .collect()
-            });
-            records.extend(chunks.into_iter().flatten());
-        }
+        let records = crate::executor::run_tiled(reads.len(), self.workers, |tile| {
+            tile.map(|i| self.map_indexed(&reads[i], base + i as u64))
+                .collect()
+        });
         let mut stats = self.stats.lock().expect("stats lock poisoned");
         for record in &records {
             stats.absorb(record);
@@ -759,9 +734,13 @@ impl AsmcapPipeline {
         records
     }
 
-    /// Maps a read stream lazily: reads are pulled in worker-scaled chunks,
-    /// each chunk goes through [`AsmcapPipeline::map_batch`], and records
-    /// are yielded in input order.
+    /// Maps a read stream lazily: reads are pulled in chunks sized from the
+    /// executor tile ([`crate::executor::TILE`] per worker — enough to keep
+    /// every worker's queue non-empty without buffering hundreds of reads
+    /// ahead of the consumer), each chunk goes through
+    /// [`AsmcapPipeline::map_batch`], and records are yielded in input
+    /// order. A partial tail chunk (stream ends mid-chunk) is flushed
+    /// immediately rather than waiting for a full chunk.
     pub fn map_iter<I>(&self, reads: I) -> MapIter<'_, I::IntoIter>
     where
         I: IntoIterator<Item = DnaSeq>,
@@ -769,7 +748,7 @@ impl AsmcapPipeline {
         MapIter {
             pipeline: self,
             reads: reads.into_iter(),
-            chunk: (self.workers * 32).max(1),
+            chunk: (self.workers * crate::executor::TILE).max(1),
             buffered: VecDeque::new(),
         }
     }

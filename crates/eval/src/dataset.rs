@@ -8,7 +8,7 @@
 //! convention, see `asmcap_metrics::edit`).
 
 use asmcap::{AsmMatcher, AsmcapPipeline, BackendKind, PipelineConfig, PipelineError};
-use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, PairDataset};
+use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, PackedSeq, PairDataset};
 use asmcap_metrics::edit::anchored_semi_global;
 use asmcap_metrics::ConfusionMatrix;
 
@@ -72,10 +72,17 @@ pub struct MappingRecovery {
 }
 
 /// A fully labelled evaluation dataset.
+///
+/// Every (segment, read) pair is 2-bit packed **once** at build time:
+/// [`EvalDataset::evaluate`] scores matchers through
+/// [`AsmMatcher::matches_packed`], so a Fig. 7 sweep (engines × thresholds
+/// × pairs) never re-packs or re-walks a byte-per-base slice — the
+/// "packed everywhere else" port of the eval harness.
 #[derive(Debug, Clone)]
 pub struct EvalDataset {
     genome: DnaSeq,
     pairs: PairDataset,
+    packed_pairs: Vec<(PackedSeq, PackedSeq)>,
     gt_distance: Vec<usize>,
 }
 
@@ -141,9 +148,20 @@ impl EvalDataset {
                 anchored_semi_global(read.as_slice(), context)
             })
             .collect();
+        let packed_pairs = pairs
+            .pairs()
+            .iter()
+            .map(|pair| {
+                (
+                    PackedSeq::from_seq(&pair.segment),
+                    PackedSeq::from_seq(&pairs.read_for(pair).bases),
+                )
+            })
+            .collect();
         Self {
             genome,
             pairs,
+            packed_pairs,
             gt_distance,
         }
     }
@@ -178,7 +196,12 @@ impl EvalDataset {
         self.gt_distance.iter().filter(|&&d| d <= threshold).count()
     }
 
-    /// Scores a matcher over every pair at one threshold.
+    /// Scores a matcher over every pair at one threshold, through the
+    /// packed pairs cached at build time ([`AsmMatcher::matches_packed`]).
+    /// Decisions are identical to the byte-per-base path — the engines'
+    /// packed overrides are pinned byte-identical, and the trait default
+    /// unpacks — so F1 scores are unchanged; only the per-pair walk cost
+    /// drops.
     pub fn evaluate(
         &self,
         matcher: &mut dyn AsmMatcher,
@@ -188,9 +211,8 @@ impl EvalDataset {
         let mut cycles = 0u64;
         let mut hd = 0u64;
         let mut rotations = 0u64;
-        for (index, pair) in self.pairs.pairs().iter().enumerate() {
-            let read = &self.pairs.read_for(pair).bases;
-            let outcome = matcher.matches(pair.segment.as_slice(), read.as_slice(), threshold);
+        for (index, (segment, read)) in self.packed_pairs.iter().enumerate() {
+            let outcome = matcher.matches_packed(segment, read, threshold);
             cm.record(self.ground_truth(index, threshold), outcome.matched);
             cycles += u64::from(outcome.cycles);
             hd += u64::from(outcome.used_hd);
@@ -251,19 +273,16 @@ impl EvalDataset {
     }
 
     /// Mean ED\* across all pairs — the `n_mis` level the Eq. 1 energy
-    /// model sees on this workload.
+    /// model sees on this workload. Runs on the cached packed pairs via
+    /// the word-parallel kernel.
     #[must_use]
     pub fn mean_ed_star(&self) -> f64 {
         let total: usize = self
-            .pairs
-            .pairs()
+            .packed_pairs
             .iter()
-            .map(|pair| {
-                let read = &self.pairs.read_for(pair).bases;
-                asmcap_metrics::ed_star(pair.segment.as_slice(), read.as_slice())
-            })
+            .map(|(segment, read)| asmcap_metrics::ed_star_packed(segment, read))
             .sum();
-        total as f64 / self.pairs.pairs().len() as f64
+        total as f64 / self.packed_pairs.len() as f64
     }
 }
 

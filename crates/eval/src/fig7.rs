@@ -3,6 +3,11 @@
 //! Four subplots: absolute F1 and Kraken2-normalised F1, each under
 //! Condition A (T = 1..8) and Condition B (T = 2..16). Three series per
 //! subplot: EDAM, ASMCap without strategies, ASMCap with HDAC + TASR.
+//!
+//! The whole sweep runs on the packed matchplane: the dataset packs every
+//! (segment, read) pair once and [`EvalDataset::evaluate`] scores each
+//! engine through `AsmMatcher::matches_packed`, so engines × thresholds ×
+//! pairs costs no byte-per-base walks and no per-decision re-packing.
 
 use crate::dataset::{Condition, CycleStats, EvalDataset};
 use crate::report::Table;

@@ -39,6 +39,18 @@ pub trait PackedWords {
         self.len() == 0
     }
 
+    /// The packing's words as one contiguous slice, when such a slice
+    /// exists — `None` for views whose words are assembled on demand.
+    ///
+    /// The slice must satisfy the same contract as [`PackedWords::word`]
+    /// (little-endian lanes, zero tail lanes beyond [`PackedWords::len`]),
+    /// so callers like the `asmcap-metrics` lane kernels can run their
+    /// multi-word inner loops directly on it instead of fetching one word
+    /// at a time through the trait.
+    fn as_word_slice(&self) -> Option<&[u64]> {
+        None
+    }
+
     /// Number of words covering [`PackedWords::len`] bases.
     fn n_words(&self) -> usize {
         self.len().div_ceil(BASES_PER_WORD)
@@ -257,6 +269,10 @@ impl PackedWords for PackedSeq {
 
     fn word(&self, i: usize) -> u64 {
         self.words[i]
+    }
+
+    fn as_word_slice(&self) -> Option<&[u64]> {
+        Some(&self.words)
     }
 
     fn to_packed(&self) -> PackedSeq {

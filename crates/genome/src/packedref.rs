@@ -154,6 +154,19 @@ impl PackedWords for SegmentView<'_> {
         }
     }
 
+    fn as_word_slice(&self) -> Option<&[u64]> {
+        // A view is a contiguous subslice of the reference words only when
+        // it starts on a word boundary AND fills its last word completely
+        // (otherwise that word's tail lanes hold live reference bases, which
+        // would violate the zero-tail contract).
+        if self.shift == 0 && self.width.is_multiple_of(BASES_PER_WORD) {
+            let n_words = self.width / BASES_PER_WORD;
+            Some(&self.words[self.first_word..self.first_word + n_words])
+        } else {
+            None
+        }
+    }
+
     fn to_packed(&self) -> PackedSeq {
         extract(self.words, self.offset, self.width)
     }

@@ -14,7 +14,7 @@
 //! [`anchored_semi_global`] family implements exactly that convention and is
 //! used as ground truth by the evaluation harness.
 
-use asmcap_genome::Base;
+use asmcap_genome::{Base, PackedWords};
 
 /// Global Levenshtein distance between `a` and `b` (two-row DP).
 ///
@@ -68,21 +68,35 @@ pub fn edit_distance(a: &[Base], b: &[Base]) -> usize {
 /// ```
 #[must_use]
 pub fn edit_distance_banded(a: &[Base], b: &[Base], limit: usize) -> Option<usize> {
-    if a.len().abs_diff(b.len()) > limit {
+    banded_core(a.len(), b.len(), limit, |i| a[i].code(), |j| b[j].code())
+}
+
+/// The one banded-DP core both representations share: Ukkonen's band with
+/// early exit over base codes produced by the two accessors (`a_code(i)` =
+/// row base `i`, `b_code(j)` = column base `j`). The accessors inline, so
+/// the slice and packed entry points compile to the same loop.
+fn banded_core(
+    m: usize,
+    n: usize,
+    limit: usize,
+    a_code: impl Fn(usize) -> u8,
+    b_code: impl Fn(usize) -> u8,
+) -> Option<usize> {
+    if m.abs_diff(n) > limit {
         return None;
     }
-    if a.is_empty() || b.is_empty() {
-        let d = a.len().max(b.len());
+    if m == 0 || n == 0 {
+        let d = m.max(n);
         return (d <= limit).then_some(d);
     }
     const INF: usize = usize::MAX / 2;
-    let n = b.len();
     let mut previous = vec![INF; n + 1];
     let mut current = vec![INF; n + 1];
     for (j, cell) in previous.iter_mut().enumerate().take(limit.min(n) + 1) {
         *cell = j;
     }
-    for (i, &ca) in a.iter().enumerate() {
+    for i in 0..m {
+        let ca = a_code(i);
         let row = i + 1;
         let lo = row.saturating_sub(limit);
         let hi = (row + limit).min(n);
@@ -95,7 +109,7 @@ pub fn edit_distance_banded(a: &[Base], b: &[Base], limit: usize) -> Option<usiz
             let value = if j == 0 {
                 row
             } else {
-                let cb = b[j - 1];
+                let cb = b_code(j - 1);
                 let substitution = previous[j - 1].saturating_add(usize::from(ca != cb));
                 let deletion = previous[j].saturating_add(1);
                 let insertion = current[j - 1].saturating_add(1);
@@ -114,6 +128,36 @@ pub fn edit_distance_banded(a: &[Base], b: &[Base], limit: usize) -> Option<usiz
     }
     let d = previous[n];
     (d <= limit).then_some(d)
+}
+
+/// [`edit_distance_banded`] over 2-bit packed operands: identical band,
+/// early exit, and result, with each base code read straight out of the
+/// packed words — no byte-per-base unpacking anywhere. This is what lets
+/// the CM-CPU baseline score pre-packed evaluation pairs without a decode
+/// pass (see `asmcap-baselines`).
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::{DnaSeq, PackedSeq};
+/// let a = PackedSeq::from_seq(&"ACGTACGT".parse::<DnaSeq>()?);
+/// let b = PackedSeq::from_seq(&"ACGAACGT".parse::<DnaSeq>()?);
+/// assert_eq!(asmcap_metrics::edit::edit_distance_banded_packed(&a, &b, 3), Some(1));
+/// assert_eq!(asmcap_metrics::edit::edit_distance_banded_packed(&a, &b, 0), None);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[must_use]
+pub fn edit_distance_banded_packed<A: PackedWords, B: PackedWords>(
+    a: &A,
+    b: &B,
+    limit: usize,
+) -> Option<usize> {
+    // Base code at lane `i` of a packing (two bits, no unpack).
+    #[inline]
+    fn lane<S: PackedWords>(seq: &S, i: usize) -> u8 {
+        ((seq.word(i / 32) >> (2 * (i % 32))) & 0b11) as u8
+    }
+    banded_core(a.len(), b.len(), limit, |i| lane(a, i), |j| lane(b, j))
 }
 
 /// Per-base match masks for the bit-parallel kernels: `peq[word][code]` has
@@ -422,6 +466,37 @@ mod tests {
         let b = seq("AAAAAAAAAA");
         assert_eq!(edit_distance_banded(a.as_slice(), b.as_slice(), 3), None);
         assert_eq!(edit_distance_banded(a.as_slice(), b.as_slice(), 6), Some(6));
+    }
+
+    #[test]
+    fn banded_packed_matches_banded_on_slices() {
+        use asmcap_genome::{PackedRef, PackedSeq};
+        let genome = asmcap_genome::GenomeModel::uniform().generate(500, 9);
+        let packed_ref = PackedRef::new(&genome);
+        for (a_start, b_start, width, limit) in [
+            (0usize, 0usize, 100usize, 5usize),
+            (0, 5, 100, 8),
+            (17, 221, 128, 4),
+            (33, 33, 64, 0),
+            (1, 300, 97, 16),
+        ] {
+            let a_slice = &genome.as_slice()[a_start..a_start + width];
+            let b_slice = &genome.as_slice()[b_start..b_start + width];
+            // Both an owned packing and a word-straddling view.
+            let a_packed = PackedSeq::from_bases(a_slice);
+            let b_view = packed_ref.segment(b_start, width);
+            assert_eq!(
+                edit_distance_banded_packed(&a_packed, &b_view, limit),
+                edit_distance_banded(a_slice, b_slice, limit),
+                "a={a_start} b={b_start} w={width} T={limit}"
+            );
+        }
+        // Degenerate shapes.
+        let empty = PackedSeq::default();
+        assert_eq!(edit_distance_banded_packed(&empty, &empty, 0), Some(0));
+        let four = PackedSeq::from_seq(&seq("ACGT"));
+        assert_eq!(edit_distance_banded_packed(&empty, &four, 3), None);
+        assert_eq!(edit_distance_banded_packed(&empty, &four, 4), Some(4));
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! throughout the evaluation (paper Eq. 3–4), and [`stats`] small numeric
 //! helpers shared by the experiment harness.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly one place: the
+// AVX2 lane loops in `kernels::avx2`, entered only behind a runtime
+// `is_x86_feature_detected!` check (the `simd` feature compiles them out
+// entirely).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod confusion;
@@ -32,7 +36,12 @@ pub mod kernels;
 pub mod stats;
 
 pub use confusion::ConfusionMatrix;
-pub use edit::{edit_distance, edit_distance_banded, edit_distance_myers};
+pub use edit::{
+    edit_distance, edit_distance_banded, edit_distance_banded_packed, edit_distance_myers,
+};
 pub use edstar::{ed_star, ed_star_profile, CellMatch, EdStarProfile};
 pub use hamming::hamming;
-pub use kernels::{ed_star_hamming_packed, ed_star_packed, hamming_packed};
+pub use kernels::{
+    ed_star_hamming_packed, ed_star_hamming_packed_scalar, ed_star_packed, ed_star_packed_scalar,
+    hamming_packed, hamming_packed_scalar, simd_available,
+};

@@ -110,6 +110,64 @@ fn prefiltered_map_batch_is_worker_count_independent() {
 }
 
 #[test]
+fn skewed_shortlists_stay_worker_count_invariant() {
+    // Adversarial skew for the work-stealing executor: the batch front-loads
+    // a block of foreign reads whose shortlists come up empty, so (with the
+    // fallback open) each takes a full O(reference) scan, while the
+    // remaining reads shortlist to a handful of segments. Under PR 2's
+    // fixed equal chunking all the expensive reads landed on worker 0; the
+    // tile queue spreads them — and either way the records AND aggregated
+    // stats must be byte-identical at every worker count, on every backend.
+    use asmcap_genome::{PackedSeq, PrefilterConfig};
+    let genome = GenomeModel::uniform().generate(16_384, 77);
+    let sampler = ReadSampler::new(WIDTH, ErrorProfile::condition_a());
+    let foreign = GenomeModel::uniform().generate(16 * WIDTH, 4_242);
+    let mut reads: Vec<DnaSeq> = (0..16)
+        .map(|i| foreign.window(i * WIDTH..(i + 1) * WIDTH))
+        .collect();
+    reads.extend(
+        sampler
+            .sample_many(&genome, 48, 31)
+            .into_iter()
+            .map(|r| r.bases),
+    );
+    let packed: Vec<PackedSeq> = reads.iter().map(PackedSeq::from_seq).collect();
+    let build = |backend: BackendKind, workers: usize| {
+        AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(config(6))
+            .prefilter(PrefilterConfig::default())
+            .backend(backend)
+            .workers(workers)
+            .build()
+            .expect("pipeline builds")
+    };
+    for backend in [
+        BackendKind::Device,
+        BackendKind::Pair,
+        BackendKind::Software,
+    ] {
+        let reference_pipeline = build(backend, 1);
+        let reference_records = reference_pipeline.map_batch_packed(&packed);
+        let reference_stats = reference_pipeline.stats();
+        for workers in [2usize, 8] {
+            let pipeline = build(backend, workers);
+            let records = pipeline.map_batch_packed(&packed);
+            assert_eq!(
+                records, reference_records,
+                "{backend:?} records diverged at {workers} workers under skew"
+            );
+            let mut stats = pipeline.stats();
+            stats.wall_s = reference_stats.wall_s;
+            assert_eq!(
+                stats, reference_stats,
+                "{backend:?} stats diverged at {workers} workers under skew"
+            );
+        }
+    }
+}
+
+#[test]
 fn map_iter_streams_the_same_records() {
     let genome = GenomeModel::uniform().generate(8_192, 22);
     let reads = workload(&genome);

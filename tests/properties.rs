@@ -101,6 +101,38 @@ proptest! {
         }
     }
 
+    /// Every matcher's packed entry point makes the same decision as its
+    /// slice path: the baselines' overrides (SaVI's packed seed votes,
+    /// ReSMA's packed filter, CM-CPU's packed banded DP, Kraken's word
+    /// compare) and the reference matchers' overrides are all pure
+    /// representation changes.
+    #[test]
+    fn packed_matcher_overrides_agree_with_slice_paths(
+        (segment, read) in equal_length_pair(200),
+        t in 0usize..10
+    ) {
+        let ps = asmcap_genome::PackedSeq::from_seq(&segment);
+        let pr = asmcap_genome::PackedSeq::from_seq(&read);
+        let mut matchers: Vec<Box<dyn AsmMatcher>> = vec![
+            Box::new(ExactEdMatcher::new()),
+            Box::new(NoiselessEdStarMatcher::new()),
+            Box::new(asmcap_baselines::CmCpuAligner::new()),
+            Box::new(asmcap_baselines::ResmaAccelerator::with_filter_k(4)),
+            Box::new(asmcap_baselines::SaviAccelerator::with_seed_len(8)),
+            Box::new(asmcap_baselines::KrakenClassifier::new(
+                asmcap_baselines::KrakenMode::Exact,
+            )),
+        ];
+        for matcher in &mut matchers {
+            prop_assert_eq!(
+                matcher.matches(segment.as_slice(), read.as_slice(), t),
+                matcher.matches_packed(&ps, &pr, t),
+                "{} diverged between slice and packed paths",
+                matcher.name()
+            );
+        }
+    }
+
     /// ED* is invariant under the engine's own rotation round-trip: rotating
     /// a read right then left restores the original decision inputs.
     #[test]
@@ -110,29 +142,36 @@ proptest! {
     }
 
     /// The word-parallel kernels equal the scalar walks on arbitrary pairs,
-    /// at every length 1..=200 the generator produces — including the
-    /// non-word-aligned ones.
+    /// at every length 1..=256 the generator produces — including the
+    /// non-word-aligned ones — and the SIMD-dispatched lane kernels equal
+    /// the retained single-word scalar kernels, so lane dispatch (AVX2 on
+    /// or off) can never change a distance.
     #[test]
-    fn packed_kernels_equal_scalar_metrics((stored, read) in equal_length_pair(200)) {
+    fn packed_kernels_equal_scalar_metrics((stored, read) in equal_length_pair(256)) {
         let ps = asmcap_genome::PackedSeq::from_seq(&stored);
         let pr = asmcap_genome::PackedSeq::from_seq(&read);
+        let star = asmcap_metrics::ed_star(stored.as_slice(), read.as_slice());
+        let hd = asmcap_metrics::hamming(stored.as_slice(), read.as_slice());
+        prop_assert_eq!(asmcap_metrics::ed_star_packed(&ps, &pr), star);
+        prop_assert_eq!(asmcap_metrics::ed_star_packed_scalar(&ps, &pr), star);
+        prop_assert_eq!(asmcap_metrics::hamming_packed(&ps, &pr), hd);
+        prop_assert_eq!(asmcap_metrics::hamming_packed_scalar(&ps, &pr), hd);
+        prop_assert_eq!(asmcap_metrics::ed_star_hamming_packed(&ps, &pr), (star, hd));
         prop_assert_eq!(
-            asmcap_metrics::ed_star_packed(&ps, &pr),
-            asmcap_metrics::ed_star(stored.as_slice(), read.as_slice())
-        );
-        prop_assert_eq!(
-            asmcap_metrics::hamming_packed(&ps, &pr),
-            asmcap_metrics::hamming(stored.as_slice(), read.as_slice())
+            asmcap_metrics::ed_star_hamming_packed_scalar(&ps, &pr),
+            (star, hd)
         );
     }
 
     /// A zero-copy segment view at any offset — word-aligned or straddling
     /// word boundaries — feeds the kernels the same bases the reference
-    /// slice holds.
+    /// slice holds, through both the dispatched lane kernels and the
+    /// retained scalar kernels (widths up to 256 cover the vector-block
+    /// boundary at 128 bases).
     #[test]
     fn segment_views_equal_reference_slices(
-        reference in arbitrary_seq(64..300),
-        read in arbitrary_seq(1..64),
+        reference in arbitrary_seq(260..600),
+        read in arbitrary_seq(1..257),
         offset_frac in 0.0f64..1.0
     ) {
         let width = read.len();
@@ -141,13 +180,15 @@ proptest! {
         let view = packed_ref.segment(offset, width);
         let slice = &reference.as_slice()[offset..offset + width];
         let packed_read = asmcap_genome::PackedSeq::from_seq(&read);
+        let star = asmcap_metrics::ed_star(slice, read.as_slice());
+        let hd = asmcap_metrics::hamming(slice, read.as_slice());
+        prop_assert_eq!(asmcap_metrics::ed_star_packed(&view, &packed_read), star);
+        prop_assert_eq!(asmcap_metrics::ed_star_packed_scalar(&view, &packed_read), star);
+        prop_assert_eq!(asmcap_metrics::hamming_packed(&view, &packed_read), hd);
+        prop_assert_eq!(asmcap_metrics::hamming_packed_scalar(&view, &packed_read), hd);
         prop_assert_eq!(
-            asmcap_metrics::ed_star_packed(&view, &packed_read),
-            asmcap_metrics::ed_star(slice, read.as_slice())
-        );
-        prop_assert_eq!(
-            asmcap_metrics::hamming_packed(&view, &packed_read),
-            asmcap_metrics::hamming(slice, read.as_slice())
+            asmcap_metrics::ed_star_hamming_packed(&view, &packed_read),
+            (star, hd)
         );
     }
 
