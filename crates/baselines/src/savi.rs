@@ -131,8 +131,10 @@ impl SaviAccelerator {
     /// Vote count of the best `±tolerance` offset window.
     fn best_window(votes: &HashMap<isize, usize>, tolerance: usize) -> usize {
         let mut best = 0usize;
+        // lint: order-insensitive — max over every center; visiting order
+        // cannot change which window wins.
         for &center in votes.keys() {
-            let total: usize = votes
+            let total: usize = votes // lint: order-insensitive — commutative sum
                 .iter()
                 .filter(|(&o, _)| (o - center).unsigned_abs() <= tolerance)
                 .map(|(_, &c)| c)

@@ -373,6 +373,7 @@ impl MappingBackend for PairBackend {
     }
 
     fn map_shortlisted(&self, read: &PackedSeq, seed: u64, candidates: &[usize]) -> BackendOutcome {
+        // lint: index-ok — windows(2) yields exactly two elements per pair
         debug_assert!(candidates.windows(2).all(|pair| pair[0] < pair[1]));
         self.run(read, seed, candidates)
     }
@@ -453,6 +454,7 @@ impl MappingBackend for SoftwareBackend {
         _seed: u64,
         candidates: &[usize],
     ) -> BackendOutcome {
+        // lint: index-ok — windows(2) yields exactly two elements per pair
         debug_assert!(candidates.windows(2).all(|pair| pair[0] < pair[1]));
         self.run(read, candidates)
     }

@@ -62,6 +62,8 @@ where
                 scope.spawn(|| {
                     let mut claimed = Vec::new();
                     loop {
+                        // lint: relaxed-ok — the counter only claims tile
+                        // indices; results are reordered by tile ID below.
                         let tile = cursor.fetch_add(1, Ordering::Relaxed);
                         if tile >= tiles {
                             break;

@@ -683,7 +683,9 @@ impl AsmcapPipeline {
     ///
     /// Panics if a worker thread panicked while holding the stats lock.
     pub fn map_packed(&self, read: &PackedSeq) -> MapRecord {
+        // lint: timing-ok — wall_s is a stats field; decisions never read it.
         let start = Instant::now();
+        // lint: relaxed-ok — a fresh-index ticket; no memory is published.
         let index = self.counter.fetch_add(1, Ordering::Relaxed);
         let record = self.map_indexed(read, index);
         let mut stats = self.stats.lock().expect("stats lock poisoned");
@@ -718,10 +720,11 @@ impl AsmcapPipeline {
     ///
     /// Propagates panics from worker threads (a panicking backend).
     pub fn map_batch_packed(&self, reads: &[PackedSeq]) -> Vec<MapRecord> {
+        // lint: timing-ok — wall_s is a stats field; decisions never read it.
         let start = Instant::now();
         let base = self
             .counter
-            .fetch_add(reads.len() as u64, Ordering::Relaxed);
+            .fetch_add(reads.len() as u64, Ordering::Relaxed); // lint: relaxed-ok — index ticket only
         let records = crate::executor::run_tiled(reads.len(), self.workers, |tile| {
             tile.map(|i| self.map_indexed(&reads[i], base + i as u64))
                 .collect()

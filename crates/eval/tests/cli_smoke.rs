@@ -17,6 +17,7 @@ const ROW_WIDTH: usize = 64;
 const READS: usize = 4;
 
 #[test]
+#[allow(clippy::disallowed_methods)] // wall clock only names the temp dir
 fn asmcap_map_runs_on_synthetic_fasta_fastq() {
     let dir = std::env::temp_dir().join(format!(
         "asmcap_cli_smoke_{}_{}",

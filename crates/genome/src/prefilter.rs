@@ -303,6 +303,8 @@ impl PrefilterIndex {
                 }
             }
         }
+        // lint: order-insensitive — drained into a Vec and sorted on the
+        // next line before anything reads it.
         let mut votes: Vec<(usize, usize)> = votes.into_iter().collect();
         votes.sort_unstable();
         votes

@@ -138,6 +138,7 @@ impl ReadSampler {
     #[must_use]
     pub fn sample_with(&self, reference: &DnaSeq, rng: &mut Rng) -> SampledRead {
         let max_origin = self.max_origin(reference.len()).unwrap_or_else(|| {
+            // lint: panic-ok — the documented `# Panics` contract above
             panic!(
                 "reference of {} bases is too short for {}-base reads (+{} headroom)",
                 reference.len(),

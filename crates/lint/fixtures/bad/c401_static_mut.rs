@@ -1,0 +1,4 @@
+#![deny(unsafe_code)]
+
+/// `static mut` is a data race waiting to happen; no annotation escape.
+static mut COUNTER: u64 = 0;

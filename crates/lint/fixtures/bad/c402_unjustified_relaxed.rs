@@ -1,0 +1,8 @@
+#![deny(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `Ordering::Relaxed` without a justification comment.
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+#![deny(unsafe_code)]
+
+/// Entropy-seeded RNG: draws are not reproducible run-to-run.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+#![deny(unsafe_code)]
+
+use std::time::SystemTime;
+
+/// Wall-clock time on a result path.
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,8 @@
+#![deny(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Direct hash iteration: the visit order is unspecified.
+pub fn total(votes: &HashMap<u32, u32>) -> u32 {
+    votes.values().sum()
+}

@@ -1,0 +1,8 @@
+#![deny(unsafe_code)]
+
+/// A feature-gated item with no `cfg(not(...))` fallback in the file:
+/// builds without the feature silently lose the symbol.
+#[cfg(feature = "turbo")]
+pub fn fast_path() -> u32 {
+    7
+}

@@ -1,0 +1,24 @@
+#![deny(unsafe_code)]
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod avx2 {
+    /// Enables POPCNT but the detection below only verifies AVX2 — the
+    /// exact bug class the dispatch gate exists to prevent.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 and POPCNT must be available.
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn lanes() -> u32 {
+        0
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+mod fallback {}
+
+/// Detects only AVX2; POPCNT is an independent CPUID bit.
+pub fn detected() -> bool {
+    std::is_x86_feature_detected!("avx2")
+}

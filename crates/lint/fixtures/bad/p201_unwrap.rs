@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+/// Bare `.unwrap()` on a public path.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

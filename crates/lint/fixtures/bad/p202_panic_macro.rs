@@ -1,0 +1,8 @@
+#![deny(unsafe_code)]
+
+/// `panic!` on a public path without a documented contract.
+pub fn forbid(flag: bool) {
+    if flag {
+        panic!("unsupported");
+    }
+}

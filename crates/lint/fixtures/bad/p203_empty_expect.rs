@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+/// `.expect("")` carries no invariant message.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("")
+}

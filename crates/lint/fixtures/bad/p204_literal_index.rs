@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+/// Literal indexing can panic out of bounds.
+pub fn pair_sum(xs: &[u32]) -> u32 {
+    xs[0] + xs[1]
+}

@@ -1,0 +1,8 @@
+#![deny(unsafe_code)]
+
+/// `unsafe` outside the simd-gated module and without an
+/// `#[allow(unsafe_code)]` dispatch attribute: containment violation.
+pub fn peek(xs: &[u8]) -> u8 {
+    // SAFETY: a comment alone does not make the site contained.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,14 @@
+#![deny(unsafe_code)]
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod avx2 {
+    /// Properly contained, but the `unsafe` block below carries no
+    /// `// SAFETY:` comment and the fn has no `# Safety` section.
+    pub fn first(xs: &[u8]) -> u8 {
+        unsafe { *xs.as_ptr() }
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+mod fallback {}

@@ -1,0 +1,4 @@
+/// A crate root with no `#![deny(unsafe_code)]` / `#![forbid(unsafe_code)]`.
+pub fn identity(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,11 @@
+#![deny(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared state through an atomic, not `static mut`.
+pub static CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Bumps the counter with a fully ordered access.
+pub fn record() -> u64 {
+    CALLS.fetch_add(1, Ordering::SeqCst)
+}

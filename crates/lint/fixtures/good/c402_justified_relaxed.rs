@@ -1,0 +1,9 @@
+#![deny(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic ticket counter.
+pub fn ticket(c: &AtomicU64) -> u64 {
+    // lint: relaxed-ok — pure counter; no memory is published through it.
+    c.fetch_add(1, Ordering::Relaxed)
+}

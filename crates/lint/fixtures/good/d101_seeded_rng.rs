@@ -1,0 +1,10 @@
+#![deny(unsafe_code)]
+
+/// Splitmix-style generator: every stream derives from an explicit seed,
+/// so runs reproduce bit-for-bit.
+pub fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}

@@ -1,0 +1,13 @@
+#![deny(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Hash iteration is fine once the order is pinned by a sort.
+pub fn ranked(votes: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = votes // lint: order-insensitive — sorted below
+        .iter()
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,13 @@
+#![deny(unsafe_code)]
+
+/// Feature-gated fast path …
+#[cfg(feature = "turbo")]
+pub fn speed() -> u32 {
+    9000
+}
+
+/// … with the matching fallback in the same file.
+#[cfg(not(feature = "turbo"))]
+pub fn speed() -> u32 {
+    1
+}

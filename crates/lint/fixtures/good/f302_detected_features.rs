@@ -1,0 +1,25 @@
+#![deny(unsafe_code)]
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod avx2 {
+    /// Popcount through hardware bits.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 and POPCNT must be available (runtime-verified by the caller).
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn count() -> u32 {
+        0
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub fn count() -> u32 {
+    0
+}
+
+/// Both CPUID bits verified — the full enable list above.
+pub fn vector_ready() -> bool {
+    std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("popcnt")
+}

@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+/// A typed error instead of `.unwrap()`.
+pub fn head(xs: &[u32]) -> Result<u32, &'static str> {
+    xs.first().copied().ok_or("empty input")
+}

@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+/// The failure mode is a value, not a panic.
+pub fn checked_div(a: u32, b: u32) -> Option<u32> {
+    a.checked_div(b)
+}

@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+/// The `.expect` message states the invariant that makes it safe.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees a non-empty slice")
+}

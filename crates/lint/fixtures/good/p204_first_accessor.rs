@@ -1,0 +1,8 @@
+#![deny(unsafe_code)]
+
+/// Accessors with defaults instead of literal indexing.
+pub fn ends(xs: &[u32]) -> (u32, u32) {
+    let first = xs.first().copied().unwrap_or(0);
+    let last = xs.last().copied().unwrap_or(0);
+    (first, last)
+}

@@ -1,0 +1,18 @@
+#![deny(unsafe_code)]
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod avx2 {
+    /// Reads the first byte.
+    ///
+    /// # Safety
+    ///
+    /// The caller guarantees `xs` is non-empty and AVX2 is available.
+    pub unsafe fn first(xs: &[u8]) -> u8 {
+        // SAFETY: the caller upholds the non-empty contract.
+        unsafe { *xs.as_ptr() }
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+mod fallback {}

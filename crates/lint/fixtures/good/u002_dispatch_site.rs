@@ -1,0 +1,31 @@
+#![deny(unsafe_code)]
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod avx2 {
+    /// Zero, vectorised.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn zero() -> u32 {
+        0
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub fn zero() -> u32 {
+    0
+}
+
+/// The runtime-dispatch pattern: detect, then an annotated unsafe call.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub fn dispatch() -> u32 {
+    if std::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support verified at runtime on the line above.
+        #[allow(unsafe_code)]
+        return unsafe { avx2::zero() };
+    }
+    0
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+/// `forbid` is accepted as the stronger form of `deny`.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

@@ -1,0 +1,235 @@
+//! The checked-in debt ledger: `lint-baseline.toml`.
+//!
+//! Pre-existing findings are not grandfathered invisibly — each lives in
+//! an explicit `[[suppress]]` entry with a rule ID, file, count, and
+//! reason. The count is a ceiling: findings beyond it fail the run, and
+//! a count higher than what the workspace actually produces is reported
+//! as a stale entry so the ledger can only shrink.
+//!
+//! The parser covers exactly the TOML subset the file uses (`[[suppress]]`
+//! tables with string/integer keys) — hand-rolled because the container
+//! has no crates.io access.
+
+use crate::rules::{group_counts, Diagnostic};
+use std::collections::BTreeMap;
+
+/// One suppression: up to `count` findings of `rule` in `file` are known
+/// debt and do not fail the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule ID (`P204`, …).
+    pub rule: String,
+    /// Workspace-relative file the debt lives in.
+    pub file: String,
+    /// Maximum findings covered — the debt ceiling.
+    pub count: usize,
+    /// Why the debt is tolerated (required).
+    pub reason: String,
+}
+
+/// Parses the `[[suppress]]` entries of a baseline file.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input or on
+/// entries missing `rule`/`file`/`count`/`reason`.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries: Vec<BTreeMap<String, String>> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[suppress]]" {
+            entries.push(BTreeMap::new());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {}: unsupported table `{line}` (only [[suppress]])",
+                idx + 1
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", idx + 1));
+        };
+        let Some(entry) = entries.last_mut() else {
+            return Err(format!("line {}: key before any [[suppress]]", idx + 1));
+        };
+        entry.insert(key.trim().to_string(), parse_value(value.trim(), idx + 1)?);
+    }
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(n, map)| {
+            let get = |k: &str| {
+                map.get(k)
+                    .cloned()
+                    .ok_or_else(|| format!("[[suppress]] entry {}: missing `{k}`", n + 1))
+            };
+            let count: usize = get("count")?
+                .parse()
+                .map_err(|_| format!("[[suppress]] entry {}: `count` is not an integer", n + 1))?;
+            let reason = get("reason")?;
+            if reason.trim().is_empty() {
+                return Err(format!("[[suppress]] entry {}: empty `reason`", n + 1));
+            }
+            Ok(BaselineEntry {
+                rule: get("rule")?,
+                file: get("file")?,
+                count,
+                reason,
+            })
+        })
+        .collect()
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str, line_no: usize) -> Result<String, String> {
+    if let Some(stripped) = v.strip_prefix('"') {
+        stripped
+            .strip_suffix('"')
+            .map(str::to_string)
+            .ok_or_else(|| format!("line {line_no}: unterminated string"))
+    } else if v.chars().all(|c| c.is_ascii_digit()) && !v.is_empty() {
+        Ok(v.to_string())
+    } else {
+        Err(format!("line {line_no}: unsupported value `{v}`"))
+    }
+}
+
+/// Result of filtering findings through the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not covered by any entry — these fail the run.
+    pub fatal: Vec<Diagnostic>,
+    /// Findings absorbed by entries, still listed for the report.
+    pub suppressed: Vec<Diagnostic>,
+    /// Stale-entry and shrunk-debt notices (non-fatal, but actionable).
+    pub notes: Vec<String>,
+}
+
+/// Applies the baseline: findings within an entry's count are suppressed;
+/// everything else is fatal. Entries covering fewer findings than their
+/// count (or none at all) produce notes so the ledger gets tightened.
+#[must_use]
+pub fn apply(diags: Vec<Diagnostic>, entries: &[BaselineEntry]) -> BaselineOutcome {
+    let counts = group_counts(&diags);
+    let mut out = BaselineOutcome::default();
+    for entry in entries {
+        let observed = counts
+            .get(&(entry.rule.clone(), entry.file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if observed == 0 {
+            out.notes.push(format!(
+                "stale baseline entry: {} in {} has no findings — delete it",
+                entry.rule, entry.file
+            ));
+        } else if observed < entry.count {
+            out.notes.push(format!(
+                "baseline debt shrank: {} in {} is down to {observed} (ceiling {}) — lower the count",
+                entry.rule, entry.file, entry.count
+            ));
+        }
+    }
+    for d in diags {
+        let covered = entries.iter().any(|e| e.rule == d.rule && e.file == d.file);
+        let within = covered
+            && counts
+                .get(&(d.rule.to_string(), d.file.clone()))
+                .is_some_and(|&n| {
+                    let ceiling = entries
+                        .iter()
+                        .filter(|e| e.rule == d.rule && e.file == d.file)
+                        .map(|e| e.count)
+                        .max()
+                        .unwrap_or(0);
+                    n <= ceiling
+                });
+        if within {
+            out.suppressed.push(d);
+        } else {
+            out.fatal.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    const SAMPLE: &str = r#"
+# Debt ledger.
+[[suppress]]
+rule = "P204"
+file = "crates/core/src/mapper.rs"
+count = 3
+reason = "deprecated shim"  # trailing comment
+"#;
+
+    #[test]
+    fn parses_entries_with_comments() {
+        let entries = parse(SAMPLE).expect("parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "P204");
+        assert_eq!(entries[0].count, 3);
+        assert_eq!(entries[0].reason, "deprecated shim");
+    }
+
+    #[test]
+    fn rejects_missing_reason_and_bad_lines() {
+        assert!(parse("[[suppress]]\nrule = \"X\"\nfile = \"f\"\ncount = 1\n").is_err());
+        assert!(parse("rule = \"X\"\n").is_err());
+        assert!(parse("[[suppress]]\ncount = x\n").is_err());
+    }
+
+    #[test]
+    fn within_ceiling_suppresses_beyond_fails() {
+        let entries = parse(SAMPLE).expect("parses");
+        let two = vec![
+            diag("P204", "crates/core/src/mapper.rs", 10),
+            diag("P204", "crates/core/src/mapper.rs", 20),
+        ];
+        let out = apply(two, &entries);
+        assert!(out.fatal.is_empty());
+        assert_eq!(out.suppressed.len(), 2);
+        assert!(out.notes.iter().any(|n| n.contains("down to 2")));
+
+        let four: Vec<Diagnostic> = (0..4)
+            .map(|i| diag("P204", "crates/core/src/mapper.rs", i))
+            .collect();
+        let out = apply(four, &entries);
+        assert_eq!(out.fatal.len(), 4, "exceeding the ceiling fails them all");
+    }
+
+    #[test]
+    fn uncovered_rule_is_fatal_and_unused_entry_noted() {
+        let entries = parse(SAMPLE).expect("parses");
+        let out = apply(vec![diag("D103", "other.rs", 1)], &entries);
+        assert_eq!(out.fatal.len(), 1);
+        assert!(out.notes.iter().any(|n| n.contains("stale")));
+    }
+}

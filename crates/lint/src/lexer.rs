@@ -1,0 +1,414 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! Produces exactly what the invariant rules need and nothing more: a
+//! stream of code tokens (identifiers, literals, single-character
+//! punctuation) with 1-based line numbers, plus a side list of comments
+//! (the rules read `// SAFETY:` and `// lint: <key> — <reason>`
+//! annotations out of them). String/char literals are consumed whole so
+//! their contents can never masquerade as code — `"thread_rng"` inside a
+//! diagnostic message does not trip the RNG rule.
+//!
+//! It is *not* a general-purpose lexer: floats may split into several
+//! tokens and multi-character operators arrive as single punctuation
+//! characters. The rules only ever match short token sequences, so that
+//! coarseness is harmless.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `fn`, …).
+    Ident,
+    /// Integer-ish literal (`0`, `0x55`, `4u64`; float parts may split).
+    Int,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str {
+        /// Whether the literal's content is empty (`""`).
+        empty: bool,
+    },
+    /// Character or byte-character literal (`'a'`, `b'>'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`.`, `#`, `[`, `:`, …).
+    Punct,
+}
+
+/// One code token with its source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Str`] this is the literal's *content*
+    /// (delimiters and raw-string hashes stripped); for punctuation it is
+    /// the single character.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), with the line span it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based first line of the comment.
+    pub line: u32,
+    /// 1-based last line (equals `line` for `//` comments).
+    pub end_line: u32,
+    /// Comment text including its delimiters.
+    pub text: String,
+}
+
+/// Tokenizer output: code tokens plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails: unrecognized bytes become punctuation,
+/// and unterminated literals run to end of file (the rules degrade
+/// gracefully on such input, and rustc rejects it anyway).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                '\'' => self.quote(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether the cursor sits on `r"…"`, `r#"…"#`, or `br#"…"#`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Consumes a `"…"` string (cursor on the opening quote).
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        content.push(escaped);
+                    }
+                }
+                '"' => break,
+                _ => content.push(c),
+            }
+        }
+        let empty = content.is_empty();
+        self.push(TokKind::Str { empty }, content, line);
+    }
+
+    /// Consumes `r#"…"#` / `br##"…"##` (cursor on the `r` or `b`).
+    fn raw_string(&mut self, line: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let closer: String = std::iter::once('"')
+            .chain((0..hashes).map(|_| '#'))
+            .collect();
+        let mut content = String::new();
+        while self.peek(0).is_some() {
+            if self.rest_starts_with(&closer) {
+                for _ in 0..closer.len() {
+                    self.bump();
+                }
+                break;
+            }
+            if let Some(c) = self.bump() {
+                content.push(c);
+            }
+        }
+        let empty = content.is_empty();
+        self.push(TokKind::Str { empty }, content, line);
+    }
+
+    fn rest_starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+
+    /// Consumes `'a'`-style char literals (cursor on the quote).
+    fn char_lit(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        content.push(escaped);
+                    }
+                }
+                '\'' => break,
+                _ => content.push(c),
+            }
+        }
+        self.push(TokKind::Char, content, line);
+    }
+
+    /// Disambiguates `'x'` (char literal) from `'label` (lifetime).
+    fn quote(&mut self, line: u32) {
+        match (self.peek(1), self.peek(2)) {
+            // 'x' — any single char closed by a quote.
+            (Some(_), Some('\'')) => self.char_lit(line),
+            // '\n', '\u{…}' — escape means char literal.
+            (Some('\\'), _) => self.char_lit(line),
+            // 'ident — a lifetime.
+            (Some(c), _) if c == '_' || c.is_alphabetic() => {
+                self.bump(); // quote
+                let mut name = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line);
+            }
+            _ => self.char_lit(line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Int, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_code_tokens() {
+        let src = r#"let msg = "call thread_rng() now"; let re = r"unsafe \d+";"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert_eq!(ids, ["let", "msg", "let", "re"]);
+    }
+
+    #[test]
+    fn raw_and_byte_literals_are_single_tokens() {
+        let lexed = lex(r###"let a = r#"quote " inside"#; let b = b">"; let c = b'>';"###);
+        let strs: Vec<&Tok> = lexed
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Str { .. } | TokKind::Char))
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert_eq!(strs[0].text, "quote \" inside");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<&Tok> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn comments_carry_lines_and_nesting() {
+        let src = "// SAFETY: ok\nlet x = 1; /* outer /* inner */ still */\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("SAFETY"));
+        assert!(lexed.comments[1].text.contains("inner"));
+        assert_eq!(lexed.toks.iter().filter(|t| t.is_ident("let")).count(), 2);
+    }
+
+    #[test]
+    fn empty_string_literal_is_marked_empty() {
+        let lexed = lex(r#"x.expect(""); y.expect("msg");"#);
+        let empties: Vec<bool> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Str { empty } => Some(empty),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(empties, [true, false]);
+    }
+
+    #[test]
+    fn lines_are_one_based_and_advance() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+}

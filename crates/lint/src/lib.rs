@@ -1,0 +1,67 @@
+//! # asmcap-lint — the workspace invariant analyzer
+//!
+//! ASMCap's headline claim is that the capacitive-CAM matchplane computes
+//! the *same* ED\*/HD decisions as the reference software path. In this
+//! repository that claim rests on conventions — RNG draw-order
+//! preservation in the analog sense model, byte-identical goldens across
+//! the scalar/SWAR/AVX2 lanes, no iteration-order-dependent results —
+//! which this crate turns from conventions into machine-checked rules.
+//!
+//! Five rule families (IDs and details in [`rules`]):
+//!
+//! 1. **Unsafe containment** (U001–U003) — `unsafe` confined to the
+//!    simd-gated AVX2 module of `crates/metrics`, every site carrying a
+//!    safety contract, every crate root denying `unsafe_code`.
+//! 2. **Determinism** (D101–D103) — no entropy-seeded RNG, no wall
+//!    clock, no hash-order-dependent iteration in result-producing
+//!    crates.
+//! 3. **Panic policy** (P201–P204) — no unjustified
+//!    `unwrap`/`panic!`/empty-`expect`/literal indexing on the
+//!    `core`/`genome` public paths.
+//! 4. **Feature-gate pairing** (F301–F302) — every `cfg(feature)` item
+//!    has a fallback, every `target_feature` bit is runtime-detected
+//!    (the PR 5 AVX2/POPCNT bug class).
+//! 5. **Concurrency hygiene** (C401–C402) — no `static mut`, every
+//!    `Ordering::Relaxed` justified.
+//!
+//! Escape hatches are explicit and carry reasons: inline
+//! `// lint: <key> — <reason>` annotations (`panic-ok`, `index-ok`,
+//! `order-insensitive`, `timing-ok`, `relaxed-ok`, `cfg-fallback`) for
+//! sites that are correct by argument, and `lint-baseline.toml` entries
+//! for tracked debt whose count can only go down ([`baseline`]).
+//!
+//! The analyzer is dependency-free by design: a hand-rolled tokenizer
+//! ([`lexer`]) instead of `syn`, a TOML-subset parser, and a by-hand
+//! JSON emitter — the build container has no crates.io access (the PR 1
+//! vendoring precedent). It is *heuristic* static analysis over tokens,
+//! not a type checker: the rules are tuned so the workspace lints clean
+//! with zero false positives, and anything genuinely exceptional is
+//! annotated or baselined rather than silently skipped.
+//!
+//! Run it as `cargo run -p asmcap-lint` (text) or
+//! `cargo run -p asmcap-lint -- --format json` (the CI artifact); the
+//! fixture corpus under `fixtures/` is exercised by
+//! `cargo run -p asmcap-lint -- --check-fixtures` and by the crate's
+//! tests.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use baseline::BaselineEntry;
+pub use report::Report;
+pub use rules::{check_source, Diagnostic, FileContext, UnsafePolicy};
+pub use workspace::{context_for, find_root, load_baseline, run_workspace};
+
+/// All rule IDs, in report order. Fixture names and baseline entries are
+/// validated against this list.
+pub const RULE_IDS: [&str; 14] = [
+    "U001", "U002", "U003", "D101", "D102", "D103", "P201", "P202", "P203", "P204", "F301", "F302",
+    "C401", "C402",
+];

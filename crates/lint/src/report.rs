@@ -1,0 +1,151 @@
+//! Report emitters: human-readable text and machine-readable JSON.
+//!
+//! The JSON emitter is hand-rolled (no serde in the container); output is
+//! deterministic — diagnostics arrive pre-sorted by `(file, line, rule)`
+//! and maps are BTree-ordered — so the CI artifact diffs cleanly between
+//! runs.
+
+use crate::rules::Diagnostic;
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Root the run scanned (display only).
+    pub root: String,
+    /// Number of files checked.
+    pub checked_files: usize,
+    /// Findings that fail the run.
+    pub fatal: Vec<Diagnostic>,
+    /// Findings absorbed by the baseline.
+    pub suppressed: Vec<Diagnostic>,
+    /// Stale/shrunk baseline notices.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Whether the run passes (no fatal findings).
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.fatal.is_empty()
+    }
+
+    /// Human-readable rendering, one `file:line: RULE: message` per
+    /// finding.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.fatal {
+            out.push_str(&format!(
+                "{}:{}: {}: {}\n",
+                d.file, d.line, d.rule, d.message
+            ));
+        }
+        for d in &self.suppressed {
+            out.push_str(&format!(
+                "{}:{}: {}: suppressed by baseline\n",
+                d.file, d.line, d.rule
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out.push_str(&format!(
+            "{} files checked, {} violation(s), {} suppressed\n",
+            self.checked_files,
+            self.fatal.len(),
+            self.suppressed.len()
+        ));
+        out
+    }
+
+    /// JSON rendering (stable key order, findings pre-sorted).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        out.push_str(&format!("  \"checked_files\": {},\n", self.checked_files));
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        out.push_str("  \"diagnostics\": [\n");
+        out.push_str(&diag_array(&self.fatal));
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressed\": [\n");
+        out.push_str(&diag_array(&self.suppressed));
+        out.push_str("  ],\n");
+        out.push_str("  \"notes\": [\n");
+        for (i, n) in self.notes.iter().enumerate() {
+            let comma = if i + 1 < self.notes.len() { "," } else { "" };
+            out.push_str(&format!("    {}{comma}\n", json_str(n)));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn diag_array(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 < diags.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{comma}\n",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.message)
+        ));
+    }
+    out
+}
+
+/// Escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let report = Report {
+            root: "/tmp/x".to_string(),
+            checked_files: 2,
+            fatal: vec![Diagnostic {
+                rule: "P201",
+                file: "a\"b.rs".to_string(),
+                line: 7,
+                message: "quote \" and\nnewline".to_string(),
+            }],
+            suppressed: Vec::new(),
+            notes: vec!["note one".to_string()],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("quote \\\" and\\nnewline"));
+        assert!(json.contains("\"checked_files\": 2"));
+        assert!(report.to_text().contains("a\"b.rs:7: P201"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = Report::default();
+        assert!(report.clean());
+        assert!(report.to_json().contains("\"clean\": true"));
+    }
+}

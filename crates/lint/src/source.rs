@@ -1,0 +1,359 @@
+//! Per-file source model the rules run against.
+//!
+//! Wraps the raw token stream with the structure every rule needs:
+//! which token ranges are test code (`#[cfg(test)]` modules, `#[test]`
+//! functions), which lines carry comments, and whether a site carries a
+//! `// lint: <key> — <reason>` annotation (the documented escape
+//! hatches; see the crate docs for the key table).
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// A lexed source file plus the derived structure rules query.
+pub struct SourceFile {
+    /// Workspace-relative path (forward slashes), used in diagnostics.
+    pub path: String,
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Token index ranges (inclusive) covering test-only code.
+    test_spans: Vec<(usize, usize)>,
+    /// Lines that contain at least one code token.
+    code_lines: BTreeMap<u32, FirstTok>,
+}
+
+/// What the first code token on a line is (attribute detection).
+#[derive(Clone, Copy)]
+struct FirstTok {
+    is_hash: bool,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes the derived structure.
+    #[must_use]
+    pub fn parse(path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let mut code_lines: BTreeMap<u32, FirstTok> = BTreeMap::new();
+        for t in &lexed.toks {
+            code_lines.entry(t.line).or_insert(FirstTok {
+                is_hash: t.is_punct('#'),
+            });
+        }
+        let test_spans = compute_test_spans(&lexed.toks);
+        SourceFile {
+            path: path.to_string(),
+            toks: lexed.toks,
+            comments: lexed.comments,
+            test_spans,
+            code_lines,
+        }
+    }
+
+    /// Whether token `i` lies inside test-only code.
+    #[must_use]
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(lo, hi)| lo <= i && i <= hi)
+    }
+
+    /// All comment text overlapping `line`, concatenated.
+    #[must_use]
+    pub fn comment_on(&self, line: u32) -> Option<String> {
+        let mut joined = String::new();
+        for c in &self.comments {
+            if c.line <= line && line <= c.end_line {
+                joined.push_str(&c.text);
+                joined.push('\n');
+            }
+        }
+        if joined.is_empty() {
+            None
+        } else {
+            Some(joined)
+        }
+    }
+
+    fn line_has_code(&self, line: u32) -> bool {
+        self.code_lines.contains_key(&line)
+    }
+
+    fn line_is_attr(&self, line: u32) -> bool {
+        self.code_lines.get(&line).is_some_and(|f| f.is_hash)
+    }
+
+    /// Whether the site at `line` carries a `lint: <key>` annotation with a
+    /// non-empty reason — on the same line, or on the contiguous block of
+    /// comment/attribute lines directly above it.
+    #[must_use]
+    pub fn annotated(&self, line: u32, key: &str) -> bool {
+        if self
+            .comment_on(line)
+            .is_some_and(|t| annotation_with_reason(&t, key))
+        {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let comment = self.comment_on(l);
+            if let Some(text) = &comment {
+                if annotation_with_reason(text, key) {
+                    return true;
+                }
+            }
+            let continues = (comment.is_some() && !self.line_has_code(l)) || self.line_is_attr(l);
+            if !continues {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Whether the contiguous doc/attribute/comment block ending directly
+    /// above `line` (or `line` itself) mentions a safety contract —
+    /// `// SAFETY:` before an `unsafe` block, or a `# Safety` doc section
+    /// on an `unsafe fn`.
+    #[must_use]
+    pub fn safety_documented(&self, line: u32) -> bool {
+        let mentions = |t: &str| t.contains("SAFETY") || t.contains("Safety");
+        if self.comment_on(line).is_some_and(|t| mentions(&t)) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let comment = self.comment_on(l);
+            if let Some(text) = &comment {
+                if mentions(text) {
+                    return true;
+                }
+            }
+            let continues = (comment.is_some() && !self.line_has_code(l)) || self.line_is_attr(l);
+            if !continues {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// `lint: <key>` with at least one alphanumeric character of reason after
+/// the key — an annotation without a why does not count.
+fn annotation_with_reason(text: &str, key: &str) -> bool {
+    let mut rest = text;
+    while let Some(pos) = rest.find("lint:") {
+        let after = rest[pos + 5..].trim_start();
+        if let Some(tail) = after.strip_prefix(key) {
+            // The next char must end the key (so `panic-ok` does not match
+            // a hypothetical `panic-okay` key), then a reason must follow.
+            let sep_ok = tail
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '-');
+            if sep_ok && tail.chars().any(char::is_alphanumeric) {
+                return true;
+            }
+        }
+        rest = &rest[pos + 5..];
+    }
+    false
+}
+
+/// Finds `#[cfg(test)]`- and `#[test]`-marked items and returns the token
+/// ranges their bodies cover (through the matching close brace, or the
+/// terminating semicolon for braceless items).
+fn compute_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(close) = matching(toks, i + 1, '[', ']') {
+                if attr_marks_test(&toks[i + 2..close]) {
+                    if let Some(end) = item_end(toks, close + 1) {
+                        spans.push((i, end));
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether an attribute body (tokens between `[` and `]`) marks test-only
+/// code: `test` / `bench` alone, or `cfg(...)` containing `test` outside
+/// any `not(...)`.
+fn attr_marks_test(attr: &[Tok]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("test") || t.is_ident("bench") => true,
+        Some(t) if t.is_ident("cfg") => {
+            let mut not_depth = 0usize;
+            let mut paren_not: Vec<bool> = Vec::new();
+            let mut prev_ident_not = false;
+            for t in &attr[1..] {
+                if t.is_punct('(') {
+                    paren_not.push(prev_ident_not);
+                    if prev_ident_not {
+                        not_depth += 1;
+                    }
+                } else if t.is_punct(')') {
+                    if paren_not.pop() == Some(true) {
+                        not_depth -= 1;
+                    }
+                } else if t.is_ident("test") && not_depth == 0 {
+                    return true;
+                }
+                prev_ident_not = t.is_ident("not");
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Token index of the end of the item starting at `start`: skips further
+/// attributes, then runs to the matching `}` of the first `{` (or to the
+/// first `;` met before any `{`).
+fn item_end(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut i = start;
+    // Skip stacked attributes between the test marker and the item.
+    while i < toks.len() && toks[i].is_punct('#') {
+        let open = i + usize::from(toks.get(i + 1).is_some_and(|t| t.is_punct('!')));
+        i = matching(toks, open + 1, '[', ']')? + 1;
+    }
+    while i < toks.len() {
+        if toks[i].is_punct(';') {
+            return Some(i);
+        }
+        if toks[i].is_punct('{') {
+            return matching(toks, i, '{', '}');
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the delimiter matching `toks[open]` (which must be `open_c`).
+fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    if !toks.get(open)?.is_punct(open_c) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Public wrapper for the rules: index of the matching close delimiter.
+#[must_use]
+pub fn matching_delim(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    matching(toks, open, open_c, close_c)
+}
+
+/// Convenience: whether `toks[i]` exists and is a given ident.
+#[must_use]
+pub fn ident_at(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.is_ident(name))
+}
+
+/// Convenience: whether `toks[i]` exists and is a given punct.
+#[must_use]
+pub fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// Convenience: whether `toks[i]` is any identifier.
+#[must_use]
+pub fn any_ident_at(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_span() {
+        let src = "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}";
+        let f = SourceFile::parse("x.rs", src);
+        let helper = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .expect("helper token");
+        let real = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("real"))
+            .expect("real token");
+        assert!(f.in_test(helper));
+        assert!(!f.in_test(real));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(not(test))]\nfn shipped() {}";
+        let f = SourceFile::parse("x.rs", src);
+        let i = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("shipped"))
+            .expect("token");
+        assert!(!f.in_test(i));
+    }
+
+    #[test]
+    fn test_attr_with_stacked_attrs_spans_the_fn() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn blows() { inner(); }";
+        let f = SourceFile::parse("x.rs", src);
+        let i = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("inner"))
+            .expect("token");
+        assert!(f.in_test(i));
+    }
+
+    #[test]
+    fn annotations_need_a_reason() {
+        let with = SourceFile::parse("x.rs", "let x = 1; // lint: relaxed-ok — pure counter\n");
+        assert!(with.annotated(1, "relaxed-ok"));
+        let without = SourceFile::parse("x.rs", "let x = 1; // lint: relaxed-ok\n");
+        assert!(!without.annotated(1, "relaxed-ok"));
+        let wrong_key = SourceFile::parse("x.rs", "let x = 1; // lint: panic-ok — reason\n");
+        assert!(!wrong_key.annotated(1, "relaxed-ok"));
+    }
+
+    #[test]
+    fn annotation_found_through_comment_block_above() {
+        let src = "// lint: order-insensitive — summation is commutative.\n// more words.\nlet t: u64 = m.values().sum();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.annotated(3, "order-insensitive"));
+    }
+
+    #[test]
+    fn annotation_blocked_by_intervening_code() {
+        let src = "// lint: panic-ok — reason\nlet a = 1;\nlet b = x.unwrap();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.annotated(3, "panic-ok"));
+    }
+
+    #[test]
+    fn safety_seen_through_attributes_and_docs() {
+        let src = "/// Reads a word.\n///\n/// # Safety\n///\n/// Caller checked AVX2.\n#[inline]\n#[target_feature(enable = \"avx2\")]\nunsafe fn loadu() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.safety_documented(8));
+    }
+}

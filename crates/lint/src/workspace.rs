@@ -1,0 +1,189 @@
+//! Workspace driver: file discovery, per-crate rule contexts, and the
+//! end-to-end run (`scan` → rules → baseline → [`Report`]).
+//!
+//! Scope: library sources — `src/**/*.rs` of the root package and of
+//! every `crates/*` package. Integration tests, benches, examples, and
+//! the vendored stand-ins under `vendor/` are out of scope (their
+//! invariants are pinned dynamically by the golden/property suites), as
+//! is the lint crate's own fixture corpus.
+
+use crate::baseline::{self, BaselineEntry};
+use crate::report::Report;
+use crate::rules::{check_source, Diagnostic, FileContext, UnsafePolicy};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose outputs feed mapping results: the determinism family
+/// (D101/D102/D103) applies to their sources.
+const RESULT_PRODUCING: [&str; 5] = [
+    "crates/genome/",
+    "crates/metrics/",
+    "crates/arch/",
+    "crates/core/",
+    "crates/baselines/",
+];
+
+/// Crates on the public mapping path: the panic-policy family
+/// (P201–P204) applies to their sources.
+const PANIC_POLICED: [&str; 2] = ["crates/core/", "crates/genome/"];
+
+/// The one file allowed to contain `unsafe`, confined to its
+/// simd-gated `avx2` module (see [`UnsafePolicy::GatedModule`]).
+const UNSAFE_ALLOWLIST: &str = "crates/metrics/src/kernels.rs";
+
+/// The rule context a workspace file gets, derived from its path.
+#[must_use]
+pub fn context_for(rel: &str) -> FileContext {
+    let determinism = RESULT_PRODUCING.iter().any(|p| rel.starts_with(p));
+    FileContext {
+        crate_root: rel == "src/lib.rs"
+            || (rel.starts_with("crates/") && rel.ends_with("src/lib.rs")),
+        determinism,
+        panic_policy: PANIC_POLICED.iter().any(|p| rel.starts_with(p)),
+        // Stats/bench-shaped files may take wall-clock timestamps without
+        // per-site annotations; everything else in a result-producing
+        // crate needs `// lint: timing-ok — <reason>`.
+        timing_allowed: !determinism || rel.contains("/perf"),
+        unsafe_policy: if rel == UNSAFE_ALLOWLIST {
+            UnsafePolicy::GatedModule("avx2")
+        } else {
+            UnsafePolicy::Forbidden
+        },
+    }
+}
+
+/// Recursively lists `.rs` files under `dir`, sorted for deterministic
+/// reports.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace files in scope, as `(absolute, workspace-relative)`
+/// pairs.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory listing.
+pub fn scan_targets(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut dirs = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        dirs.extend(members);
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        if dir.is_dir() {
+            rust_files(&dir, &mut files)?;
+        }
+    }
+    let mut out = Vec::new();
+    for abs in files {
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((abs, rel));
+    }
+    Ok(out)
+}
+
+/// Runs the analyzer over the workspace at `root`, applying `entries`
+/// (the parsed baseline) to the findings.
+///
+/// # Errors
+///
+/// Returns a message on I/O failure (unreadable file or directory).
+pub fn run_workspace(root: &Path, entries: &[BaselineEntry]) -> Result<Report, String> {
+    let targets = scan_targets(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (abs, rel) in &targets {
+        let src = fs::read_to_string(abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        diags.extend(check_source(rel, &src, &context_for(rel)));
+    }
+    diags.sort();
+    let outcome = baseline::apply(diags, entries);
+    Ok(Report {
+        root: root.display().to_string(),
+        checked_files: targets.len(),
+        fatal: outcome.fatal,
+        suppressed: outcome.suppressed,
+        notes: outcome.notes,
+    })
+}
+
+/// Loads and parses `lint-baseline.toml` from `path`. A missing file is
+/// an empty baseline (not an error): new checkouts start clean.
+///
+/// # Errors
+///
+/// Returns a message when the file exists but does not parse.
+pub fn load_baseline(path: &Path) -> Result<Vec<BaselineEntry>, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Walks upward from `start` to the workspace root — the first ancestor
+/// holding both a `Cargo.toml` and a `crates` directory.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_follow_the_crate_map() {
+        let core = context_for("crates/core/src/pipeline.rs");
+        assert!(core.determinism && core.panic_policy && !core.timing_allowed);
+        assert_eq!(core.unsafe_policy, UnsafePolicy::Forbidden);
+
+        let kernels = context_for("crates/metrics/src/kernels.rs");
+        assert!(kernels.determinism && !kernels.panic_policy);
+        assert_eq!(kernels.unsafe_policy, UnsafePolicy::GatedModule("avx2"));
+
+        let eval = context_for("crates/eval/src/bin/asmcap_map.rs");
+        assert!(!eval.determinism && !eval.panic_policy && eval.timing_allowed);
+
+        assert!(context_for("src/lib.rs").crate_root);
+        assert!(context_for("crates/genome/src/lib.rs").crate_root);
+        assert!(!context_for("crates/genome/src/kmer.rs").crate_root);
+    }
+
+    #[test]
+    fn perf_files_may_time() {
+        assert!(context_for("crates/baselines/src/perf.rs").timing_allowed);
+        assert!(!context_for("crates/baselines/src/cm_cpu.rs").timing_allowed);
+    }
+}

@@ -1,0 +1,75 @@
+//! The fixture matrix as a test: every `fixtures/bad/<rule>_*.rs` must
+//! flag the rule named by its filename prefix, every `fixtures/good/*.rs`
+//! must lint clean under the strict context, and every rule ID must be
+//! covered by at least one fixture of each kind.
+
+use asmcap_lint::{check_source, FileContext, RULE_IDS};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture_files(sub: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("listing {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures under {}", dir.display());
+    files
+}
+
+fn rule_prefix(path: &Path) -> String {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .and_then(|s| s.split('_').next())
+        .map(str::to_ascii_uppercase)
+        .unwrap_or_default()
+}
+
+#[test]
+fn bad_fixtures_flag_their_rule() {
+    let mut covered = BTreeSet::new();
+    for path in fixture_files("bad") {
+        let rule = rule_prefix(&path);
+        assert!(
+            RULE_IDS.contains(&rule.as_str()),
+            "{}: prefix `{rule}` is not a rule ID",
+            path.display()
+        );
+        let src = std::fs::read_to_string(&path).expect("fixture is readable");
+        let diags = check_source(&path.display().to_string(), &src, &FileContext::strict());
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "{}: expected {rule}, got {:?}",
+            path.display(),
+            diags.iter().map(|d| d.rule).collect::<Vec<_>>()
+        );
+        covered.insert(rule);
+    }
+    for id in RULE_IDS {
+        assert!(covered.contains(id), "no bad fixture covers {id}");
+    }
+}
+
+#[test]
+fn good_fixtures_lint_clean() {
+    let mut covered = BTreeSet::new();
+    for path in fixture_files("good") {
+        let src = std::fs::read_to_string(&path).expect("fixture is readable");
+        let diags = check_source(&path.display().to_string(), &src, &FileContext::strict());
+        assert!(
+            diags.is_empty(),
+            "{}: expected clean, got {:?}",
+            path.display(),
+            diags
+        );
+        covered.insert(rule_prefix(&path));
+    }
+    for id in RULE_IDS {
+        assert!(covered.contains(id), "no good fixture covers {id}");
+    }
+}

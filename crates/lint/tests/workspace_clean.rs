@@ -1,0 +1,26 @@
+//! The real workspace must lint clean against the checked-in baseline —
+//! this is the same gate CI runs, wired into `cargo test` so a local
+//! tier-1 run catches invariant regressions before push.
+
+use asmcap_lint::{load_baseline, run_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_against_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let baseline = load_baseline(&root.join("lint-baseline.toml")).expect("baseline parses");
+    let report = run_workspace(&root, &baseline).expect("workspace scan succeeds");
+    assert!(
+        report.checked_files > 50,
+        "scan looks truncated: {} files",
+        report.checked_files
+    );
+    assert!(
+        report.clean(),
+        "workspace has lint violations:\n{}",
+        report.to_text()
+    );
+}

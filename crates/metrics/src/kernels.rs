@@ -209,6 +209,11 @@ mod avx2 {
 
     /// Vector [`super::lane_neq`]: per-2-bit-lane mismatch mask in each of
     /// the four 64-bit lanes.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (all callers are reached only through the
+    /// runtime-verified dispatch in [`super::vector_features_detected`]).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn lane_neq(x: __m256i, y: __m256i) -> __m256i {
@@ -219,6 +224,10 @@ mod avx2 {
 
     /// Adds the per-64-bit-lane popcount of `v` onto `acc` (nibble LUT +
     /// `vpsadbw`). Exact — the reduction is integer throughout.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (runtime-verified by the dispatch gate).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn popcount_acc(acc: __m256i, v: __m256i) -> __m256i {
@@ -235,6 +244,10 @@ mod avx2 {
     }
 
     /// Horizontal sum of the four 64-bit accumulator lanes.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (runtime-verified by the dispatch gate).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn horizontal_sum(v: __m256i) -> u64 {
@@ -249,6 +262,10 @@ mod avx2 {
     /// The read word one lane *down* per 64-bit lane: `[carry, r0, r1, r2]`
     /// — `vpermq` rotation with the previous block's last word spliced into
     /// lane 0.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (runtime-verified by the dispatch gate).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn lanes_prev(r: __m256i, carry: u64) -> __m256i {
@@ -257,6 +274,10 @@ mod avx2 {
     }
 
     /// The read word one lane *up* per 64-bit lane: `[r1, r2, r3, carry]`.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (runtime-verified by the dispatch gate).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn lanes_next(r: __m256i, carry: u64) -> __m256i {
@@ -266,6 +287,10 @@ mod avx2 {
 
     /// The three comparison masks of one 4-word block: `(centre, left ∧
     /// right)` with the boundary fix-ups OR-ed in.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (runtime-verified by the dispatch gate).
     #[inline]
     #[target_feature(enable = "avx2")]
     #[allow(clippy::too_many_arguments)]
@@ -304,6 +329,11 @@ mod avx2 {
     /// Popcount of one 256-bit mask through four hardware `popcnt`s — lower
     /// latency than the LUT reduction when there is exactly one block, so
     /// the single-block fast paths (width ≤ 128) use it.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 and POPCNT must be available (runtime-verified by the
+    /// dispatch gate — both CPUID bits, see `vector_features_detected`).
     #[inline]
     #[target_feature(enable = "avx2,popcnt")]
     unsafe fn popcount_once(v: __m256i) -> u32 {
