@@ -568,6 +568,14 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
     /// on its own. Arrays with no masked-in row for a read issue no search
     /// operation and burn no energy for that read.
     ///
+    /// Like the unmasked batch, the drain is **array-major**: the global
+    /// buffer stages one array, every queued read senses its masked-in
+    /// rows of that array, then the buffer moves on — the pipelined
+    /// global-buffer model the serving coalescer batches for. Per read
+    /// the arrays are still visited in index order and rows in row order,
+    /// which is exactly the sequential masked walk's draw order, so the
+    /// reordering cannot change any result.
+    ///
     /// # Panics
     ///
     /// Panics if `reads`, `masks`, and `rngs` lengths differ, any read
@@ -588,15 +596,61 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
             "one sensing RNG stream per batched read"
         );
         assert_eq!(reads.len(), masks.len(), "one row mask per batched read");
-        // Each read touches only its own masked rows and its own RNG
-        // stream, so the batch is exactly the per-read masked searches in
-        // queue order — one implementation of the masked walk, not two.
-        reads
+        for (read, mask) in reads.iter().zip(masks) {
+            assert_eq!(read.len(), self.width, "read must match the row width");
+            assert_eq!(
+                mask.len(),
+                self.origins.len(),
+                "mask must cover the stored rows"
+            );
+        }
+        let mut results: Vec<DeviceSearchResult> = reads
             .iter()
-            .zip(masks)
-            .zip(rngs.iter_mut())
-            .map(|((read, mask), rng)| self.search_packed_masked(read, threshold, mode, mask, rng))
-            .collect()
+            .map(|_| DeviceSearchResult {
+                matches: Vec::new(),
+                stats: SearchStats::default(),
+            })
+            .collect();
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            for ((read, mask), (result, rng)) in reads
+                .iter()
+                .zip(masks)
+                .zip(results.iter_mut().zip(rngs.iter_mut()))
+            {
+                let rows: Vec<usize> = mask
+                    .ones_in(flat_base..flat_base + array.rows())
+                    .map(|flat| flat - flat_base)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let outcome = array.search_packed_rows(read, threshold, mode, &rows, rng);
+                result.stats.energy_j += outcome.energy_j;
+                result.stats.array_searches += 1;
+                result.stats.latency_s = result
+                    .stats
+                    .latency_s
+                    .max(array.sense().cam().search_time_s());
+                for row in &outcome.rows {
+                    if row.matched {
+                        result.matches.push(DeviceMatch {
+                            id: RowId {
+                                array: array_idx,
+                                row: row.row,
+                            },
+                            origin: self.origins[flat_base + row.row],
+                            n_mis: row.n_mis,
+                        });
+                    }
+                }
+            }
+            flat_base += array.rows();
+        }
+        results
     }
 
     /// The [`RowMask`] (flat storage order) selecting every stored row

@@ -110,6 +110,51 @@ pub trait MappingBackend: Send + Sync {
         let _ = candidates;
         self.map_packed(read, seed)
     }
+
+    /// Maps a whole batch of row-width reads in one call — the entry point
+    /// [`crate::AsmcapPipeline::map_batch_packed`] drains each executor
+    /// tile through, and the surface a serving coalescer batches for.
+    ///
+    /// `shortlists[i]` is read `i`'s prefilter shortlist (`None` = full
+    /// scan — no prefilter armed, or its fallback fired). The contract is
+    /// **byte-identity with the per-read path**: `outcomes[i]` must equal
+    /// `map_packed(&reads[i], seeds[i])` when `shortlists[i]` is `None`
+    /// and `map_shortlisted(&reads[i], seeds[i], &shortlists[i])`
+    /// otherwise — positions, cycle/energy accounting, and RNG draw order
+    /// included. The default dispatches read-by-read (trivially
+    /// identical); [`DeviceBackend`] overrides it to drain the whole batch
+    /// array-by-array through
+    /// [`asmcap_arch::AsmcapDevice::search_packed_batch`] /
+    /// [`asmcap_arch::AsmcapDevice::search_packed_batch_masked`], whose
+    /// per-read byte-identity is pinned at the arch layer.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `reads`, `seeds`, and `shortlists` lengths
+    /// differ, any read width differs from the row width, or a shortlist
+    /// is not sorted ascending.
+    fn map_batch_shortlisted(
+        &self,
+        reads: &[PackedSeq],
+        seeds: &[u64],
+        shortlists: &[Option<Vec<usize>>],
+    ) -> Vec<BackendOutcome> {
+        assert_eq!(reads.len(), seeds.len(), "one seed per batched read");
+        assert_eq!(
+            reads.len(),
+            shortlists.len(),
+            "one shortlist slot per batched read"
+        );
+        reads
+            .iter()
+            .zip(seeds)
+            .zip(shortlists)
+            .map(|((read, &seed), shortlist)| match shortlist {
+                None => self.map_packed(read, seed),
+                Some(candidates) => self.map_shortlisted(read, seed, candidates),
+            })
+            .collect()
+    }
 }
 
 pub(crate) fn collect(result: &DeviceSearchResult) -> BTreeMap<RowId, usize> {
@@ -259,6 +304,99 @@ impl DeviceBackend {
             energy_j: energy,
         }
     }
+
+    /// The shared body of the batch dispatch: the same ED\* → HDAC → TASR
+    /// instruction sequencing as [`DeviceBackend::run`], but each stage
+    /// drains the **whole read queue** through the device's array-major
+    /// batch entry points. Read `i` draws all sensing noise from its own
+    /// seed-derived streams in exactly the order the per-read path would,
+    /// so `outcomes[i]` is byte-identical to `run(&reads[i], seeds[i], …)`
+    /// (pinned by `tests/packed_equivalence.rs` and the arch-layer batch
+    /// equivalence tests).
+    fn run_batch(
+        &self,
+        reads: &[PackedSeq],
+        seeds: &[u64],
+        masks: Option<&[RowMask]>,
+    ) -> Vec<BackendOutcome> {
+        let t = self.config.threshold;
+        // Same stream split as `run`: one sensing stream and one host-side
+        // HDAC stream per read.
+        let mut sense_rngs: Vec<crate::Rng> = seeds.iter().map(|&s| crate::rng(s)).collect();
+        let mut host_rngs: Vec<crate::Rng> = seeds
+            .iter()
+            .map(|&s| crate::rng(s.wrapping_mul(0x9E37_79B9).wrapping_add(1)))
+            .collect();
+        let search_batch =
+            |queue: &[PackedSeq], mode: MatchMode, rngs: &mut [crate::Rng]| match masks {
+                Some(masks) => self
+                    .device
+                    .search_packed_batch_masked(queue, t, mode, masks, rngs),
+                None => self.device.search_packed_batch(queue, t, mode, rngs),
+            };
+
+        // Cycle 1 (after the latch): the ED* search, whole queue at once.
+        let base = search_batch(reads, MatchMode::EdStar, &mut sense_rngs);
+        let mut searches: Vec<u64> = vec![1; reads.len()];
+        let mut energy: Vec<f64> = base.iter().map(|r| r.stats.energy_j).collect();
+        let mut matched: Vec<BTreeMap<RowId, usize>> = base.iter().map(collect).collect();
+
+        // HDAC: one batched HD-mode search, one host-side draw per read.
+        if let Some(hdac) = self.config.hdac {
+            if hdac.enabled(&self.config.profile, t) {
+                let hd = search_batch(reads, MatchMode::Hamming, &mut sense_rngs);
+                let p = hdac.probability(&self.config.profile, t);
+                for (i, result) in hd.iter().enumerate() {
+                    searches[i] += 1;
+                    energy[i] += result.stats.energy_j;
+                    if host_rngs[i].gen::<f64>() < p {
+                        matched[i] = collect(result);
+                    }
+                }
+            }
+        }
+
+        // TASR: each rotation is one batched ED* search over the rotated
+        // queue, OR-ed into each read's result set.
+        if let Some(tasr) = self.config.tasr {
+            if tasr.active(&self.config.profile, self.row_width(), t) {
+                for amount in 1..=tasr.rotations {
+                    let rotated: Vec<PackedSeq> = reads
+                        .iter()
+                        .map(|read| tasr.schedule.rotated_packed(read, amount))
+                        .collect();
+                    let results = search_batch(&rotated, MatchMode::EdStar, &mut sense_rngs);
+                    for (i, result) in results.iter().enumerate() {
+                        searches[i] += 1;
+                        energy[i] += result.stats.energy_j;
+                        for (id, n_mis) in collect(result) {
+                            matched[i].entry(id).or_insert(n_mis);
+                        }
+                    }
+                }
+            }
+        }
+
+        matched
+            .into_iter()
+            .zip(searches)
+            .zip(energy)
+            .map(|((matched, searches), energy_j)| {
+                let mut positions: Vec<usize> = matched
+                    .keys()
+                    .filter_map(|&id| self.device.origin_of(id))
+                    .collect();
+                positions.sort_unstable();
+                positions.dedup();
+                BackendOutcome {
+                    positions,
+                    cycles: 1 + searches,
+                    searches,
+                    energy_j,
+                }
+            })
+            .collect()
+    }
 }
 
 impl MappingBackend for DeviceBackend {
@@ -281,6 +419,47 @@ impl MappingBackend for DeviceBackend {
     fn map_shortlisted(&self, read: &PackedSeq, seed: u64, candidates: &[usize]) -> BackendOutcome {
         let mask = self.device.mask_for_origins(candidates);
         self.run(read, seed, Some(&mask))
+    }
+
+    /// The batch dispatch the issue of serving builds on: an all-full-scan
+    /// queue drains unmasked ([`asmcap_arch::AsmcapDevice::search_packed_batch`]);
+    /// any shortlisted read switches the queue to the masked drain, with
+    /// full-scan reads carrying [`RowMask::full`] (pinned byte-identical
+    /// to the unmasked search at the arch layer).
+    fn map_batch_shortlisted(
+        &self,
+        reads: &[PackedSeq],
+        seeds: &[u64],
+        shortlists: &[Option<Vec<usize>>],
+    ) -> Vec<BackendOutcome> {
+        assert_eq!(reads.len(), seeds.len(), "one seed per batched read");
+        assert_eq!(
+            reads.len(),
+            shortlists.len(),
+            "one shortlist slot per batched read"
+        );
+        for read in reads {
+            assert_eq!(
+                read.len(),
+                self.row_width(),
+                "read must match the row width"
+            );
+        }
+        if reads.is_empty() {
+            return Vec::new();
+        }
+        if shortlists.iter().all(Option::is_none) {
+            self.run_batch(reads, seeds, None)
+        } else {
+            let masks: Vec<RowMask> = shortlists
+                .iter()
+                .map(|shortlist| match shortlist {
+                    None => RowMask::full(self.device.stored_rows()),
+                    Some(candidates) => self.device.mask_for_origins(candidates),
+                })
+                .collect();
+            self.run_batch(reads, seeds, Some(&masks))
+        }
     }
 }
 

@@ -613,22 +613,102 @@ impl AsmcapPipeline {
         *self.stats.lock().expect("stats lock poisoned") = PipelineStats::default();
     }
 
+    /// Read `read`'s prefilter shortlist, or `None` for a full scan (no
+    /// prefilter armed, or the shortlist's fallback fired) — the one
+    /// shortlist rule the per-read and batch dispatch paths share.
+    fn shortlist_for(&self, read: &PackedSeq) -> Option<Vec<usize>> {
+        self.prefilter.as_ref().and_then(|prefilter| {
+            let shortlist = prefilter.shortlist(read);
+            if shortlist.is_full_scan() {
+                None
+            } else {
+                Some(shortlist.starts_ascending())
+            }
+        })
+    }
+
     /// The per-read backend dispatch: full scan when no prefilter is
     /// armed (or when the shortlist's fallback fires), shortlist-only
     /// otherwise. `read` is already exactly one row wide here.
     fn dispatch(&self, read: &PackedSeq, seed: u64) -> BackendOutcome {
-        match &self.prefilter {
+        match self.shortlist_for(read) {
             None => self.backend.map_packed(read, seed),
-            Some(prefilter) => {
-                let shortlist = prefilter.shortlist(read);
-                if shortlist.is_full_scan() {
-                    self.backend.map_packed(read, seed)
-                } else {
-                    self.backend
-                        .map_shortlisted(read, seed, &shortlist.starts_ascending())
-                }
-            }
+            Some(candidates) => self.backend.map_shortlisted(read, seed, &candidates),
         }
+    }
+
+    /// Maps one executor tile through the backend's batch entry point
+    /// ([`MappingBackend::map_batch_shortlisted`]): statuses and truncation
+    /// are resolved here, shortlists are computed per read, and the
+    /// searchable remainder drains through the backend in one call — on
+    /// the device backend that is the array-by-array batched sensing pass.
+    /// Byte-identical to mapping each read through [`AsmcapPipeline::map`]
+    /// (pinned by `tests/packed_equivalence.rs` / `tests/pipeline_api.rs`).
+    fn map_tile(&self, reads: &[PackedSeq], indices: &[u64]) -> Vec<MapRecord> {
+        debug_assert_eq!(reads.len(), indices.len());
+        let mut searchable: Vec<PackedSeq> = Vec::with_capacity(reads.len());
+        let mut seeds: Vec<u64> = Vec::with_capacity(reads.len());
+        let mut shortlists: Vec<Option<Vec<usize>>> = Vec::with_capacity(reads.len());
+        // `None` = rejected (too short, never reaches the backend);
+        // `Some(())` slots consume backend outcomes in input order.
+        let mut searched: Vec<bool> = Vec::with_capacity(reads.len());
+        for (read, &index) in reads.iter().zip(indices) {
+            if read.len() < self.width {
+                searched.push(false);
+                continue;
+            }
+            let query = if read.len() > self.width {
+                read.window(0..self.width)
+            } else {
+                read.clone()
+            };
+            seeds.push(read_seed(self.seed, index));
+            shortlists.push(self.shortlist_for(&query));
+            searchable.push(query);
+            searched.push(true);
+        }
+        let outcomes = if searchable.is_empty() {
+            Vec::new()
+        } else {
+            self.backend
+                .map_batch_shortlisted(&searchable, &seeds, &shortlists)
+        };
+        let mut outcomes = outcomes.into_iter();
+        reads
+            .iter()
+            .zip(indices)
+            .zip(searched)
+            .map(|((read, &index), searched)| {
+                if !searched {
+                    return MapRecord {
+                        index,
+                        status: MapStatus::Rejected,
+                        positions: Vec::new(),
+                        cycles: 0,
+                        searches: 0,
+                        energy_j: 0.0,
+                    };
+                }
+                let outcome = outcomes
+                    .next()
+                    .expect("one backend outcome per searchable read");
+                let status = if read.len() > self.width {
+                    MapStatus::Truncated
+                } else if outcome.positions.is_empty() {
+                    MapStatus::Unmapped
+                } else {
+                    MapStatus::Mapped
+                };
+                MapRecord {
+                    index,
+                    status,
+                    positions: outcome.positions,
+                    cycles: outcome.cycles,
+                    searches: outcome.searches,
+                    energy_j: outcome.energy_j,
+                }
+            })
+            .collect()
     }
 
     fn map_indexed(&self, read: &PackedSeq, index: u64) -> MapRecord {
@@ -714,20 +794,61 @@ impl AsmcapPipeline {
         self.map_batch_packed(&packed)
     }
 
-    /// [`AsmcapPipeline::map_batch`] over already packed reads.
+    /// [`AsmcapPipeline::map_batch`] over already packed reads. Each
+    /// executor tile drains through the backend's batch entry point
+    /// ([`MappingBackend::map_batch_shortlisted`]), so on the device
+    /// backend a whole tile's searches run array-by-array through
+    /// [`asmcap_arch::AsmcapDevice::search_packed_batch`] — and the
+    /// records stay byte-identical to per-read dispatch.
     ///
     /// # Panics
     ///
     /// Propagates panics from worker threads (a panicking backend).
     pub fn map_batch_packed(&self, reads: &[PackedSeq]) -> Vec<MapRecord> {
-        // lint: timing-ok — wall_s is a stats field; decisions never read it.
-        let start = Instant::now();
         let base = self
             .counter
             .fetch_add(reads.len() as u64, Ordering::Relaxed); // lint: relaxed-ok — index ticket only
+        self.map_batch_with(reads, &|i| base + i as u64)
+    }
+
+    /// [`AsmcapPipeline::map_batch_packed`] with **explicit per-read
+    /// indices**: read `i` is mapped as read index `indices[i]`, so its
+    /// sensing seed is [`read_seed`]`(pipeline_seed, indices[i])` and its
+    /// record carries that index. The pipeline's running read counter is
+    /// not consumed.
+    ///
+    /// This is the entry point for callers whose determinism key is not
+    /// arrival order: `asmcap-serve` derives each request's index from the
+    /// client-supplied request id, so the same request set produces the
+    /// same records under any interleaving, batch assembly, or worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads` and `indices` lengths differ; propagates panics
+    /// from worker threads (a panicking backend).
+    pub fn map_batch_packed_indexed(&self, reads: &[PackedSeq], indices: &[u64]) -> Vec<MapRecord> {
+        assert_eq!(
+            reads.len(),
+            indices.len(),
+            "one explicit index per batched read"
+        );
+        self.map_batch_with(reads, &|i| indices[i])
+    }
+
+    /// The shared batch body: tile the index space, drain each tile
+    /// through [`AsmcapPipeline::map_tile`] on the work-stealing executor,
+    /// absorb stats.
+    fn map_batch_with(
+        &self,
+        reads: &[PackedSeq],
+        index_of: &(dyn Fn(usize) -> u64 + Sync),
+    ) -> Vec<MapRecord> {
+        // lint: timing-ok — wall_s is a stats field; decisions never read it.
+        let start = Instant::now();
         let records = crate::executor::run_tiled(reads.len(), self.workers, |tile| {
-            tile.map(|i| self.map_indexed(&reads[i], base + i as u64))
-                .collect()
+            let indices: Vec<u64> = tile.clone().map(index_of).collect();
+            self.map_tile(&reads[tile], &indices)
         });
         let mut stats = self.stats.lock().expect("stats lock poisoned");
         for record in &records {
@@ -744,6 +865,22 @@ impl AsmcapPipeline {
     /// [`AsmcapPipeline::map_batch`], and records are yielded in input
     /// order. A partial tail chunk (stream ends mid-chunk) is flushed
     /// immediately rather than waiting for a full chunk.
+    ///
+    /// # Why there is no flush timeout here
+    ///
+    /// `asmcap-serve`'s coalescer flushes a partial batch after a deadline
+    /// because its requests arrive **asynchronously** — a half-full batch
+    /// might stay half-full forever while clients are idle. `map_iter`'s
+    /// source is a synchronous iterator: `next()` either yields a read or
+    /// ends the stream, so a chunk fills as fast as the source can produce
+    /// and the tail flushes the moment the source is exhausted — there is
+    /// no idle waiting a timeout could cut short. The one stall mode left
+    /// is a source that itself *blocks* inside `next()` (e.g. an iterator
+    /// over a channel): time-based flushing cannot be bolted on here
+    /// without threads, so such callers should either shrink the chunk
+    /// ([`MapIter::with_chunk`], down to 1 for read-at-a-time latency) or
+    /// use `asmcap-serve`'s coalescer, which exists precisely for
+    /// asynchronous arrivals.
     pub fn map_iter<I>(&self, reads: I) -> MapIter<'_, I::IntoIter>
     where
         I: IntoIterator<Item = DnaSeq>,
@@ -764,6 +901,19 @@ pub struct MapIter<'p, I> {
     reads: I,
     chunk: usize,
     buffered: VecDeque<MapRecord>,
+}
+
+impl<I> MapIter<'_, I> {
+    /// Overrides the pull-chunk size (clamped to at least 1). Smaller
+    /// chunks trade batching efficiency for lower latency against sources
+    /// that block inside `next()`; `with_chunk(1)` maps read-at-a-time.
+    /// Results are chunk-size-independent (the per-read seed depends only
+    /// on the read's index — see the [module docs](self)).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
 }
 
 impl<I: Iterator<Item = DnaSeq>> Iterator for MapIter<'_, I> {

@@ -15,17 +15,18 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose outputs feed mapping results: the determinism family
 /// (D101/D102/D103) applies to their sources.
-const RESULT_PRODUCING: [&str; 5] = [
+const RESULT_PRODUCING: [&str; 6] = [
     "crates/genome/",
     "crates/metrics/",
     "crates/arch/",
     "crates/core/",
     "crates/baselines/",
+    "crates/serve/",
 ];
 
 /// Crates on the public mapping path: the panic-policy family
 /// (P201–P204) applies to their sources.
-const PANIC_POLICED: [&str; 2] = ["crates/core/", "crates/genome/"];
+const PANIC_POLICED: [&str; 3] = ["crates/core/", "crates/genome/", "crates/serve/"];
 
 /// The one file allowed to contain `unsafe`, confined to its
 /// simd-gated `avx2` module (see [`UnsafePolicy::GatedModule`]).
@@ -175,6 +176,13 @@ mod tests {
 
         let eval = context_for("crates/eval/src/bin/asmcap_map.rs");
         assert!(!eval.determinism && !eval.panic_policy && eval.timing_allowed);
+
+        // The serving layer produces mapping results and fronts the
+        // public wire, so both rule families apply — except its perf
+        // module, the crate's one timing-allowed path.
+        let serve = context_for("crates/serve/src/server.rs");
+        assert!(serve.determinism && serve.panic_policy && !serve.timing_allowed);
+        assert!(context_for("crates/serve/src/perf.rs").timing_allowed);
 
         assert!(context_for("src/lib.rs").crate_root);
         assert!(context_for("crates/genome/src/lib.rs").crate_root);

@@ -1,0 +1,619 @@
+//! `asmcap-loadgen` — open-loop load generator for `asmcap_serve`.
+//!
+//! ```text
+//! asmcap_loadgen --addr HOST:PORT [options]
+//!
+//! options:
+//!   --clients N       concurrent client connections (default 8)
+//!   --requests N      map requests per client (default 4096)
+//!   --rate R          aggregate offered load, reads/s (default 100000;
+//!                     0 = unpaced, send as fast as the socket accepts)
+//!   --window W        closed-loop cap on in-flight requests per client
+//!                     (default 0 = open loop, no cap)
+//!   --sweep R1,R2,..  run once per offered rate (overrides --rate)
+//!   --ref-len N       reference length — must match the server (default 8192)
+//!   --ref-seed N      reference seed — must match the server (default 7)
+//!   --row-width W     read length — must match the server (default 128)
+//!   --read-seed N     read sampling seed (default 11)
+//!   --out PATH        write the sweep summary as JSON
+//!   --shutdown        send a shutdown request after the last run
+//! ```
+//!
+//! Each client runs a paced sender thread and a receiver thread;
+//! round-trip latency is measured per request id. Every map request gets
+//! exactly one response (map reply or typed overload), so a run is
+//! complete when `requests` responses have arrived per client.
+//!
+//! Reads are sampled from the same generated reference the server
+//! stores (Condition-A error profile), so the mapped fraction is high
+//! and stable; request ids are globally unique, so replies are
+//! deterministic regardless of pacing.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
+use asmcap_serve::perf::{self, LatencyHistogram, LatencySummary};
+use asmcap_serve::{MapClient, OverloadReason, Request, Response};
+use rand::Rng as _;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("asmcap-loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One offered-load point's outcome.
+struct RunResult {
+    offered_rate: u64,
+    window: u64,
+    clients: usize,
+    requests: u64,
+    mapped: u64,
+    unmapped: u64,
+    truncated: u64,
+    rejected: u64,
+    queue_full: u64,
+    shed: u64,
+    elapsed_s: f64,
+    latency: Option<LatencySummary>,
+}
+
+impl RunResult {
+    fn achieved_rps(&self) -> f64 {
+        let completed = self.mapped + self.unmapped + self.truncated + self.rejected;
+        if self.elapsed_s > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                completed as f64 / self.elapsed_s
+            }
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let addr = flag_value(&args, "--addr").ok_or("missing --addr HOST:PORT")?;
+    let clients: usize = parse_or(&args, "--clients", 8)?;
+    let requests: u64 = parse_or(&args, "--requests", 4_096)?;
+    let ref_len: usize = parse_or(&args, "--ref-len", 8_192)?;
+    let ref_seed: u64 = parse_or(&args, "--ref-seed", 7)?;
+    let row_width: usize = parse_or(&args, "--row-width", 128)?;
+    let read_seed: u64 = parse_or(&args, "--read-seed", 11)?;
+    let rates: Vec<u64> = match flag_value(&args, "--sweep") {
+        Some(list) => list
+            .split(',')
+            .map(|r| {
+                r.trim()
+                    .parse()
+                    .map_err(|_| format!("bad sweep rate '{r}'"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![parse_or(&args, "--rate", 100_000)?],
+    };
+    let window: u64 = parse_or(&args, "--window", 0)?;
+    if clients == 0 || requests == 0 || rates.is_empty() {
+        return Err("need at least one client, one request, and one rate".to_string());
+    }
+
+    // Sample every client's read set up front, from the server's
+    // reference. Origins land on the server's segmentation grid by
+    // default (`--stride`, 0 = unaligned): a serving workload is reads
+    // that *can* map, and off-grid reads mostly cannot under strided
+    // segmentation — they would measure the HDAC/TASR miss path instead
+    // of serving capacity.
+    let stride: usize = parse_or(&args, "--stride", 8)?;
+    let genome = GenomeModel::uniform().generate(ref_len, ref_seed);
+    let sampler = ReadSampler::new(row_width, ErrorProfile::condition_a());
+    // Cap origins at the sampler's own limit: error injection reads a
+    // little past origin + read_len, so the grid stops short of the end.
+    let max_origin = sampler
+        .max_origin(ref_len)
+        .ok_or("reference too short for the requested read width")?;
+    let n_origins = max_origin / stride.max(1) + 1;
+    let per_client = usize::try_from(requests).unwrap_or(usize::MAX);
+    let reads_per_client: Vec<Vec<Vec<u8>>> = (0..clients)
+        .map(|client| {
+            let mut rng = asmcap_genome::rng(read_seed.wrapping_add(client as u64));
+            if stride == 0 {
+                sampler
+                    .sample_many(&genome, per_client, read_seed.wrapping_add(client as u64))
+                    .into_iter()
+                    .map(|r| r.bases.to_string().into_bytes())
+                    .collect()
+            } else {
+                (0..per_client)
+                    .map(|_| {
+                        let origin = (rng.gen::<u64>() as usize % n_origins) * stride;
+                        sampler
+                            .sample_at(&genome, origin, &mut rng)
+                            .bases
+                            .to_string()
+                            .into_bytes()
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(rates.len());
+    for (round, &rate) in rates.iter().enumerate() {
+        let result = run_once(
+            &addr,
+            clients,
+            requests,
+            rate,
+            window,
+            round as u64,
+            &reads_per_client,
+        )?;
+        print_result(&result);
+        results.push(result);
+    }
+
+    if let Some(path) = flag_value(&args, "--out") {
+        std::fs::write(&path, to_json(&results))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("asmcap-loadgen: wrote {path}");
+    }
+
+    if args.iter().any(|a| a == "--shutdown") {
+        let mut client = MapClient::connect(&addr).map_err(|e| format!("shutdown connect: {e}"))?;
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown request: {e}"))?;
+        eprintln!("asmcap-loadgen: server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// Drives one offered-load point: `clients` connections, `requests` map
+/// requests each, paced to `rate` reads/s aggregate (0 = unpaced), with
+/// at most `window` requests in flight per client (0 = uncapped).
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    addr: &str,
+    clients: usize,
+    requests: u64,
+    rate: u64,
+    window: u64,
+    round: u64,
+    reads_per_client: &[Vec<Vec<u8>>],
+) -> Result<RunResult, String> {
+    let interval = if rate == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(clients as f64 / rate as f64)
+    };
+    // Pre-encode every request frame before the clock starts: the send
+    // path then writes bytes verbatim, keeping encode cost off the timed
+    // path (and off the core the server is sharing).
+    let mut frames_per_client = Vec::with_capacity(clients);
+    for client_idx in 0..clients {
+        let reads = reads_per_client
+            .get(client_idx)
+            .ok_or("read set indexing out of range")?;
+        let id_base = (round << 48) | ((client_idx as u64) << 32);
+        let frames: Vec<Vec<u8>> = (0..requests)
+            .map(|i| {
+                let slot = usize::try_from(i).unwrap_or(usize::MAX);
+                let bases = reads
+                    .get(slot % reads.len().max(1))
+                    .cloned()
+                    .unwrap_or_default();
+                Request::Map {
+                    req_id: id_base | i,
+                    bases,
+                }
+                .encode_framed()
+            })
+            .collect();
+        frames_per_client.push(frames);
+    }
+    let start = perf::now();
+    let mut workers = Vec::with_capacity(clients);
+    for (client_idx, frames) in frames_per_client.into_iter().enumerate() {
+        let addr = addr.to_string();
+        let handle = std::thread::Builder::new()
+            .name(format!("loadgen-client-{client_idx}"))
+            .spawn(move || {
+                client_thread(&addr, client_idx as u64, requests, interval, window, frames)
+            })
+            .map_err(|e| format!("spawning client thread: {e}"))?;
+        workers.push(handle);
+    }
+    let mut total = ClientTally::default();
+    for handle in workers {
+        let tally = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        total.absorb(&tally);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    Ok(RunResult {
+        offered_rate: rate,
+        window,
+        clients,
+        requests: requests * clients as u64,
+        mapped: total.mapped,
+        unmapped: total.unmapped,
+        truncated: total.truncated,
+        rejected: total.rejected,
+        queue_full: total.queue_full,
+        shed: total.shed,
+        elapsed_s,
+        latency: total.latency.summary(),
+    })
+}
+
+/// What one client connection saw.
+#[derive(Default)]
+struct ClientTally {
+    mapped: u64,
+    unmapped: u64,
+    truncated: u64,
+    rejected: u64,
+    queue_full: u64,
+    shed: u64,
+    latency: LatencyHistogram,
+}
+
+impl ClientTally {
+    fn absorb(&mut self, other: &ClientTally) {
+        self.mapped += other.mapped;
+        self.unmapped += other.unmapped;
+        self.truncated += other.truncated;
+        self.rejected += other.rejected;
+        self.queue_full += other.queue_full;
+        self.shed += other.shed;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// One connection: a paced sender thread plus this (receiver) thread.
+/// `frames` holds the client's pre-encoded request stream; request ids
+/// are globally unique across rounds and clients (they are the server's
+/// determinism key AND our RTT correlation key — the low 32 bits index
+/// the send-timestamp table directly).
+fn client_thread(
+    addr: &str,
+    client_idx: u64,
+    requests: u64,
+    interval: Duration,
+    window: u64,
+    frames: Vec<Vec<u8>>,
+) -> Result<ClientTally, String> {
+    if interval.is_zero() && window > 0 {
+        // Unpaced closed loop: a single thread per client is cheaper
+        // than a sender/receiver pair on a shared core.
+        return closed_loop_thread(addr, requests, window, &frames);
+    }
+    let client = MapClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (mut tx, mut rx) = client
+        .into_split()
+        .map_err(|e| format!("splitting client stream: {e}"))?;
+    let slots = usize::try_from(requests).unwrap_or(usize::MAX);
+    let in_flight: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; slots]));
+    // Closed-loop credits: the sender spends one per request, the
+    // receiver returns one per response. Zero window = open loop.
+    let credits: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(window), Condvar::new()));
+
+    let sender = {
+        let in_flight = Arc::clone(&in_flight);
+        let credits = Arc::clone(&credits);
+        std::thread::Builder::new()
+            .name(format!("loadgen-send-{client_idx}"))
+            .spawn(move || -> Result<(), String> {
+                // Pace in ~2ms bursts rather than per request: a sleep
+                // per request is a timer wakeup per request, which on a
+                // small host costs more than the requests themselves.
+                let pace_burst = if interval.is_zero() {
+                    u64::MAX
+                } else {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    {
+                        (0.002 / interval.as_secs_f64()).round().max(1.0) as u64
+                    }
+                };
+                let mut next_send = perf::now();
+                for i in 0..requests {
+                    if !interval.is_zero() && i % pace_burst == 0 {
+                        let now = perf::now();
+                        if next_send > now {
+                            std::thread::sleep(next_send - now);
+                        }
+                        next_send += interval
+                            * u32::try_from(pace_burst.min(u64::from(u32::MAX)))
+                                .unwrap_or(u32::MAX);
+                    }
+                    if window > 0 {
+                        let (avail, returned) = &*credits;
+                        let mut avail = avail.lock().expect("credit lock poisoned");
+                        if *avail == 0 {
+                            // Push buffered frames out before sleeping:
+                            // their replies are the only credit source.
+                            drop(avail);
+                            tx.flush().map_err(|e| format!("send flush: {e}"))?;
+                            avail = credits.0.lock().expect("credit lock poisoned");
+                            while *avail == 0 {
+                                avail = returned.wait(avail).expect("credit lock poisoned");
+                            }
+                        }
+                        *avail -= 1;
+                    }
+                    let slot = usize::try_from(i).unwrap_or(usize::MAX);
+                    let frame = frames.get(slot).ok_or("frame indexing out of range")?;
+                    if let Some(entry) = in_flight
+                        .lock()
+                        .expect("in-flight table lock poisoned")
+                        .get_mut(slot)
+                    {
+                        *entry = Some(perf::now());
+                    }
+                    tx.send_framed(frame).map_err(|e| format!("send: {e}"))?;
+                    // Flush at burst boundaries so frames go out on
+                    // schedule, and periodically in between so no block
+                    // of frames outlives the buffer.
+                    if i % 64 == 63 || (!interval.is_zero() && (i + 1) % pace_burst == 0) {
+                        tx.flush().map_err(|e| format!("send flush: {e}"))?;
+                    }
+                }
+                tx.flush().map_err(|e| format!("send flush: {e}"))?;
+                Ok(())
+            })
+            .map_err(|e| format!("spawning sender thread: {e}"))?
+    };
+
+    let return_credit = || {
+        if window > 0 {
+            let (avail, returned) = &*credits;
+            *avail.lock().expect("credit lock poisoned") += 1;
+            returned.notify_one();
+        }
+    };
+    let mut tally = ClientTally::default();
+    let mut received = 0u64;
+    while received < requests {
+        let response = rx.recv().map_err(|e| format!("recv: {e}"))?;
+        return_credit();
+        tally_response(
+            response,
+            &mut in_flight.lock().expect("in-flight table lock poisoned"),
+            &mut tally,
+        )?;
+        received += 1;
+    }
+    sender
+        .join()
+        .map_err(|_| "sender thread panicked".to_string())??;
+    Ok(tally)
+}
+
+/// Unpaced closed-loop drive on one thread: prime `window` requests,
+/// then trade blocks of replies for fresh sends, keeping the window
+/// topped up until every request is answered.
+fn closed_loop_thread(
+    addr: &str,
+    requests: u64,
+    window: u64,
+    frames: &[Vec<u8>],
+) -> Result<ClientTally, String> {
+    let client = MapClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (mut tx, mut rx) = client
+        .into_split()
+        .map_err(|e| format!("splitting client stream: {e}"))?;
+    let slots = usize::try_from(requests).unwrap_or(usize::MAX);
+    let mut sent_at: Vec<Option<Instant>> = vec![None; slots];
+    let mut tally = ClientTally::default();
+    let mut next: u64 = 0;
+    let mut received: u64 = 0;
+
+    let send_one = |tx: &mut asmcap_serve::SendHalf,
+                    sent_at: &mut Vec<Option<Instant>>,
+                    i: u64|
+     -> Result<(), String> {
+        let slot = usize::try_from(i).unwrap_or(usize::MAX);
+        if let Some(entry) = sent_at.get_mut(slot) {
+            *entry = Some(perf::now());
+        }
+        let frame = frames.get(slot).ok_or("frame indexing out of range")?;
+        tx.send_framed(frame).map_err(|e| format!("send: {e}"))
+    };
+
+    while next < window.min(requests) {
+        send_one(&mut tx, &mut sent_at, next)?;
+        next += 1;
+    }
+    tx.flush().map_err(|e| format!("send flush: {e}"))?;
+
+    // Trade half-window blocks: small enough to keep the server fed,
+    // large enough to amortize the flush syscall.
+    let block = (window / 2).clamp(1, 64);
+    while received < requests {
+        let burst = block.min(next - received);
+        for _ in 0..burst {
+            let response = rx.recv().map_err(|e| format!("recv: {e}"))?;
+            tally_response(response, &mut sent_at, &mut tally)?;
+            received += 1;
+        }
+        let refill = burst.min(requests - next);
+        for _ in 0..refill {
+            send_one(&mut tx, &mut sent_at, next)?;
+            next += 1;
+        }
+        if refill > 0 {
+            tx.flush().map_err(|e| format!("send flush: {e}"))?;
+        }
+    }
+    Ok(tally)
+}
+
+/// Accounts one response against the send-timestamp table.
+fn tally_response(
+    response: Response,
+    sent_at: &mut [Option<Instant>],
+    tally: &mut ClientTally,
+) -> Result<(), String> {
+    let mut take = |req_id: u64| -> Option<Instant> {
+        let slot = usize::try_from(req_id & 0xFFFF_FFFF).unwrap_or(usize::MAX);
+        sent_at.get_mut(slot).and_then(Option::take)
+    };
+    match response {
+        Response::Map(reply) => {
+            if let Some(at) = take(reply.req_id) {
+                tally
+                    .latency
+                    .record_us(u64::from(perf::micros_between(at, perf::now())));
+            }
+            match reply.status {
+                asmcap_serve::WireStatus::Mapped => tally.mapped += 1,
+                asmcap_serve::WireStatus::Unmapped => tally.unmapped += 1,
+                asmcap_serve::WireStatus::Truncated => tally.truncated += 1,
+                asmcap_serve::WireStatus::Rejected => tally.rejected += 1,
+            }
+        }
+        Response::Overload { req_id, reason } => {
+            take(req_id);
+            match reason {
+                OverloadReason::QueueFull => tally.queue_full += 1,
+                OverloadReason::Shed => tally.shed += 1,
+            }
+        }
+        Response::ProtocolError { code, detail } => {
+            return Err(format!("server protocol error {code}: {detail}"));
+        }
+        Response::Stats(_) | Response::ShutdownAck => {
+            return Err("unexpected response type during load run".to_string());
+        }
+    }
+    Ok(())
+}
+
+fn print_result(result: &RunResult) {
+    let rate = if result.offered_rate == 0 {
+        "unpaced".to_string()
+    } else {
+        format!("{}/s", result.offered_rate)
+    };
+    let window = if result.window == 0 {
+        "open".to_string()
+    } else {
+        result.window.to_string()
+    };
+    println!(
+        "offered {rate}  window {window}  clients {}  requests {}  achieved {:.0} reads/s  elapsed {:.3}s",
+        result.clients,
+        result.requests,
+        result.achieved_rps(),
+        result.elapsed_s
+    );
+    println!(
+        "  mapped {}  unmapped {}  truncated {}  rejected {}  queue_full {}  shed {}",
+        result.mapped,
+        result.unmapped,
+        result.truncated,
+        result.rejected,
+        result.queue_full,
+        result.shed
+    );
+    match &result.latency {
+        Some(latency) => println!(
+            "  latency_us  p50 {}  p90 {}  p99 {}  max {}  mean {:.0}  (n={})",
+            latency.p50_us,
+            latency.p90_us,
+            latency.p99_us,
+            latency.max_us,
+            latency.mean_us,
+            latency.count
+        ),
+        None => println!("  latency: no successful map replies"),
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline workspace).
+fn to_json(results: &[RunResult]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"offered_rate\": {}, ", r.offered_rate));
+        out.push_str(&format!("\"window\": {}, ", r.window));
+        out.push_str(&format!("\"clients\": {}, ", r.clients));
+        out.push_str(&format!("\"requests\": {}, ", r.requests));
+        out.push_str(&format!("\"mapped\": {}, ", r.mapped));
+        out.push_str(&format!("\"unmapped\": {}, ", r.unmapped));
+        out.push_str(&format!("\"truncated\": {}, ", r.truncated));
+        out.push_str(&format!("\"rejected\": {}, ", r.rejected));
+        out.push_str(&format!("\"queue_full\": {}, ", r.queue_full));
+        out.push_str(&format!("\"shed\": {}, ", r.shed));
+        out.push_str(&format!("\"elapsed_s\": {:.6}, ", r.elapsed_s));
+        out.push_str(&format!("\"achieved_rps\": {:.1}", r.achieved_rps()));
+        if let Some(latency) = &r.latency {
+            out.push_str(&format!(
+                ", \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \
+                 \"mean\": {:.1}, \"count\": {}}}",
+                latency.p50_us,
+                latency.p90_us,
+                latency.p99_us,
+                latency.max_us,
+                latency.mean_us,
+                latency.count
+            ));
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for {flag}")),
+        None => Ok(default),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+const HELP: &str = "\
+asmcap-loadgen: open-loop load generator for asmcap_serve.
+
+usage:
+  asmcap_loadgen --addr HOST:PORT [options]
+
+options:
+  --clients N       concurrent client connections (default 8)
+  --requests N      map requests per client (default 4096)
+  --rate R          aggregate offered load in reads/s (default 100000;
+                    0 = unpaced)
+  --window W        closed-loop cap on in-flight requests per client
+                    (default 0 = open loop)
+  --sweep R1,R2,..  run once per offered rate (overrides --rate)
+  --stride N        align read origins to the server's segmentation grid
+                    (default 8; 0 = unaligned random origins)
+  --ref-len N       reference length, must match the server (default 8192)
+  --ref-seed N      reference seed, must match the server (default 7)
+  --row-width W     read length, must match the server (default 128)
+  --read-seed N     read sampling seed (default 11)
+  --out PATH        write the sweep summary as JSON
+  --shutdown        send a shutdown request after the last run
+";

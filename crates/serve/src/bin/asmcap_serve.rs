@@ -1,0 +1,186 @@
+//! `asmcap-serve` — boot a mapping server over a generated reference.
+//!
+//! ```text
+//! asmcap_serve [options]
+//!
+//! options:
+//!   --addr A          listen address (default 127.0.0.1:4321; use :0 for
+//!                     an ephemeral port, printed on stdout)
+//!   --ref-len N       generated reference length in bases (default 8192)
+//!   --ref-seed N      reference generation seed (default 7)
+//!   --row-width W     CAM row width = read length (default 128)
+//!   --stride S        reference segmentation stride (default 8)
+//!   --threshold T     edit-distance threshold (default 6)
+//!   --seed N          pipeline sensing seed (default 0)
+//!   --backend B       device|pair|software (default device)
+//!   --workers N       pipeline worker threads (default: auto)
+//!   --no-prefilter    disable the k-mer prefilter (default: armed)
+//!   --queue-cap N     admission queue depth (default 4096)
+//!   --shed-at N       shed watermark (default 3/4 of the queue cap)
+//!   --batch-max N     largest coalesced batch (default 256)
+//!   --flush-us N      partial-batch flush timeout, microseconds (default 500)
+//!   --max-conns N     concurrent connection cap (default 64)
+//!   --no-remote-shutdown  refuse client shutdown requests (default: allowed,
+//!                     so the load generator / CI harness can stop the server)
+//! ```
+//!
+//! Prints `listening on <addr>` once ready, then blocks until a remote
+//! shutdown (or forever with `--no-remote-shutdown` — kill it).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use asmcap::{AsmcapPipeline, BackendKind, PipelineConfig, PrefilterConfig};
+use asmcap_genome::GenomeModel;
+use asmcap_serve::{CoalescerConfig, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("asmcap-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return Ok(());
+    }
+
+    let mut config = PipelineConfig {
+        threshold: 6,
+        stride: 8,
+        row_width: 128,
+        prefilter: Some(PrefilterConfig::default()),
+        ..PipelineConfig::default()
+    };
+    if let Some(t) = flag_value(&args, "--threshold") {
+        config.threshold = t.parse().map_err(|_| format!("bad threshold '{t}'"))?;
+    }
+    if let Some(s) = flag_value(&args, "--stride") {
+        config.stride = s.parse().map_err(|_| format!("bad stride '{s}'"))?;
+    }
+    if let Some(w) = flag_value(&args, "--row-width") {
+        config.row_width = w.parse().map_err(|_| format!("bad row width '{w}'"))?;
+    }
+    if let Some(n) = flag_value(&args, "--seed") {
+        config.seed = n.parse().map_err(|_| format!("bad seed '{n}'"))?;
+    }
+    if args.iter().any(|a| a == "--no-prefilter") {
+        config.prefilter = None;
+    }
+    let backend = match flag_value(&args, "--backend") {
+        Some(name) => BackendKind::parse(&name)?,
+        None => BackendKind::Device,
+    };
+    let ref_len: usize = match flag_value(&args, "--ref-len") {
+        Some(n) => n
+            .parse()
+            .map_err(|_| format!("bad reference length '{n}'"))?,
+        None => 8_192,
+    };
+    let ref_seed: u64 = match flag_value(&args, "--ref-seed") {
+        Some(n) => n.parse().map_err(|_| format!("bad reference seed '{n}'"))?,
+        None => 7,
+    };
+
+    let mut builder = AsmcapPipeline::builder()
+        .reference(GenomeModel::uniform().generate(ref_len, ref_seed))
+        .config(config)
+        .backend(backend);
+    if let Some(n) = flag_value(&args, "--workers") {
+        builder = builder.workers(n.parse().map_err(|_| format!("bad worker count '{n}'"))?);
+    }
+    let pipeline = builder.build().map_err(|e| e.to_string())?;
+
+    let queue_cap: usize = match flag_value(&args, "--queue-cap") {
+        Some(n) => n.parse().map_err(|_| format!("bad queue cap '{n}'"))?,
+        None => 4_096,
+    };
+    let shed_watermark: usize = match flag_value(&args, "--shed-at") {
+        Some(n) => n.parse().map_err(|_| format!("bad shed watermark '{n}'"))?,
+        None => queue_cap / 4 * 3,
+    };
+    let batch_max: usize = match flag_value(&args, "--batch-max") {
+        Some(n) => n.parse().map_err(|_| format!("bad batch max '{n}'"))?,
+        None => 256,
+    };
+    let flush_us: u64 = match flag_value(&args, "--flush-us") {
+        Some(n) => n.parse().map_err(|_| format!("bad flush timeout '{n}'"))?,
+        None => 500,
+    };
+    let max_connections: usize = match flag_value(&args, "--max-conns") {
+        Some(n) => n.parse().map_err(|_| format!("bad connection cap '{n}'"))?,
+        None => 64,
+    };
+
+    let server_config = ServerConfig {
+        addr: flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4321".to_string()),
+        max_connections,
+        coalescer: CoalescerConfig {
+            queue_cap,
+            shed_watermark,
+            batch_max,
+            flush_timeout: Duration::from_micros(flush_us),
+        },
+        write_timeout: Duration::from_secs(5),
+        allow_remote_shutdown: !args.iter().any(|a| a == "--no-remote-shutdown"),
+    };
+
+    let server = Server::spawn(pipeline, server_config).map_err(|e| e.to_string())?;
+    println!("listening on {}", server.local_addr());
+    let counters_at_exit = server.wait();
+    eprintln!(
+        "asmcap-serve: done — accepted {} mapped {} unmapped {} truncated {} rejected {} \
+         overloaded {} shed {} batches {} batched_reads {} dropped_conns {}",
+        counters_at_exit.accepted,
+        counters_at_exit.mapped,
+        counters_at_exit.unmapped,
+        counters_at_exit.truncated,
+        counters_at_exit.rejected,
+        counters_at_exit.overloaded,
+        counters_at_exit.shed,
+        counters_at_exit.batches,
+        counters_at_exit.batched_reads,
+        counters_at_exit.dropped_connections,
+    );
+    Ok(())
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+const HELP: &str = "\
+asmcap-serve: mapping-as-a-service over the simulated ASMCap accelerator.
+Boots a pipeline over a generated reference and serves the length-prefixed
+binary map protocol on TCP (see asmcap-serve's crate docs for the format).
+
+usage:
+  asmcap_serve [options]
+
+options:
+  --addr A          listen address (default 127.0.0.1:4321; :0 = ephemeral)
+  --ref-len N       generated reference length in bases (default 8192)
+  --ref-seed N      reference generation seed (default 7)
+  --row-width W     CAM row width = read length (default 128)
+  --stride S        reference segmentation stride (default 8)
+  --threshold T     edit-distance threshold (default 6)
+  --seed N          pipeline sensing seed (default 0)
+  --backend B       device|pair|software (default device)
+  --workers N       pipeline worker threads (default: auto)
+  --no-prefilter    disable the k-mer prefilter (default: armed)
+  --queue-cap N     admission queue depth (default 4096)
+  --shed-at N       shed watermark (default 3/4 of the queue cap)
+  --batch-max N     largest coalesced batch (default 256)
+  --flush-us N      partial-batch flush timeout in microseconds (default 500)
+  --max-conns N     concurrent connection cap (default 64)
+  --no-remote-shutdown  refuse client shutdown requests
+";

@@ -1,0 +1,155 @@
+//! Latency/throughput measurement helpers (the crate's one
+//! timing-allowed path — nothing here can reach a mapping decision).
+//!
+//! Used by the server for per-batch service timing and by
+//! `asmcap_loadgen` to turn raw per-request round-trip samples into the
+//! p50/p90/p99 summary the load sweep reports.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock reading. Wrapper so non-`perf` modules can take
+/// timestamps through the timing-allowed path.
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// Microseconds between two instants, saturated into a `u32`
+/// (`u32::MAX` ≈ 71 minutes — far beyond any sane request latency).
+#[must_use]
+pub fn micros_between(start: Instant, end: Instant) -> u32 {
+    u32::try_from(end.saturating_duration_since(start).as_micros()).unwrap_or(u32::MAX)
+}
+
+/// An order-insensitive accumulator of latency samples with percentile
+/// readout.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples_us
+            .push(u64::try_from(sample.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records a sample already expressed in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.samples_us.push(us);
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// The `q`-quantile in microseconds (`q` clamped to `0.0..=1.0`) by
+    /// the nearest-rank method, or `None` on an empty histogram.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted.get(rank - 1).copied()
+    }
+
+    /// Mean latency in microseconds, or `None` on an empty histogram.
+    #[must_use]
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64)
+    }
+
+    /// The p50/p90/p99/max summary, or `None` on an empty histogram.
+    #[must_use]
+    pub fn summary(&self) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            count: self.count() as u64,
+            mean_us: self.mean_us()?,
+            p50_us: self.quantile_us(0.50)?,
+            p90_us: self.quantile_us(0.90)?,
+            p99_us: self.quantile_us(0.99)?,
+            max_us: self.samples_us.iter().copied().max()?,
+        })
+    }
+}
+
+/// The condensed percentile readout of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples behind the summary.
+    pub count: u64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Worst sample, microseconds.
+    pub max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_follow_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record_us(us);
+        }
+        assert_eq!(h.quantile_us(0.50), Some(50));
+        assert_eq!(h.quantile_us(0.90), Some(90));
+        assert_eq!(h.quantile_us(0.99), Some(100));
+        assert_eq!(h.quantile_us(0.0), Some(10));
+        assert_eq!(h.quantile_us(1.0), Some(100));
+        let s = h.summary().expect("non-empty");
+        assert_eq!(s.count, 10);
+        assert!((s.mean_us - 55.0).abs() < 1e-9);
+        assert_eq!(s.max_us, 100);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_summary() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert!(h.summary().is_none());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_combines_sample_sets() {
+        let mut a = LatencyHistogram::new();
+        a.record_us(10);
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.quantile_us(1.0), Some(30));
+    }
+}

@@ -1,0 +1,769 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message travels as one **frame**: a little-endian `u32` payload
+//! length followed by that many payload bytes. The first payload byte is
+//! the opcode; client→server opcodes sit below `0x80`, server→client
+//! opcodes at or above it. All integers are little-endian; there is no
+//! padding and no alignment.
+//!
+//! | opcode | direction | message |
+//! |--------|-----------|---------|
+//! | `0x01` | c → s | [`Request::Map`] — `req_id: u64`, then ASCII bases |
+//! | `0x02` | c → s | [`Request::Stats`] |
+//! | `0x03` | c → s | [`Request::Shutdown`] |
+//! | `0x81` | s → c | [`Response::Map`] — see [`MapReply`] |
+//! | `0x82` | s → c | [`Response::Overload`] — `req_id: u64`, `reason: u8` |
+//! | `0x83` | s → c | [`Response::ProtocolError`] — `code: u8`, UTF-8 detail |
+//! | `0x84` | s → c | [`Response::Stats`] — see [`ServerCounters`] |
+//! | `0x85` | s → c | [`Response::ShutdownAck`] |
+//!
+//! # Robustness contract
+//!
+//! Decoding is **total**: every byte sequence either decodes or produces a
+//! typed [`WireError`] — truncated frames, oversized length prefixes,
+//! unknown opcodes, short payloads, and non-`ACGT` bases are all errors,
+//! never panics. The server answers a malformed frame with
+//! [`Response::ProtocolError`] and closes the connection; it never takes
+//! the process down (`tests/protocol_robustness.rs` pins this, and the
+//! workspace panic-policy lint covers this crate).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Hard ceiling on one frame's payload size. A length prefix above this is
+/// rejected before any allocation, so a hostile 4-GiB prefix cannot turn
+/// into a 4-GiB buffer.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read, decoded, or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly (EOF between frames).
+    Disconnected,
+    /// The connection died mid-frame (EOF inside a length prefix or
+    /// payload) — a truncated frame.
+    TruncatedFrame,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// A zero-length frame (no opcode byte).
+    EmptyFrame,
+    /// The opcode byte is not one this protocol version defines.
+    UnknownOpcode(u8),
+    /// The payload is shorter than its opcode's fixed fields, or carries
+    /// trailing bytes, or a count field disagrees with the payload size.
+    Malformed(&'static str),
+    /// A read base byte outside `ACGTacgt`.
+    BadBase(u8),
+    /// An I/O error (by kind; the carried detail keeps the message).
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Disconnected => write!(f, "peer disconnected"),
+            WireError::TruncatedFrame => write!(f, "connection closed mid-frame"),
+            WireError::FrameTooLarge { declared } => {
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds the {MAX_FRAME}-byte cap"
+                )
+            }
+            WireError::EmptyFrame => write!(f, "zero-length frame (no opcode)"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::BadBase(b) => write!(f, "byte 0x{b:02x} is not an ACGT base"),
+            WireError::Io(kind) => write!(f, "i/o error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::TruncatedFrame,
+            kind => WireError::Io(kind),
+        }
+    }
+}
+
+/// Reads one frame's payload. Clean EOF **before any length byte** is
+/// [`WireError::Disconnected`]; EOF after at least one byte is
+/// [`WireError::TruncatedFrame`].
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] for a length prefix above [`MAX_FRAME`],
+/// plus the I/O variants above.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len = [0u8; 4];
+    // Distinguish "no next frame" (clean close) from "died mid-prefix".
+    let mut filled = 0usize;
+    while filled < len.len() {
+        let n = r.read(&mut len[filled..])?;
+        if n == 0 {
+            return Err(if filled == 0 {
+                WireError::Disconnected
+            } else {
+                WireError::TruncatedFrame
+            });
+        }
+        filled += n;
+    }
+    let declared = u64::from(u32::from_le_bytes(len));
+    if declared as usize > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { declared });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] if `payload` exceeds [`MAX_FRAME`], plus
+/// I/O errors from the writer.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::FrameTooLarge {
+            declared: payload.len() as u64,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// A bounds-checked little-endian payload reader: every accessor returns a
+/// typed error instead of slicing out of range.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() < n {
+            return Err(WireError::Malformed("payload shorter than its fields"));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let bytes = self.take(1)?;
+        // lint: index-ok — take(1) returned exactly one byte
+        Ok(bytes[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.take(8)?);
+        Ok(f64::from_le_bytes(buf))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        self.bytes
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after the last field"))
+        }
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Map one read. `bases` is validated ASCII `ACGT` (upper-cased on
+    /// decode). The request id is the client's correlation key **and** the
+    /// read's determinism key: the server derives the sensing seed from it,
+    /// so a request's result is independent of arrival order, batch
+    /// assembly, and every other client.
+    Map {
+        /// Client-chosen request id, echoed in the response.
+        req_id: u64,
+        /// Upper-case ASCII `ACGT` bases.
+        bases: Vec<u8>,
+    },
+    /// Ask for the server's aggregate counters.
+    Stats,
+    /// Ask the server to finish queued work and shut down.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes into a payload (no length prefix).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Map { req_id, bases } => {
+                let mut out = Vec::with_capacity(9 + bases.len());
+                out.push(0x01);
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.extend_from_slice(bases);
+                out
+            }
+            Request::Stats => vec![0x02],
+            Request::Shutdown => vec![0x03],
+        }
+    }
+
+    /// Encodes into a complete frame (length prefix plus payload), ready
+    /// to write to a socket verbatim. Load generators pre-encode their
+    /// request stream with this so encoding cost stays off the timed
+    /// path.
+    #[must_use]
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(4 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for empty payloads, unknown opcodes, short
+    /// fixed fields, and non-`ACGT` base bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(payload);
+        let opcode = c.u8().map_err(|_| WireError::EmptyFrame)?;
+        match opcode {
+            0x01 => {
+                let req_id = c.u64()?;
+                let raw = c.rest();
+                let mut bases = Vec::with_capacity(raw.len());
+                for &b in raw {
+                    match b {
+                        b'A' | b'C' | b'G' | b'T' => bases.push(b),
+                        b'a' | b'c' | b'g' | b't' => bases.push(b.to_ascii_uppercase()),
+                        other => return Err(WireError::BadBase(other)),
+                    }
+                }
+                Ok(Request::Map { req_id, bases })
+            }
+            0x02 => {
+                c.finish()?;
+                Ok(Request::Stats)
+            }
+            0x03 => {
+                c.finish()?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(WireError::UnknownOpcode(other)),
+        }
+    }
+}
+
+/// Per-read outcome classification on the wire (mirrors
+/// [`asmcap::MapStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStatus {
+    /// At least one candidate position.
+    Mapped,
+    /// Searched, no candidates.
+    Unmapped,
+    /// Longer than the row width; the prefix was searched.
+    Truncated,
+    /// Shorter than the row width; not searched.
+    Rejected,
+}
+
+impl WireStatus {
+    fn code(self) -> u8 {
+        match self {
+            WireStatus::Mapped => 0,
+            WireStatus::Unmapped => 1,
+            WireStatus::Truncated => 2,
+            WireStatus::Rejected => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        match code {
+            0 => Ok(WireStatus::Mapped),
+            1 => Ok(WireStatus::Unmapped),
+            2 => Ok(WireStatus::Truncated),
+            3 => Ok(WireStatus::Rejected),
+            _ => Err(WireError::Malformed("unknown map status code")),
+        }
+    }
+}
+
+impl From<asmcap::MapStatus> for WireStatus {
+    fn from(status: asmcap::MapStatus) -> Self {
+        match status {
+            asmcap::MapStatus::Mapped => WireStatus::Mapped,
+            asmcap::MapStatus::Unmapped => WireStatus::Unmapped,
+            asmcap::MapStatus::Truncated => WireStatus::Truncated,
+            asmcap::MapStatus::Rejected => WireStatus::Rejected,
+        }
+    }
+}
+
+/// One mapped read's reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapReply {
+    /// Echo of the request id.
+    pub req_id: u64,
+    /// Outcome classification.
+    pub status: WireStatus,
+    /// Microseconds the request waited in the coalescing queue.
+    pub queue_us: u32,
+    /// Microseconds its batch spent in the mapping core.
+    pub service_us: u32,
+    /// Device cycles the read consumed.
+    pub cycles: u64,
+    /// Search operations the read issued.
+    pub searches: u64,
+    /// Energy the read consumed, in joules.
+    pub energy_j: f64,
+    /// Candidate reference positions, ascending.
+    pub positions: Vec<u64>,
+}
+
+/// Why a request was turned away instead of mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The admission queue is at capacity.
+    QueueFull,
+    /// The queue is above its shed watermark and this read would need a
+    /// full reference scan (no prefilter shortlist) — the most expensive
+    /// class is degraded first.
+    Shed,
+}
+
+impl OverloadReason {
+    fn code(self) -> u8 {
+        match self {
+            OverloadReason::QueueFull => 0,
+            OverloadReason::Shed => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        match code {
+            0 => Ok(OverloadReason::QueueFull),
+            1 => Ok(OverloadReason::Shed),
+            _ => Err(WireError::Malformed("unknown overload reason code")),
+        }
+    }
+}
+
+/// Stable error codes carried by [`Response::ProtocolError`].
+pub mod error_code {
+    /// Frame length prefix above [`super::MAX_FRAME`].
+    pub const FRAME_TOO_LARGE: u8 = 1;
+    /// Zero-length frame.
+    pub const EMPTY_FRAME: u8 = 2;
+    /// Unknown opcode byte.
+    pub const UNKNOWN_OPCODE: u8 = 3;
+    /// Payload shape disagrees with its opcode.
+    pub const MALFORMED: u8 = 4;
+    /// A non-`ACGT` base byte in a map request.
+    pub const BAD_BASE: u8 = 5;
+    /// The server is at its connection cap.
+    pub const TOO_MANY_CONNECTIONS: u8 = 6;
+    /// Shutdown was requested but this server forbids remote shutdown.
+    pub const SHUTDOWN_FORBIDDEN: u8 = 7;
+}
+
+/// The aggregate counters a [`Response::Stats`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerCounters {
+    /// Map requests accepted into the queue.
+    pub accepted: u64,
+    /// Map responses sent with status `Mapped`.
+    pub mapped: u64,
+    /// Map responses sent with status `Unmapped`.
+    pub unmapped: u64,
+    /// Map responses sent with status `Truncated`.
+    pub truncated: u64,
+    /// Map responses sent with status `Rejected`.
+    pub rejected: u64,
+    /// Requests refused with [`OverloadReason::QueueFull`].
+    pub overloaded: u64,
+    /// Requests refused with [`OverloadReason::Shed`].
+    pub shed: u64,
+    /// Batches drained through the pipeline.
+    pub batches: u64,
+    /// Reads drained inside those batches.
+    pub batched_reads: u64,
+    /// Connections dropped for protocol errors or undeliverable replies
+    /// (slow readers).
+    pub dropped_connections: u64,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One read's mapping result.
+    Map(MapReply),
+    /// The request was turned away; no mapping was attempted.
+    Overload {
+        /// Echo of the request id.
+        req_id: u64,
+        /// Why it was refused.
+        reason: OverloadReason,
+    },
+    /// The previous frame could not be honoured; the server closes the
+    /// connection after sending this.
+    ProtocolError {
+        /// One of [`error_code`]'s constants.
+        code: u8,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Aggregate server counters.
+    Stats(ServerCounters),
+    /// Shutdown acknowledged; the server stops accepting work.
+    ShutdownAck,
+}
+
+impl Response {
+    /// Encodes into a payload (no length prefix).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Map(reply) => {
+                let mut out = Vec::with_capacity(1 + 8 + 1 + 4 + 4 + 8 + 8 + 8 + 4);
+                out.push(0x81);
+                out.extend_from_slice(&reply.req_id.to_le_bytes());
+                out.push(reply.status.code());
+                out.extend_from_slice(&reply.queue_us.to_le_bytes());
+                out.extend_from_slice(&reply.service_us.to_le_bytes());
+                out.extend_from_slice(&reply.cycles.to_le_bytes());
+                out.extend_from_slice(&reply.searches.to_le_bytes());
+                out.extend_from_slice(&reply.energy_j.to_le_bytes());
+                out.extend_from_slice(&(reply.positions.len() as u32).to_le_bytes());
+                for position in &reply.positions {
+                    out.extend_from_slice(&position.to_le_bytes());
+                }
+                out
+            }
+            Response::Overload { req_id, reason } => {
+                let mut out = Vec::with_capacity(10);
+                out.push(0x82);
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.push(reason.code());
+                out
+            }
+            Response::ProtocolError { code, detail } => {
+                let mut out = Vec::with_capacity(2 + detail.len());
+                out.push(0x83);
+                out.push(*code);
+                out.extend_from_slice(detail.as_bytes());
+                out
+            }
+            Response::Stats(counters) => {
+                let mut out = Vec::with_capacity(1 + 10 * 8);
+                out.push(0x84);
+                for field in [
+                    counters.accepted,
+                    counters.mapped,
+                    counters.unmapped,
+                    counters.truncated,
+                    counters.rejected,
+                    counters.overloaded,
+                    counters.shed,
+                    counters.batches,
+                    counters.batched_reads,
+                    counters.dropped_connections,
+                ] {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+                out
+            }
+            Response::ShutdownAck => vec![0x85],
+        }
+    }
+
+    /// Decodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for empty payloads, unknown opcodes, short or
+    /// oversized fields, and invalid enum codes.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(payload);
+        let opcode = c.u8().map_err(|_| WireError::EmptyFrame)?;
+        match opcode {
+            0x81 => {
+                let req_id = c.u64()?;
+                let status = WireStatus::from_code(c.u8()?)?;
+                let queue_us = c.u32()?;
+                let service_us = c.u32()?;
+                let cycles = c.u64()?;
+                let searches = c.u64()?;
+                let energy_j = c.f64()?;
+                let count = c.u32()? as usize;
+                if count.checked_mul(8) != Some(c.bytes.len()) {
+                    return Err(WireError::Malformed(
+                        "position count disagrees with payload size",
+                    ));
+                }
+                let mut positions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    positions.push(c.u64()?);
+                }
+                c.finish()?;
+                Ok(Response::Map(MapReply {
+                    req_id,
+                    status,
+                    queue_us,
+                    service_us,
+                    cycles,
+                    searches,
+                    energy_j,
+                    positions,
+                }))
+            }
+            0x82 => {
+                let req_id = c.u64()?;
+                let reason = OverloadReason::from_code(c.u8()?)?;
+                c.finish()?;
+                Ok(Response::Overload { req_id, reason })
+            }
+            0x83 => {
+                let code = c.u8()?;
+                let detail = String::from_utf8_lossy(c.rest()).into_owned();
+                Ok(Response::ProtocolError { code, detail })
+            }
+            0x84 => {
+                let counters = ServerCounters {
+                    accepted: c.u64()?,
+                    mapped: c.u64()?,
+                    unmapped: c.u64()?,
+                    truncated: c.u64()?,
+                    rejected: c.u64()?,
+                    overloaded: c.u64()?,
+                    shed: c.u64()?,
+                    batches: c.u64()?,
+                    batched_reads: c.u64()?,
+                    dropped_connections: c.u64()?,
+                };
+                c.finish()?;
+                Ok(Response::Stats(counters))
+            }
+            0x85 => {
+                c.finish()?;
+                Ok(Response::ShutdownAck)
+            }
+            other => Err(WireError::UnknownOpcode(other)),
+        }
+    }
+}
+
+/// The [`Response::ProtocolError`] a [`WireError`] maps to, if the error
+/// is the client's fault (malformed input). I/O-shaped errors return
+/// `None` — there is nobody left to answer.
+#[must_use]
+pub fn error_response(error: &WireError) -> Option<Response> {
+    let code = match error {
+        WireError::FrameTooLarge { .. } => error_code::FRAME_TOO_LARGE,
+        WireError::EmptyFrame => error_code::EMPTY_FRAME,
+        WireError::UnknownOpcode(_) => error_code::UNKNOWN_OPCODE,
+        WireError::Malformed(_) => error_code::MALFORMED,
+        WireError::BadBase(_) => error_code::BAD_BASE,
+        WireError::Disconnected | WireError::TruncatedFrame | WireError::Io(_) => return None,
+    };
+    Some(Response::ProtocolError {
+        code,
+        detail: error.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let requests = [
+            Request::Map {
+                req_id: 0xDEAD_BEEF_0042,
+                bases: b"ACGTACGT".to_vec(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn lowercase_bases_normalize() {
+        let decoded = Request::decode(
+            &Request::Map {
+                req_id: 1,
+                bases: b"acgt".to_vec(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        assert_eq!(
+            decoded,
+            Request::Map {
+                req_id: 1,
+                bases: b"ACGT".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let responses = [
+            Response::Map(MapReply {
+                req_id: 7,
+                status: WireStatus::Mapped,
+                queue_us: 120,
+                service_us: 450,
+                cycles: 9,
+                searches: 8,
+                energy_j: 1.5e-9,
+                positions: vec![0, 64, 4096],
+            }),
+            Response::Overload {
+                req_id: 9,
+                reason: OverloadReason::Shed,
+            },
+            Response::ProtocolError {
+                code: error_code::BAD_BASE,
+                detail: "byte 0x51 is not an ACGT base".to_string(),
+            },
+            Response::Stats(ServerCounters {
+                accepted: 10,
+                mapped: 6,
+                unmapped: 2,
+                truncated: 1,
+                rejected: 1,
+                overloaded: 3,
+                shed: 2,
+                batches: 4,
+                batched_reads: 10,
+                dropped_connections: 1,
+            }),
+            Response::ShutdownAck,
+        ];
+        for response in responses {
+            assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert_eq!(Request::decode(&[]), Err(WireError::EmptyFrame));
+        assert_eq!(
+            Request::decode(&[0x7F]),
+            Err(WireError::UnknownOpcode(0x7F))
+        );
+        assert_eq!(
+            Request::decode(&[0x01, 1, 2, 3]),
+            Err(WireError::Malformed("payload shorter than its fields"))
+        );
+        assert_eq!(
+            Request::decode(
+                &Request::Map {
+                    req_id: 1,
+                    bases: b"ACGQ".to_vec(),
+                }
+                .encode()
+            ),
+            Err(WireError::BadBase(b'Q'))
+        );
+        assert_eq!(
+            Request::decode(&[0x02, 0xFF]),
+            Err(WireError::Malformed("trailing bytes after the last field"))
+        );
+        assert_eq!(Response::decode(&[]), Err(WireError::EmptyFrame));
+        // A map reply whose position count overruns the payload.
+        let mut evil = Response::Map(MapReply {
+            req_id: 1,
+            status: WireStatus::Mapped,
+            queue_us: 0,
+            service_us: 0,
+            cycles: 0,
+            searches: 0,
+            energy_j: 0.0,
+            positions: vec![1],
+        })
+        .encode();
+        let count_at = evil.len() - 8 - 4;
+        evil[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&evil),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut reader = buf.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut reader), Err(WireError::Disconnected));
+
+        // Oversized prefix is refused before allocation.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut evil.as_slice()),
+            Err(WireError::FrameTooLarge {
+                declared: u64::from(u32::MAX)
+            })
+        );
+
+        // Truncated payload and truncated prefix are distinct from clean EOF.
+        let mut short = Vec::new();
+        write_frame(&mut short, b"hello").unwrap();
+        short.truncate(6);
+        assert_eq!(
+            read_frame(&mut short.as_slice()),
+            Err(WireError::TruncatedFrame)
+        );
+        assert_eq!(
+            read_frame(&mut [0u8, 0].as_slice()),
+            Err(WireError::TruncatedFrame)
+        );
+    }
+
+    #[test]
+    fn client_fault_errors_map_to_responses() {
+        assert!(error_response(&WireError::BadBase(b'Z')).is_some());
+        assert!(error_response(&WireError::EmptyFrame).is_some());
+        assert!(error_response(&WireError::FrameTooLarge { declared: 1 << 30 }).is_some());
+        assert!(error_response(&WireError::Disconnected).is_none());
+        assert!(error_response(&WireError::Io(std::io::ErrorKind::BrokenPipe)).is_none());
+    }
+}

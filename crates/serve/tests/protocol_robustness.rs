@@ -1,0 +1,307 @@
+//! Wire-protocol robustness: malformed, truncated, oversized, and
+//! abruptly-terminated traffic must come back as typed errors (or typed
+//! error responses from a live server) — never a panic, never a wedged
+//! connection, never a corrupted neighbor.
+
+use std::io::Write as _;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use asmcap::{AsmcapPipeline, BackendKind, PipelineConfig, PrefilterConfig};
+use asmcap_genome::{DnaSeq, GenomeModel};
+use asmcap_serve::{
+    read_frame, MapClient, Request, Response, Server, ServerConfig, WireError, MAX_FRAME,
+};
+
+const WIDTH: usize = 128;
+
+fn test_genome() -> DnaSeq {
+    GenomeModel::uniform().generate(8_192, 7)
+}
+
+fn spawn_server() -> Server {
+    let pipeline = AsmcapPipeline::builder()
+        .reference(test_genome())
+        .config(PipelineConfig {
+            threshold: 6,
+            stride: 8,
+            row_width: WIDTH,
+            prefilter: Some(PrefilterConfig::default()),
+            ..PipelineConfig::default()
+        })
+        .backend(BackendKind::Device)
+        .workers(2)
+        .build()
+        .expect("test pipeline builds");
+    Server::spawn(pipeline, ServerConfig::default()).expect("server spawns")
+}
+
+/// Reads one response frame off a raw socket.
+fn recv_response(stream: &mut TcpStream) -> Result<Response, WireError> {
+    Response::decode(&read_frame(stream)?)
+}
+
+// ---------------------------------------------------------------- codec
+
+#[test]
+fn truncated_frames_decode_to_typed_errors() {
+    // A frame cut off mid-prefix.
+    let mut short_prefix: &[u8] = &[0x05, 0x00];
+    assert!(matches!(
+        read_frame(&mut short_prefix),
+        Err(WireError::TruncatedFrame)
+    ));
+    // A frame cut off mid-payload.
+    let mut short_payload: &[u8] = &[0x05, 0x00, 0x00, 0x00, 0x01, 0x02];
+    assert!(matches!(
+        read_frame(&mut short_payload),
+        Err(WireError::TruncatedFrame)
+    ));
+    // A cleanly absent frame is a disconnect, not a truncation.
+    let mut empty: &[u8] = &[];
+    assert!(matches!(
+        read_frame(&mut empty),
+        Err(WireError::Disconnected)
+    ));
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let mut huge = Vec::new();
+    huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+    huge.extend_from_slice(&[0u8; 16]);
+    let mut cursor: &[u8] = &huge;
+    match read_frame(&mut cursor) {
+        Err(WireError::FrameTooLarge { declared }) => {
+            assert_eq!(declared as usize, u32::MAX as usize);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_payloads_decode_to_typed_errors() {
+    assert!(matches!(Request::decode(&[]), Err(WireError::EmptyFrame)));
+    assert!(matches!(
+        Request::decode(&[0x7F]),
+        Err(WireError::UnknownOpcode(0x7F))
+    ));
+    // Map request with a short req_id field.
+    assert!(matches!(
+        Request::decode(&[0x01, 1, 2, 3]),
+        Err(WireError::Malformed(_))
+    ));
+    // Map request with a non-ACGT base.
+    let mut bad = vec![0x01];
+    bad.extend_from_slice(&42u64.to_le_bytes());
+    bad.extend_from_slice(b"ACGZ");
+    assert!(matches!(Request::decode(&bad), Err(WireError::BadBase(_))));
+    // Response-side: map reply whose position count disagrees with the
+    // remaining bytes.
+    let mut lying = vec![0x81];
+    lying.extend_from_slice(&1u64.to_le_bytes()); // req_id
+    lying.push(0); // status
+    lying.extend_from_slice(&0u32.to_le_bytes()); // queue_us
+    lying.extend_from_slice(&0u32.to_le_bytes()); // service_us
+    lying.extend_from_slice(&0u64.to_le_bytes()); // cycles
+    lying.extend_from_slice(&0u64.to_le_bytes()); // searches
+    lying.extend_from_slice(&0f64.to_le_bytes()); // energy_j
+    lying.extend_from_slice(&5u32.to_le_bytes()); // claims 5 positions
+    lying.extend_from_slice(&7u64.to_le_bytes()); // provides 1
+    assert!(matches!(
+        Response::decode(&lying),
+        Err(WireError::Malformed(_))
+    ));
+}
+
+#[test]
+fn request_roundtrip_through_frames_is_lossless() {
+    let requests = [
+        Request::Map {
+            req_id: u64::MAX,
+            bases: b"ACGTACGT".to_vec(),
+        },
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    for request in &requests {
+        let framed = request.encode_framed();
+        let mut cursor: &[u8] = &framed;
+        let payload = read_frame(&mut cursor).expect("framed request reads back");
+        assert_eq!(&Request::decode(&payload).expect("decodes"), request);
+    }
+}
+
+// ---------------------------------------------------------------- server
+
+#[test]
+fn server_answers_oversized_frames_with_a_typed_error() {
+    let server = spawn_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout set");
+    // Declare a frame bigger than MAX_FRAME; send nothing else.
+    stream
+        .write_all(&((MAX_FRAME + 1) as u32).to_le_bytes())
+        .expect("prefix written");
+    match recv_response(&mut stream).expect("typed response arrives") {
+        Response::ProtocolError { code, .. } => {
+            assert_eq!(code, asmcap_serve::error_code::FRAME_TOO_LARGE);
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    drop(stream);
+    // The offender was dropped for cause; the server is still alive for
+    // well-behaved clients.
+    let mut client = MapClient::connect(server.local_addr()).expect("connects");
+    let counters = client.stats().expect("stats still served");
+    assert_eq!(counters.dropped_connections, 1);
+}
+
+#[test]
+fn server_answers_garbage_opcodes_and_bad_bases_with_typed_errors() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+
+    // Unknown opcode.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout set");
+    stream
+        .write_all(&[1u8, 0, 0, 0, 0x7F])
+        .expect("frame written");
+    match recv_response(&mut stream).expect("typed response arrives") {
+        Response::ProtocolError { code, .. } => {
+            assert_eq!(code, asmcap_serve::error_code::UNKNOWN_OPCODE);
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    drop(stream);
+
+    // Bad base in an otherwise well-formed map request.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout set");
+    let mut payload = vec![0x01];
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload.extend_from_slice(b"ACGTN");
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame).expect("frame written");
+    match recv_response(&mut stream).expect("typed response arrives") {
+        Response::ProtocolError { code, .. } => {
+            assert_eq!(code, asmcap_serve::error_code::BAD_BASE);
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+
+    // Either way, mapping still works on a fresh connection.
+    let genome = test_genome();
+    let mut client = MapClient::connect(addr).expect("connects");
+    let response = client
+        .map_one(1, genome.window(320..320 + WIDTH).to_string().as_bytes())
+        .expect("map request answered");
+    match response {
+        Response::Map(reply) => assert!(reply.positions.contains(&320)),
+        other => panic!("expected a map reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn mid_stream_disconnects_leave_the_server_serving() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+    let genome = test_genome();
+    let bases = genome.window(0..WIDTH).to_string().into_bytes();
+
+    for _ in 0..8 {
+        // Half a frame, then a hard close.
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        let frame = Request::Map {
+            req_id: 1,
+            bases: bases.clone(),
+        }
+        .encode_framed();
+        stream
+            .write_all(&frame[..frame.len() / 2])
+            .expect("half frame written");
+        stream.shutdown(Shutdown::Both).expect("hard close");
+    }
+    // Requests already admitted before a disconnect are still mapped and
+    // the server keeps serving everyone else.
+    let mut client = MapClient::connect(addr).expect("connects");
+    let response = client.map_one(99, &bases).expect("map request answered");
+    assert!(matches!(response, Response::Map(_)));
+}
+
+#[test]
+fn remote_shutdown_is_refused_unless_enabled() {
+    let server = spawn_server(); // default: remote shutdown not allowed
+    let mut client = MapClient::connect(server.local_addr()).expect("connects");
+    client.send(&Request::Shutdown).expect("request sent");
+    match client.recv().expect("typed response arrives") {
+        Response::ProtocolError { code, .. } => {
+            assert_eq!(code, asmcap_serve::error_code::SHUTDOWN_FORBIDDEN);
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    // Connection still usable afterwards.
+    let counters = client.stats().expect("stats still served");
+    assert_eq!(counters.batches, counters.batches); // shape check only
+}
+
+#[test]
+fn zero_length_frames_get_a_typed_error() {
+    let server = spawn_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout set");
+    stream.write_all(&0u32.to_le_bytes()).expect("empty frame");
+    match recv_response(&mut stream).expect("typed response arrives") {
+        Response::ProtocolError { .. } => {}
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn shutdown_drains_admitted_work_before_closing() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+    let genome = test_genome();
+    let bases = genome.window(640..640 + WIDTH).to_string().into_bytes();
+
+    // Pipeline a burst of requests, then immediately shut the server
+    // down from this side. Every admitted request must still be
+    // answered before the socket closes.
+    let client = MapClient::connect(addr).expect("connects");
+    let (mut tx, mut rx) = client.into_split().expect("splits");
+    const N: u64 = 64;
+    for i in 0..N {
+        tx.send(&Request::Map {
+            req_id: i,
+            bases: bases.clone(),
+        })
+        .expect("request queued");
+    }
+    tx.finish().expect("flushed and half-closed");
+    let mut answered = 0u64;
+    loop {
+        match rx.recv() {
+            Ok(Response::Map(_)) | Ok(Response::Overload { .. }) => answered += 1,
+            Ok(other) => panic!("unexpected response {other:?}"),
+            Err(WireError::Disconnected) => break,
+            Err(e) => panic!("wire error while draining: {e}"),
+        }
+        if answered == N {
+            break;
+        }
+    }
+    assert_eq!(answered, N, "admitted requests lost at shutdown");
+    let counters = server.shutdown();
+    assert_eq!(counters.accepted, N);
+    assert_eq!(counters.mapped + counters.unmapped, N);
+}

@@ -72,6 +72,65 @@ fn packed_batch_entry_point_is_byte_identical() {
     }
 }
 
+/// Batch dispatch is the default device path: a whole tile drains
+/// through `MappingBackend::map_batch_shortlisted` and the device's
+/// array-by-array batch kernel. This pins it byte-identical to per-read
+/// dispatch — same records, same aggregated stats, same RNG draw order —
+/// at workers 1, 2, and 8, with and without the prefilter.
+#[test]
+fn batch_dispatch_matches_per_read_dispatch() {
+    use asmcap_genome::PrefilterConfig;
+    let genome = GenomeModel::uniform().generate(16_384, 29);
+    let reads = workload(&genome, ErrorProfile::condition_a());
+    let packed: Vec<PackedSeq> = reads.iter().map(PackedSeq::from_seq).collect();
+    for prefilter in [None, Some(PrefilterConfig::default())] {
+        let build = |workers: usize| {
+            let mut builder = AsmcapPipeline::builder()
+                .reference(genome.clone())
+                .config(PipelineConfig {
+                    row_width: WIDTH,
+                    seed: 0xA5,
+                    ..PipelineConfig::paper(6, ErrorProfile::condition_a())
+                })
+                .backend(BackendKind::Device)
+                .workers(workers);
+            if let Some(config) = prefilter {
+                builder = builder.prefilter(config);
+            }
+            builder.build().expect("pipeline builds")
+        };
+        // Per-read dispatch on a fresh pipeline: the running counter
+        // hands out indices 0..n exactly as one batch would.
+        let per_read_pipeline = build(1);
+        let per_read: Vec<MapRecord> = packed
+            .iter()
+            .map(|read| per_read_pipeline.map_packed(read))
+            .collect();
+        let per_read_stats = per_read_pipeline.stats();
+        for workers in [1usize, 2, 8] {
+            let batch_pipeline = build(workers);
+            let batched = batch_pipeline.map_batch_packed(&packed);
+            assert_eq!(
+                batched,
+                per_read,
+                "batch dispatch diverged from per-read dispatch at \
+                 {workers} workers (prefilter: {})",
+                prefilter.is_some()
+            );
+            let mut stats = batch_pipeline.stats();
+            // Wall-clock is the one legitimately dispatch-dependent field.
+            stats.wall_s = per_read_stats.wall_s;
+            assert_eq!(
+                stats,
+                per_read_stats,
+                "batch stats diverged from per-read stats at {workers} \
+                 workers (prefilter: {})",
+                prefilter.is_some()
+            );
+        }
+    }
+}
+
 /// The trait's mutual defaults: a backend reached through `map_seeded`
 /// (slice) and through `map_packed` (words) makes identical decisions and
 /// draws identical noise.

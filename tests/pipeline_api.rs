@@ -168,6 +168,86 @@ fn skewed_shortlists_stay_worker_count_invariant() {
 }
 
 #[test]
+fn indexed_batch_with_sequential_indices_matches_counter_dispatch() {
+    // `map_batch_packed_indexed` with indices 0..n is exactly what the
+    // running counter hands a fresh pipeline's first batch — records and
+    // stats must agree at every worker count.
+    use asmcap_genome::{PackedSeq, PrefilterConfig};
+    let genome = GenomeModel::uniform().generate(16_384, 33);
+    let packed: Vec<PackedSeq> = workload(&genome).iter().map(PackedSeq::from_seq).collect();
+    let indices: Vec<u64> = (0..packed.len() as u64).collect();
+    let build = |workers: usize| {
+        AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(config(6))
+            .prefilter(PrefilterConfig::default())
+            .backend(BackendKind::Device)
+            .workers(workers)
+            .build()
+            .expect("pipeline builds")
+    };
+    let counter_pipeline = build(1);
+    let counter_records = counter_pipeline.map_batch_packed(&packed);
+    let counter_stats = counter_pipeline.stats();
+    for workers in [1usize, 2, 8] {
+        let indexed_pipeline = build(workers);
+        let indexed = indexed_pipeline.map_batch_packed_indexed(&packed, &indices);
+        assert_eq!(
+            indexed, counter_records,
+            "explicit indices 0..n diverged from counter dispatch at {workers} workers"
+        );
+        let mut stats = indexed_pipeline.stats();
+        stats.wall_s = counter_stats.wall_s;
+        assert_eq!(stats, counter_stats);
+        // The running counter was not consumed: the next counter-indexed
+        // read still starts at index 0.
+        let next = indexed_pipeline.map_packed(&packed[0]);
+        assert_eq!(next.index, 0, "indexed dispatch consumed the counter");
+    }
+}
+
+#[test]
+fn indexed_batch_records_depend_only_on_read_and_index() {
+    // The serving determinism rule: a record is a function of (read,
+    // index) alone — not of batch composition, position within the
+    // batch, or worker count. Map a workload in arrival order, then
+    // remap it reversed and split across two batches with the same
+    // indices, and compare record-by-record.
+    use asmcap_genome::{PackedSeq, PrefilterConfig};
+    let genome = GenomeModel::uniform().generate(16_384, 37);
+    let packed: Vec<PackedSeq> = workload(&genome).iter().map(PackedSeq::from_seq).collect();
+    // Sparse, out-of-order indices, as client request ids would be.
+    let indices: Vec<u64> = (0..packed.len() as u64).map(|i| 1_000 + 7 * i).collect();
+    let build = |workers: usize| {
+        AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(config(6))
+            .prefilter(PrefilterConfig::default())
+            .backend(BackendKind::Device)
+            .workers(workers)
+            .build()
+            .expect("pipeline builds")
+    };
+    let forward = build(1).map_batch_packed_indexed(&packed, &indices);
+    for workers in [1usize, 2, 8] {
+        let pipeline = build(workers);
+        let reversed_reads: Vec<PackedSeq> = packed.iter().rev().cloned().collect();
+        let reversed_indices: Vec<u64> = indices.iter().rev().copied().collect();
+        let split = reversed_reads.len() / 3;
+        let mut reordered =
+            pipeline.map_batch_packed_indexed(&reversed_reads[..split], &reversed_indices[..split]);
+        reordered.extend(
+            pipeline.map_batch_packed_indexed(&reversed_reads[split..], &reversed_indices[split..]),
+        );
+        reordered.reverse();
+        assert_eq!(
+            reordered, forward,
+            "records changed with batch composition at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn map_iter_streams_the_same_records() {
     let genome = GenomeModel::uniform().generate(8_192, 22);
     let reads = workload(&genome);
