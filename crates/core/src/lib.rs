@@ -69,6 +69,7 @@ pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod executor;
+pub mod extension;
 pub mod fragment;
 pub mod hdac;
 pub mod mapper;
@@ -82,6 +83,7 @@ pub use backend::{
 };
 pub use config::{AsmcapConfig, EdamConfig};
 pub use engine::{AsmcapEngine, EdamEngine};
+pub use extension::ExtensionConfig;
 pub use fragment::{FragmentConfig, LongReadMapper, LongReadMapping};
 pub use hdac::{Hdac, HdacParams};
 pub use mapper::{MappedRead, MapperConfig};
@@ -96,6 +98,11 @@ pub use tasr::{RotationSchedule, Tasr, TasrParams};
 // artefact, like the packing); re-exported here because the pipeline
 // config embeds them.
 pub use asmcap_genome::{PrefilterConfig, PrefilterError, PrefilterIndex, Shortlist};
+
+// The alignment types live in `asmcap-metrics` (the traceback is a metric
+// artefact, like the distances); re-exported here because `MapRecord`
+// embeds them when the extension stage is armed.
+pub use asmcap_metrics::{Alignment, Cigar};
 
 #[allow(deprecated)]
 pub use mapper::ReadMapper;

@@ -45,6 +45,7 @@
 //! ```
 
 use crate::backend::{BackendOutcome, DeviceBackend, MappingBackend, PairBackend, SoftwareBackend};
+use crate::extension::{ExtensionConfig, ExtensionStage};
 use crate::hdac::HdacParams;
 use crate::mapper::MapperConfig;
 use crate::tasr::TasrParams;
@@ -52,6 +53,7 @@ use asmcap_arch::DeviceBuilder;
 use asmcap_genome::{
     DnaSeq, ErrorProfile, PackedRef, PackedSeq, PrefilterConfig, PrefilterError, PrefilterIndex,
 };
+use asmcap_metrics::Alignment;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +87,14 @@ pub struct PipelineConfig {
     /// reach the matching kernels (recall pinned by
     /// `tests/prefilter_equivalence.rs`).
     pub prefilter: Option<PrefilterConfig>,
+    /// Extension/alignment stage, or `None` (the default) to stop at
+    /// candidate positions. With `Some` each record's best candidate
+    /// origins are re-aligned with the banded bit-vector traceback and the
+    /// winning [`Alignment`] is attached to the record. The stage is pure
+    /// DP: arming it changes *only* [`MapRecord::alignment`] — every other
+    /// field stays byte-identical to an extension-off run (pinned by
+    /// `tests/packed_equivalence.rs`).
+    pub extension: Option<ExtensionConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -102,6 +112,7 @@ impl Default for PipelineConfig {
             rows_per_array: 256,
             seed: 0,
             prefilter: None,
+            extension: None,
         }
     }
 }
@@ -268,6 +279,10 @@ pub struct MapRecord {
     pub searches: u64,
     /// Energy this read consumed, in joules.
     pub energy_j: f64,
+    /// Best candidate alignment (origin, score, CIGAR), present only when
+    /// the extension stage is armed and a candidate aligned within the
+    /// band. Always `None` with extension off.
+    pub alignment: Option<Alignment>,
 }
 
 impl MapRecord {
@@ -298,6 +313,9 @@ pub struct PipelineStats {
     pub searches: u64,
     /// Total energy in joules.
     pub energy_j: f64,
+    /// Reads that received an alignment from the extension stage (always
+    /// zero with extension off).
+    pub aligned: u64,
     /// Host wall-clock spent inside `map`/`map_batch`, in seconds.
     pub wall_s: f64,
 }
@@ -314,6 +332,9 @@ impl PipelineStats {
         self.cycles += record.cycles;
         self.searches += record.searches;
         self.energy_j += record.energy_j;
+        if record.alignment.is_some() {
+            self.aligned += 1;
+        }
     }
 }
 
@@ -416,6 +437,41 @@ impl PipelineBuilder {
         self
     }
 
+    /// Arms the extension/alignment stage: after the matching kernels,
+    /// each record's best candidate origins are re-aligned against the
+    /// packed reference with the GenASM-style banded bit-vector traceback
+    /// and the winning [`Alignment`] is attached to the record. Equivalent
+    /// to setting [`PipelineConfig::extension`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use asmcap::{AsmcapPipeline, ExtensionConfig, PipelineConfig};
+    /// use asmcap_genome::GenomeModel;
+    ///
+    /// let genome = GenomeModel::uniform().generate(4_096, 1);
+    /// let pipeline = AsmcapPipeline::builder()
+    ///     .reference(genome.clone())
+    ///     .config(PipelineConfig {
+    ///         threshold: 2,
+    ///         row_width: 64,
+    ///         ..PipelineConfig::default()
+    ///     })
+    ///     .extension(ExtensionConfig::default())
+    ///     .build()?;
+    /// let record = pipeline.map(&genome.window(777..841));
+    /// let alignment = record.alignment.expect("exact window aligns");
+    /// assert_eq!(alignment.origin, 777);
+    /// assert_eq!(alignment.score, 0);
+    /// assert_eq!(alignment.cigar.to_string(), "64=");
+    /// # Ok::<(), asmcap::PipelineError>(())
+    /// ```
+    #[must_use]
+    pub fn extension(mut self, extension: ExtensionConfig) -> Self {
+        self.config.extension = Some(extension);
+        self
+    }
+
     /// A user-supplied backend, overriding [`PipelineBuilder::backend`].
     /// The backend's row width replaces the configured one.
     #[must_use]
@@ -470,54 +526,70 @@ impl PipelineBuilder {
                 })
                 .transpose()
         };
-        let (backend, prefilter): (Box<dyn MappingBackend>, Option<PrefilterIndex>) =
-            if let Some(custom) = self.custom {
-                let prefilter = if config.prefilter.is_some() {
-                    validate(self.reference.as_ref(), custom.row_width())?;
-                    build_prefilter(
-                        self.reference.as_ref().expect("validated above"),
-                        custom.row_width(),
-                    )?
-                } else {
-                    None
-                };
-                (custom, prefilter)
+        // Builds the extension stage over the same packed reference; the
+        // band derives from the threshold unless set explicitly.
+        let build_extension = |reference: &DnaSeq, width: usize| -> Option<ExtensionStage> {
+            config
+                .extension
+                .map(|extension| ExtensionStage::new(reference, width, config.threshold, extension))
+        };
+        let (backend, prefilter, extension): (
+            Box<dyn MappingBackend>,
+            Option<PrefilterIndex>,
+            Option<ExtensionStage>,
+        ) = if let Some(custom) = self.custom {
+            let width = custom.row_width();
+            // Both optional stages need the reference; a custom backend
+            // alone does not.
+            let (prefilter, extension) = if config.prefilter.is_some() || config.extension.is_some()
+            {
+                validate(self.reference.as_ref(), width)?;
+                let reference = self.reference.as_ref().expect("validated above");
+                (
+                    build_prefilter(reference, width)?,
+                    build_extension(reference, width),
+                )
             } else {
-                validate(self.reference.as_ref(), config.row_width)?;
-                let reference = self.reference.expect("validated above");
-                let prefilter = build_prefilter(&reference, config.row_width)?;
-                let backend: Box<dyn MappingBackend> = match self.kind {
-                    BackendKind::Device => {
-                        let rows = crate::backend::segment_count(
-                            reference.len(),
-                            config.row_width,
-                            config.stride,
-                        );
-                        let mut device = DeviceBuilder::new()
-                            .arrays(rows.div_ceil(config.rows_per_array))
-                            .rows_per_array(config.rows_per_array)
-                            .row_width(config.row_width)
-                            .build_asmcap();
-                        device
-                            .store_reference(&reference, config.stride)
-                            .map_err(PipelineError::Capacity)?;
-                        Box::new(DeviceBackend::new(device, config.mapper()))
-                    }
-                    BackendKind::Pair => Box::new(PairBackend::new(
-                        reference,
-                        config.stride,
-                        config.row_width,
-                        config.mapper(),
-                    )),
-                    BackendKind::Software => Box::new(SoftwareBackend::new(
-                        reference,
-                        config.stride,
-                        config.row_width,
-                        config.threshold,
-                    )),
-                };
-                (backend, prefilter)
+                (None, None)
             };
+            (custom, prefilter, extension)
+        } else {
+            validate(self.reference.as_ref(), config.row_width)?;
+            let reference = self.reference.expect("validated above");
+            let prefilter = build_prefilter(&reference, config.row_width)?;
+            let extension = build_extension(&reference, config.row_width);
+            let backend: Box<dyn MappingBackend> = match self.kind {
+                BackendKind::Device => {
+                    let rows = crate::backend::segment_count(
+                        reference.len(),
+                        config.row_width,
+                        config.stride,
+                    );
+                    let mut device = DeviceBuilder::new()
+                        .arrays(rows.div_ceil(config.rows_per_array))
+                        .rows_per_array(config.rows_per_array)
+                        .row_width(config.row_width)
+                        .build_asmcap();
+                    device
+                        .store_reference(&reference, config.stride)
+                        .map_err(PipelineError::Capacity)?;
+                    Box::new(DeviceBackend::new(device, config.mapper()))
+                }
+                BackendKind::Pair => Box::new(PairBackend::new(
+                    reference,
+                    config.stride,
+                    config.row_width,
+                    config.mapper(),
+                )),
+                BackendKind::Software => Box::new(SoftwareBackend::new(
+                    reference,
+                    config.stride,
+                    config.row_width,
+                    config.threshold,
+                )),
+            };
+            (backend, prefilter, extension)
+        };
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -528,6 +600,7 @@ impl PipelineBuilder {
             width: backend.row_width(),
             backend,
             prefilter,
+            extension,
             workers,
             seed: config.seed,
             counter: AtomicU64::new(0),
@@ -542,6 +615,7 @@ impl PipelineBuilder {
 pub struct AsmcapPipeline {
     backend: Box<dyn MappingBackend>,
     prefilter: Option<PrefilterIndex>,
+    extension: Option<ExtensionStage>,
     width: usize,
     workers: usize,
     seed: u64,
@@ -554,6 +628,10 @@ impl fmt::Debug for AsmcapPipeline {
         f.debug_struct("AsmcapPipeline")
             .field("backend", &self.backend.name())
             .field("prefilter", &self.prefilter.as_ref().map(PrefilterIndex::k))
+            .field(
+                "extension",
+                &self.extension.as_ref().map(ExtensionStage::band),
+            )
             .field("row_width", &self.width)
             .field("workers", &self.workers)
             .field("seed", &self.seed)
@@ -591,6 +669,12 @@ impl AsmcapPipeline {
     #[must_use]
     pub fn prefilter(&self) -> Option<&PrefilterIndex> {
         self.prefilter.as_ref()
+    }
+
+    /// Whether the extension/alignment stage is armed.
+    #[must_use]
+    pub fn extension_armed(&self) -> bool {
+        self.extension.is_some()
     }
 
     /// Aggregated statistics across everything mapped so far.
@@ -674,6 +758,7 @@ impl AsmcapPipeline {
                 .map_batch_shortlisted(&searchable, &seeds, &shortlists)
         };
         let mut outcomes = outcomes.into_iter();
+        let mut queries = searchable.iter();
         reads
             .iter()
             .zip(indices)
@@ -687,11 +772,13 @@ impl AsmcapPipeline {
                         cycles: 0,
                         searches: 0,
                         energy_j: 0.0,
+                        alignment: None,
                     };
                 }
                 let outcome = outcomes
                     .next()
                     .expect("one backend outcome per searchable read");
+                let query = queries.next().expect("one query per searchable read");
                 let status = if read.len() > self.width {
                     MapStatus::Truncated
                 } else if outcome.positions.is_empty() {
@@ -699,6 +786,10 @@ impl AsmcapPipeline {
                 } else {
                     MapStatus::Mapped
                 };
+                let alignment = self
+                    .extension
+                    .as_ref()
+                    .and_then(|stage| stage.extend(query, &outcome.positions));
                 MapRecord {
                     index,
                     status,
@@ -706,6 +797,7 @@ impl AsmcapPipeline {
                     cycles: outcome.cycles,
                     searches: outcome.searches,
                     energy_j: outcome.energy_j,
+                    alignment,
                 }
             })
             .collect()
@@ -720,15 +812,14 @@ impl AsmcapPipeline {
                 cycles: 0,
                 searches: 0,
                 energy_j: 0.0,
+                alignment: None,
             };
         }
         let truncated = read.len() > self.width;
         let seed = read_seed(self.seed, index);
-        let outcome: BackendOutcome = if truncated {
-            self.dispatch(&read.window(0..self.width), seed)
-        } else {
-            self.dispatch(read, seed)
-        };
+        let prefix = (read.len() > self.width).then(|| read.window(0..self.width));
+        let query: &PackedSeq = prefix.as_ref().unwrap_or(read);
+        let outcome: BackendOutcome = self.dispatch(query, seed);
         let status = if truncated {
             MapStatus::Truncated
         } else if outcome.positions.is_empty() {
@@ -736,6 +827,10 @@ impl AsmcapPipeline {
         } else {
             MapStatus::Mapped
         };
+        let alignment = self
+            .extension
+            .as_ref()
+            .and_then(|stage| stage.extend(query, &outcome.positions));
         MapRecord {
             index,
             status,
@@ -743,6 +838,7 @@ impl AsmcapPipeline {
             cycles: outcome.cycles,
             searches: outcome.searches,
             energy_j: outcome.energy_j,
+            alignment,
         }
     }
 

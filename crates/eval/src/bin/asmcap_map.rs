@@ -20,15 +20,22 @@
 //!   --min-seed-hits N shortlist vote floor (default 2, implies --prefilter)
 //!   --max-candidates N  shortlist cap (default 64, implies --prefilter)
 //!   --no-prefilter-fallback  unmatched reads are NOT full-scanned
+//!   --extension       arm the alignment/extension stage (CIGAR traceback)
+//!   --ext-band B      traceback edit budget (default 2*T+2, implies
+//!                     --extension)
+//!   --ext-candidates N  origins aligned per read (default 4, implies
+//!                     --extension)
 //! ```
 //!
-//! Output columns: `read_id  n_candidates  positions(;)  cycles  status`.
-//! Reads longer than the row width are truncated and flagged `truncated`;
-//! shorter reads are flagged `rejected`; a run summary (including truncation
-//! counts) goes to stderr.
+//! Output columns: `read_id  n_candidates  positions(;)  cycles  status`;
+//! with `--extension` three SAM-ish columns follow: `aln_pos  aln_score
+//! cigar` (extended CIGAR with `=`/`X`/`I`/`D` runs, `*` when nothing
+//! aligned within the band). Reads longer than the row width are truncated
+//! and flagged `truncated`; shorter reads are flagged `rejected`; a run
+//! summary (including truncation and alignment counts) goes to stderr.
 
 use asmcap::{BackendKind, PipelineConfig};
-use asmcap_eval::cli::{map_records, TSV_HEADER};
+use asmcap_eval::cli::{map_records, TSV_HEADER, TSV_HEADER_EXTENDED};
 use asmcap_genome::{fasta, fastq, DnaSeq, ErrorProfile};
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -76,6 +83,7 @@ fn run() -> Result<(), String> {
         config.seed = n.parse().map_err(|_| format!("bad seed '{n}'"))?;
     }
     config.prefilter = parse_prefilter(&args)?;
+    config.extension = parse_extension(&args)?;
     let backend = match flag_value(&args, "--backend") {
         Some(name) => BackendKind::parse(&name)?,
         None => BackendKind::Device,
@@ -105,11 +113,19 @@ fn run() -> Result<(), String> {
         (reference, reads)
     };
 
+    let extended = config.extension.is_some();
     let run =
         map_records(&reference, &reads, &config, backend, workers).map_err(|e| e.to_string())?;
-    println!("{TSV_HEADER}");
+    println!(
+        "{}",
+        if extended {
+            TSV_HEADER_EXTENDED
+        } else {
+            TSV_HEADER
+        }
+    );
     for row in &run.rows {
-        println!("{row}");
+        println!("{}", row.to_tsv(extended));
     }
     eprintln!("{}", run.summary());
     Ok(())
@@ -153,6 +169,30 @@ fn parse_prefilter(args: &[String]) -> Result<Option<asmcap::PrefilterConfig>, S
         prefilter.full_scan_fallback = false;
     }
     Ok(Some(prefilter))
+}
+
+/// Parses the extension flag family. Any tuning flag arms the stage;
+/// plain `--extension` arms it with the default knobs.
+fn parse_extension(args: &[String]) -> Result<Option<asmcap::ExtensionConfig>, String> {
+    let tuning = ["--ext-band", "--ext-candidates"];
+    let armed = args.iter().any(|a| a == "--extension")
+        || args.iter().any(|a| tuning.contains(&a.as_str()));
+    if !armed {
+        return Ok(None);
+    }
+    let mut extension = asmcap::ExtensionConfig::default();
+    if let Some(b) = flag_value(args, "--ext-band") {
+        extension.band = Some(b.parse().map_err(|_| format!("bad extension band '{b}'"))?);
+    }
+    if let Some(n) = flag_value(args, "--ext-candidates") {
+        extension.max_candidates = n
+            .parse()
+            .map_err(|_| format!("bad extension candidate cap '{n}'"))?;
+        if extension.max_candidates == 0 {
+            return Err("extension candidate cap must be positive".into());
+        }
+    }
+    Ok(Some(extension))
 }
 
 fn demo_data(row_width: usize) -> (DnaSeq, Vec<fastq::FastqRecord>) {
@@ -204,9 +244,19 @@ options:
                     close the escape hatch: reads with an empty shortlist
                     come back unmapped instead of falling back to a full
                     scan
+  --extension       arm the extension/alignment stage: the best candidate
+                    origins are re-visited with a GenASM-style banded
+                    bit-vector traceback and the winning CIGAR transcript
+                    is emitted alongside the match columns
+  --ext-band B      edit budget for the banded traceback (default 2*T+2;
+                    implies --extension)
+  --ext-candidates N  candidate origins aligned per read (default 4;
+                    implies --extension)
   --demo            generate a reference and reads instead of reading files
 
 output (TSV): read_id  n_candidates  positions(;-separated, * if none)
               cycles  status(mapped|unmapped|truncated|rejected)
-a run summary, including truncated/rejected counts, is printed to stderr
+with --extension, three more columns: aln_pos  aln_score  cigar
+              (extended CIGAR of =/X/I/D runs; * * * when nothing aligned)
+a run summary, including truncated/rejected/aligned counts, goes to stderr
 ";

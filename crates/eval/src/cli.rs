@@ -88,6 +88,9 @@ pub struct MappingRow {
     pub positions: Vec<usize>,
     /// Search cycles spent on this read.
     pub cycles: u64,
+    /// Best candidate alignment from the extension stage (`None` when the
+    /// stage is off or nothing aligned within the band).
+    pub alignment: Option<asmcap::Alignment>,
 }
 
 impl fmt::Display for MappingRow {
@@ -118,6 +121,29 @@ impl fmt::Display for MappingRow {
 /// The TSV header matching [`MappingRow`]'s `Display`.
 pub const TSV_HEADER: &str = "#read_id\tn_candidates\tpositions\tcycles\tstatus";
 
+/// The extended TSV header matching [`MappingRow::to_tsv`] with the
+/// extension stage armed: the base columns plus the SAM-ish alignment
+/// triple (`aln_pos`, `aln_score`, `cigar` — `*` when nothing aligned).
+pub const TSV_HEADER_EXTENDED: &str =
+    "#read_id\tn_candidates\tpositions\tcycles\tstatus\taln_pos\taln_score\tcigar";
+
+impl MappingRow {
+    /// Renders the row as TSV. With `extended` the base columns are
+    /// followed by `aln_pos`, `aln_score`, and the extended CIGAR
+    /// (`=`/`X`/`I`/`D` runs), or `*\t*\t*` when no alignment was
+    /// produced — pair with [`TSV_HEADER_EXTENDED`].
+    #[must_use]
+    pub fn to_tsv(&self, extended: bool) -> String {
+        if !extended {
+            return self.to_string();
+        }
+        match &self.alignment {
+            Some(alignment) => format!("{self}\t{alignment}"),
+            None => format!("{self}\t*\t*\t*"),
+        }
+    }
+}
+
 /// A whole mapping run: per-read rows plus the aggregated statistics.
 #[derive(Debug, Clone)]
 pub struct MapRun {
@@ -137,7 +163,7 @@ impl MapRun {
         } else {
             0.0
         };
-        format!(
+        let mut summary = format!(
             "reads: {} (mapped {}, unmapped {}, truncated {}, rejected {})\n\
              device: {} cycles, {} searches, {:.2} uJ\n\
              host: {:.3} s wall, {:.0} reads/s",
@@ -151,7 +177,11 @@ impl MapRun {
             s.energy_j * 1e6,
             s.wall_s,
             throughput
-        )
+        );
+        if s.aligned > 0 {
+            summary.push_str(&format!("\nextension: {} reads aligned", s.aligned));
+        }
+        summary
     }
 }
 
@@ -190,6 +220,7 @@ pub fn map_records(
             status: record.status,
             positions: record.positions,
             cycles: record.cycles,
+            alignment: record.alignment,
         })
         .collect();
     Ok(MapRun {
@@ -409,6 +440,44 @@ mod tests {
             assert_eq!(row.status, MapStatus::Unmapped);
             assert!(row.to_string().contains("\t*\t"));
         }
+    }
+
+    #[test]
+    fn extension_rows_carry_the_alignment_triple() {
+        use asmcap::ExtensionConfig;
+        let genome = GenomeModel::uniform().generate(8_000, 6);
+        let reads = fastq_reads(&genome, 4, 128);
+        let config = PipelineConfig {
+            extension: Some(ExtensionConfig::default()),
+            ..config(128, 8)
+        };
+        let run = map_records(&genome, &reads, &config, BackendKind::Device, None).unwrap();
+        assert!(run.stats.aligned > 0);
+        assert!(run.summary().contains("reads aligned"));
+        for row in &run.rows {
+            // Base rendering is untouched; extended rendering appends the
+            // SAM-ish triple.
+            assert_eq!(row.to_tsv(false), row.to_string());
+            let extended = row.to_tsv(true);
+            assert_eq!(extended.split('\t').count(), 8);
+            match &row.alignment {
+                Some(alignment) => {
+                    assert!(row.positions.contains(&alignment.origin));
+                    assert_eq!(alignment.cigar.cost(), alignment.score);
+                    assert!(extended.ends_with(&alignment.cigar.to_string()));
+                }
+                None => assert!(extended.ends_with("*\t*\t*")),
+            }
+        }
+        // Off by default: the plain config never populates the field.
+        let plain =
+            map_records(&genome, &reads, &config_plain(), BackendKind::Device, None).unwrap();
+        assert!(plain.rows.iter().all(|r| r.alignment.is_none()));
+        assert_eq!(plain.stats.aligned, 0);
+    }
+
+    fn config_plain() -> PipelineConfig {
+        config(128, 8)
     }
 
     #[test]

@@ -160,5 +160,67 @@ fn asmcap_map_runs_on_synthetic_fasta_fastq() {
         );
     }
 
+    // Same run with the extension stage armed: three SAM-ish columns are
+    // appended, and every mapped read carries a CIGAR whose cost matches
+    // its score column.
+    let output = Command::new(env!("CARGO_BIN_EXE_asmcap_map"))
+        .args([
+            "--reference",
+            ref_path.to_str().expect("utf-8 path"),
+            "--reads",
+            reads_path.to_str().expect("utf-8 path"),
+            "--row-width",
+            "64",
+            "--threshold",
+            "6",
+            "--seed",
+            "3",
+            "--extension",
+        ])
+        .output()
+        .expect("spawn asmcap_map with --extension");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        output.status.success(),
+        "asmcap_map --extension failed:\n{stdout}"
+    );
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("#read_id\tn_candidates\tpositions\tcycles\tstatus\taln_pos\taln_score\tcigar"),
+        "unexpected extended header in:\n{stdout}"
+    );
+    for (row, read) in lines.zip(&reads) {
+        let fields: Vec<&str> = row.split('\t').collect();
+        assert_eq!(fields.len(), 8, "malformed extended row: {row}");
+        let aln_pos: usize = fields[5].parse().expect("aligned position");
+        let aln_score: usize = fields[6].parse().expect("alignment score");
+        let cigar = fields[7];
+        assert_eq!(
+            aln_pos, read.origin,
+            "alignment origin mismatch in row: {row}"
+        );
+        // The CIGAR's claimed edit cost (X/I/D run lengths) must equal the
+        // score column — the transcript is self-consistent on the wire.
+        let mut cost = 0usize;
+        let mut run = 0usize;
+        for c in cigar.chars() {
+            if let Some(digit) = c.to_digit(10) {
+                run = run * 10 + digit as usize;
+            } else {
+                if matches!(c, 'X' | 'I' | 'D') {
+                    cost += run;
+                }
+                run = 0;
+            }
+        }
+        assert_eq!(cost, aln_score, "CIGAR cost != score in row: {row}");
+    }
+    assert!(
+        stderr.contains("reads aligned"),
+        "missing alignment summary in stderr:\n{stderr}"
+    );
+
     std::fs::remove_dir_all(&dir).expect("clean temp dir");
 }

@@ -126,11 +126,55 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, ParseFastaE
     Ok(records)
 }
 
+/// Error produced while writing FASTA output.
+#[derive(Debug)]
+pub enum WriteFastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A record id contains a line break (`\n` or `\r`), which would emit a
+    /// corrupt stream: `read_fasta` would parse the remainder of the id as
+    /// sequence data or as a forged extra record.
+    IdWithLineBreak {
+        /// The offending id, verbatim.
+        id: String,
+    },
+}
+
+impl fmt::Display for WriteFastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteFastaError::Io(e) => write!(f, "i/o error writing fasta: {e}"),
+            WriteFastaError::IdWithLineBreak { id } => {
+                write!(f, "record id {id:?} contains a line break")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteFastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WriteFastaError::Io(e) => Some(e),
+            WriteFastaError::IdWithLineBreak { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for WriteFastaError {
+    fn from(e: io::Error) -> Self {
+        WriteFastaError::Io(e)
+    }
+}
+
 /// Writes records in FASTA format with `width`-column sequence lines.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
+/// Returns [`WriteFastaError::IdWithLineBreak`] — before anything is
+/// written — if any record id contains `\n` or `\r`: such an id would
+/// produce a stream that [`read_fasta`] parses back differently (an id of
+/// `"evil\n>fake"` reads back as *two* records). I/O failures from the
+/// writer are propagated as [`WriteFastaError::Io`].
 ///
 /// # Panics
 ///
@@ -139,8 +183,16 @@ pub fn write_fasta<W: Write>(
     mut writer: W,
     records: &[FastaRecord],
     width: usize,
-) -> io::Result<()> {
+) -> Result<(), WriteFastaError> {
     assert!(width > 0, "line width must be positive");
+    // Validate every id up front so a bad record cannot leave a partial,
+    // corrupt stream behind.
+    if let Some(bad) = records
+        .iter()
+        .find(|r| r.id.contains('\n') || r.id.contains('\r'))
+    {
+        return Err(WriteFastaError::IdWithLineBreak { id: bad.id.clone() });
+    }
     for record in records {
         writeln!(writer, ">{}", record.id)?;
         let rendered = record.seq.to_string();
@@ -154,7 +206,10 @@ pub fn write_fasta<W: Write>(
 
 /// Replaces every byte outside `ACGTacgt` with a deterministic base derived
 /// from its position, so real-world references containing `N` runs can still
-/// be loaded.
+/// be loaded. Equivalent to [`sanitize_at`] with offset 0 — only correct
+/// for a **whole** record; when sanitizing a record line by line, pass each
+/// line's running record offset to [`sanitize_at`] instead, or the
+/// replacement bases diverge from the whole-record result.
 ///
 /// The replacement cycles `A,C,G,T` by position, which keeps composition
 /// roughly uniform without pulling randomness into the parsing path.
@@ -167,6 +222,27 @@ pub fn write_fasta<W: Write>(
 /// ```
 #[must_use]
 pub fn sanitize(bytes: &[u8]) -> Vec<u8> {
+    sanitize_at(bytes, 0)
+}
+
+/// [`sanitize`] for a slice that starts `offset` bases into its record:
+/// replacement bases are derived from the **record** position
+/// `offset + i`, not the slice position, so chunked sanitizing (line by
+/// line, with a running offset) produces byte-identical output to
+/// sanitizing the whole record at once.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::fasta::{sanitize, sanitize_at};
+/// let record = b"NNACNNGT";
+/// let whole = sanitize(record);
+/// let mut chunked = sanitize_at(&record[..3], 0);
+/// chunked.extend_from_slice(&sanitize_at(&record[3..], 3));
+/// assert_eq!(chunked, whole);
+/// ```
+#[must_use]
+pub fn sanitize_at(bytes: &[u8], offset: usize) -> Vec<u8> {
     const CYCLE: [u8; 4] = [b'A', b'C', b'G', b'T'];
     bytes
         .iter()
@@ -175,7 +251,7 @@ pub fn sanitize(bytes: &[u8]) -> Vec<u8> {
             if Base::try_from(b).is_ok() {
                 b
             } else {
-                CYCLE[i % 4]
+                CYCLE[(offset + i) % 4]
             }
         })
         .collect()
@@ -254,5 +330,61 @@ mod tests {
     #[should_panic(expected = "line width")]
     fn zero_width_panics() {
         let _ = write_fasta(Vec::new(), &[], 0);
+    }
+
+    /// Regression: an id with an embedded newline used to emit a corrupt
+    /// stream that read back as *two* records. It is now a typed error and
+    /// nothing is written at all.
+    #[test]
+    fn write_rejects_ids_with_line_breaks() {
+        for evil in ["evil\n>fake", "evil\rfake", "evil\r\n>fake"] {
+            let records = vec![
+                FastaRecord {
+                    id: "good".to_owned(),
+                    seq: "ACGT".parse().unwrap(),
+                },
+                FastaRecord {
+                    id: evil.to_owned(),
+                    seq: "TTTT".parse().unwrap(),
+                },
+            ];
+            let mut buffer = Vec::new();
+            let err = write_fasta(&mut buffer, &records, 60).unwrap_err();
+            match err {
+                WriteFastaError::IdWithLineBreak { id } => assert_eq!(id, evil),
+                other => panic!("unexpected error {other:?}"),
+            }
+            assert!(buffer.is_empty(), "nothing may be written on a bad id");
+        }
+        // The clean subset still roundtrips.
+        let clean = vec![FastaRecord {
+            id: "good".to_owned(),
+            seq: "ACGT".parse().unwrap(),
+        }];
+        let mut buffer = Vec::new();
+        write_fasta(&mut buffer, &clean, 60).unwrap();
+        assert_eq!(read_fasta(&buffer[..]).unwrap(), clean);
+    }
+
+    /// Regression: `sanitize` derived replacements from the slice offset,
+    /// so line-by-line sanitizing diverged from whole-record sanitizing.
+    /// `sanitize_at` with a running offset closes the gap.
+    #[test]
+    fn chunked_sanitize_at_matches_whole_record() {
+        let record = b"NNACGNNTNNNNACGTNN";
+        let whole = sanitize(record);
+        for split in 0..record.len() {
+            let mut chunked = sanitize_at(&record[..split], 0);
+            chunked.extend_from_slice(&sanitize_at(&record[split..], split));
+            assert_eq!(chunked, whole, "diverged at split {split}");
+        }
+        // The old bug, pinned: plain `sanitize` per chunk is NOT equivalent
+        // unless the chunk starts at a multiple of the cycle length.
+        let mut naive = sanitize(&record[..3]);
+        naive.extend_from_slice(&sanitize(&record[3..]));
+        assert_ne!(
+            naive, whole,
+            "offset-less chunking must stay observably wrong"
+        );
     }
 }

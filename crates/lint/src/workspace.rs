@@ -24,9 +24,17 @@ const RESULT_PRODUCING: [&str; 6] = [
     "crates/serve/",
 ];
 
-/// Crates on the public mapping path: the panic-policy family
-/// (P201–P204) applies to their sources.
-const PANIC_POLICED: [&str; 3] = ["crates/core/", "crates/genome/", "crates/serve/"];
+/// Crates (and files) on the public mapping path: the panic-policy family
+/// (P201–P204) applies to their sources. The alignment kernel is listed
+/// file-by-file because the rest of `crates/metrics` is evaluation-side
+/// numeric code, but `align.rs` feeds `MapRecord`s through the extension
+/// stage.
+const PANIC_POLICED: [&str; 4] = [
+    "crates/core/",
+    "crates/genome/",
+    "crates/serve/",
+    "crates/metrics/src/align.rs",
+];
 
 /// The one file allowed to contain `unsafe`, confined to its
 /// simd-gated `avx2` module (see [`UnsafePolicy::GatedModule`]).
@@ -173,6 +181,13 @@ mod tests {
         let kernels = context_for("crates/metrics/src/kernels.rs");
         assert!(kernels.determinism && !kernels.panic_policy);
         assert_eq!(kernels.unsafe_policy, UnsafePolicy::GatedModule("avx2"));
+
+        // The alignment kernel is the one metrics file on the mapping
+        // path (via the extension stage), so it alone joins the panic
+        // policy.
+        let align = context_for("crates/metrics/src/align.rs");
+        assert!(align.determinism && align.panic_policy);
+        assert_eq!(align.unsafe_policy, UnsafePolicy::Forbidden);
 
         let eval = context_for("crates/eval/src/bin/asmcap_map.rs");
         assert!(!eval.determinism && !eval.panic_policy && eval.timing_allowed);

@@ -1,0 +1,589 @@
+//! GenASM-style banded bit-vector alignment **with traceback** over 2-bit
+//! packed operands.
+//!
+//! [`edit_distance_banded_packed`](crate::edit_distance_banded_packed)
+//! answers *how far* a read is from a segment; this module answers *how the
+//! read aligns*: [`align_packed`] runs a banded Bitap/GenASM dynamic program
+//! directly over [`PackedWords`] operands (no byte-per-base unpacking
+//! anywhere) and walks the stored bit-vectors back into an exact edit
+//! transcript — a [`Cigar`] whose cost equals the Levenshtein distance.
+//!
+//! # The 0-active representation
+//!
+//! Following GenASM (Senol Cali et al., MICRO 2020), the DP state is a
+//! family of *status bit-vectors* `S[d][j]`, one per edit budget
+//! `d ∈ 0..=band` and text position `j ∈ 0..=n`: bit `i-1` of `S[d][j]` is
+//! **0** ("active") iff the length-`i` read prefix aligns to the length-`j`
+//! text prefix within `d` edits, i.e. `D(i, j) ≤ d`. Each column is computed
+//! from four word-parallel terms —
+//!
+//! * **match**: `(S[d][j-1] << 1) | !Peq[text[j]]` — free diagonal step;
+//! * **substitution**: `S[d-1][j-1] << 1` — paid diagonal step;
+//! * **deletion**: `S[d-1][j-1]` — consume a text base, no shift;
+//! * **insertion**: `S[d-1][j] << 1` — consume a read base;
+//!
+//! ANDed together (0 = active, so AND is the union of the active sets),
+//! with the shifted-in bit encoding the `i = 0` boundary row `D(0, j) = j`.
+//! Unlike Bitap's free-prefix *search* variant, the boundary handling here
+//! gives **global** alignment semantics: the whole read against the whole
+//! segment, matching [`edit_distance`](crate::edit_distance).
+//!
+//! The minimal `d*` with the end bit active equals the edit distance, and a
+//! greedy walk over the stored levels (match → substitution → deletion →
+//! insertion) is guaranteed to emit a transcript of cost exactly `d*` — see
+//! [`align_packed`]. Property tests pin both claims against the scalar DP
+//! on lengths `1..=256`, including word-boundary-straddling segment views.
+
+use crate::edit::AlignOp;
+use asmcap_genome::PackedWords;
+use std::fmt;
+
+/// Base code at lane `i` of a packing (two bits, no unpack).
+#[inline]
+fn lane<S: PackedWords>(seq: &S, i: usize) -> u8 {
+    ((seq.word(i / 32) >> (2 * (i % 32))) & 0b11) as u8
+}
+
+/// A run-length-encoded edit transcript (`=`, `X`, `I`, `D` runs).
+///
+/// Operations read `a → b` as in [`AlignOp`]: for the extension stage, `a`
+/// is the read and `b` the reference segment, so `I` is a read base absent
+/// from the reference and `D` a reference base absent from the read.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cigar {
+    runs: Vec<(AlignOp, u32)>,
+}
+
+impl Cigar {
+    /// An empty transcript.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a transcript from an explicit op sequence.
+    #[must_use]
+    pub fn from_ops(ops: &[AlignOp]) -> Self {
+        let mut cigar = Self::new();
+        for &op in ops {
+            cigar.push(op);
+        }
+        cigar
+    }
+
+    /// Appends one operation, extending the trailing run when it matches.
+    pub fn push(&mut self, op: AlignOp) {
+        match self.runs.last_mut() {
+            Some((last, count)) if *last == op => *count += 1,
+            _ => self.runs.push((op, 1)),
+        }
+    }
+
+    /// The run-length-encoded view.
+    #[must_use]
+    pub fn runs(&self) -> &[(AlignOp, u32)] {
+        &self.runs
+    }
+
+    /// Whether the transcript is empty (both sequences were empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total operation count across all runs.
+    #[must_use]
+    pub fn ops_len(&self) -> usize {
+        self.runs.iter().map(|&(_, n)| n as usize).sum()
+    }
+
+    /// Edit cost: every non-`Match` operation counts one.
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(op, _)| *op != AlignOp::Match)
+            .map(|&(_, n)| n as usize)
+            .sum()
+    }
+
+    /// Read bases consumed (`=`, `X`, and `I` runs).
+    #[must_use]
+    pub fn read_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(op, _)| *op != AlignOp::Delete)
+            .map(|&(_, n)| n as usize)
+            .sum()
+    }
+
+    /// Reference bases consumed (`=`, `X`, and `D` runs).
+    #[must_use]
+    pub fn ref_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(op, _)| *op != AlignOp::Insert)
+            .map(|&(_, n)| n as usize)
+            .sum()
+    }
+
+    /// Replays the transcript against packed operands, verifying every
+    /// claim it makes: `=` runs cover equal bases, `X` runs unequal bases,
+    /// and the walk consumes `read` and `reference` exactly. Returns the
+    /// replayed edit cost, or `None` if the transcript does not reconstruct
+    /// the pair — the property the traceback suite pins for every emitted
+    /// alignment.
+    #[must_use]
+    pub fn check_replay<A: PackedWords, B: PackedWords>(
+        &self,
+        read: &A,
+        reference: &B,
+    ) -> Option<usize> {
+        let (mut i, mut j, mut cost) = (0usize, 0usize, 0usize);
+        for &(op, count) in &self.runs {
+            for _ in 0..count {
+                match op {
+                    AlignOp::Match | AlignOp::Substitute => {
+                        if i >= read.len() || j >= reference.len() {
+                            return None;
+                        }
+                        let same = lane(read, i) == lane(reference, j);
+                        if same != (op == AlignOp::Match) {
+                            return None;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    AlignOp::Insert => {
+                        if i >= read.len() {
+                            return None;
+                        }
+                        i += 1;
+                    }
+                    AlignOp::Delete => {
+                        if j >= reference.len() {
+                            return None;
+                        }
+                        j += 1;
+                    }
+                }
+                if op != AlignOp::Match {
+                    cost += 1;
+                }
+            }
+        }
+        (i == read.len() && j == reference.len()).then_some(cost)
+    }
+}
+
+impl fmt::Display for Cigar {
+    /// SAM-style extended CIGAR (`3=1X2D…`); an empty transcript renders
+    /// `*`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs.is_empty() {
+            return write!(f, "*");
+        }
+        for &(op, count) in &self.runs {
+            let symbol = match op {
+                AlignOp::Match => '=',
+                AlignOp::Substitute => 'X',
+                AlignOp::Insert => 'I',
+                AlignOp::Delete => 'D',
+            };
+            write!(f, "{count}{symbol}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A read-to-reference alignment produced by the extension stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Reference position the aligned segment starts at.
+    pub origin: usize,
+    /// Levenshtein distance between the read and the segment.
+    pub score: usize,
+    /// The edit transcript; `cigar.cost() == score` always holds.
+    pub cigar: Cigar,
+}
+
+impl fmt::Display for Alignment {
+    /// `origin<tab>score<tab>cigar` — the SAM-ish column triple the CLI
+    /// appends in extension mode.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\t{}\t{}", self.origin, self.score, self.cigar)
+    }
+}
+
+/// The stored DP levels: level `d` holds `n + 1` bit-vectors of
+/// `words` machine words each, laid out column-major.
+struct Levels {
+    words: usize,
+    per_level: usize,
+    levels: Vec<Vec<u64>>,
+}
+
+impl Levels {
+    fn new(words: usize, columns: usize) -> Self {
+        Self {
+            words,
+            per_level: words * columns,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Allocates level `d` with every column's boundary initialised:
+    /// column 0 of level `d` has bits `0..d` active (`D(i, 0) = i ≤ d`),
+    /// all other bits dead; columns `1..=n` start all-dead and are filled
+    /// by the recurrence.
+    fn open_level(&mut self, d: usize) {
+        let mut level = vec![!0u64; self.per_level];
+        for (w, word) in level.iter_mut().enumerate().take(self.words) {
+            let cleared = d.saturating_sub(w * 64).min(64);
+            *word = if cleared == 64 { 0 } else { !0u64 << cleared };
+        }
+        self.levels.push(level);
+    }
+
+    /// Whether bit `i - 1` of `S[d][j]` is active, i.e. `D(i, j) ≤ d`;
+    /// `i = 0` is the boundary row `D(0, j) = j`.
+    fn active(&self, d: usize, j: usize, i: usize) -> bool {
+        if i == 0 {
+            return j <= d;
+        }
+        let bit = i - 1;
+        let word = self.levels[d][j * self.words + bit / 64];
+        (word >> (bit % 64)) & 1 == 0
+    }
+}
+
+/// Banded global alignment of `read` against `reference` over packed words.
+///
+/// Returns `Some((score, cigar))` when the Levenshtein distance is within
+/// `limit` (score equal to [`edit_distance`](crate::edit_distance), CIGAR
+/// replaying at exactly that cost), `None` otherwise — mirroring
+/// [`edit_distance_banded_packed`](crate::edit_distance_banded_packed)'s
+/// contract, but with the transcript attached. Runtime is
+/// `O(n · d* · ⌈m/64⌉)` words: only levels `0..=d*` are ever computed, so
+/// near matches pay almost nothing beyond the distance check.
+///
+/// # Examples
+///
+/// ```
+/// use asmcap_genome::{DnaSeq, PackedSeq};
+/// let read = PackedSeq::from_seq(&"ACGTACGT".parse::<DnaSeq>()?);
+/// let segment = PackedSeq::from_seq(&"ACGAACGT".parse::<DnaSeq>()?);
+/// let (score, cigar) = asmcap_metrics::align_packed(&read, &segment, 3)
+///     .expect("within the band");
+/// assert_eq!(score, 1);
+/// assert_eq!(cigar.to_string(), "3=1X4=");
+/// assert_eq!(asmcap_metrics::align_packed(&read, &segment, 0), None);
+/// # Ok::<(), asmcap_genome::base::ParseBaseError>(())
+/// ```
+#[must_use]
+pub fn align_packed<A: PackedWords, B: PackedWords>(
+    read: &A,
+    reference: &B,
+    limit: usize,
+) -> Option<(usize, Cigar)> {
+    let (m, n) = (read.len(), reference.len());
+    // The distance never exceeds max(m, n), so a wider band buys nothing.
+    let band = limit.min(m.max(n));
+    if m.abs_diff(n) > band {
+        return None;
+    }
+    if m == 0 || n == 0 {
+        // One sequence is empty: the alignment is a single gap run.
+        let mut cigar = Cigar::new();
+        for _ in 0..n {
+            cigar.push(AlignOp::Delete);
+        }
+        for _ in 0..m {
+            cigar.push(AlignOp::Insert);
+        }
+        return Some((m.max(n), cigar));
+    }
+    let words = m.div_ceil(64);
+    // Per-base match masks from the packed read, two bits at a time.
+    let mut peq = vec![[0u64; 4]; words];
+    for i in 0..m {
+        peq[i / 64][lane(read, i) as usize] |= 1u64 << (i % 64);
+    }
+    let mut state = Levels::new(words, n + 1);
+    let mut score = None;
+    for d in 0..=band {
+        let level = state.levels.len(); // == d; borrow-friendly handle
+        state.open_level(d);
+        for j in 1..=n {
+            let code = lane(reference, j - 1) as usize;
+            // Shift-in bits encode the i = 0 boundary row: the source
+            // column's bit is dead iff its boundary distance exceeds the
+            // source level's budget.
+            let mut carry_match = u64::from(j - 1 > d);
+            let mut carry_subst = u64::from(j > d);
+            let mut carry_ins = u64::from(j >= d);
+            for (w, masks) in peq.iter().enumerate() {
+                let same_prev = state.levels[level][(j - 1) * words + w];
+                let match_term = ((same_prev << 1) | carry_match) | !masks[code];
+                carry_match = same_prev >> 63;
+                let cell = if d == 0 {
+                    match_term
+                } else {
+                    let lower_prev = state.levels[level - 1][(j - 1) * words + w];
+                    let lower_cur = state.levels[level - 1][j * words + w];
+                    let subst_term = (lower_prev << 1) | carry_subst;
+                    let ins_term = (lower_cur << 1) | carry_ins;
+                    carry_subst = lower_prev >> 63;
+                    carry_ins = lower_cur >> 63;
+                    match_term & subst_term & lower_prev & ins_term
+                };
+                state.levels[level][j * words + w] = cell;
+            }
+        }
+        if state.active(d, n, m) {
+            score = Some(d);
+            break;
+        }
+    }
+    let score = score?;
+    // Greedy traceback, match-first. Invariant: D(i, j) ≤ d at every state;
+    // the emitted cost is score - d_final, and since the walk is itself a
+    // valid alignment, minimality of `score` forces d_final = 0 — the
+    // transcript costs exactly the distance.
+    let mut ops = Vec::with_capacity(m.max(n));
+    let (mut i, mut j, mut d) = (m, n, score);
+    while i > 0 || j > 0 {
+        if i > 0
+            && j > 0
+            && lane(read, i - 1) == lane(reference, j - 1)
+            && state.active(d, j - 1, i - 1)
+        {
+            ops.push(AlignOp::Match);
+            i -= 1;
+            j -= 1;
+        } else if d > 0 && i > 0 && j > 0 && state.active(d - 1, j - 1, i - 1) {
+            ops.push(AlignOp::Substitute);
+            i -= 1;
+            j -= 1;
+            d -= 1;
+        } else if d > 0 && j > 0 && state.active(d - 1, j - 1, i) {
+            ops.push(AlignOp::Delete);
+            j -= 1;
+            d -= 1;
+        } else if d > 0 && i > 0 && state.active(d - 1, j, i - 1) {
+            ops.push(AlignOp::Insert);
+            i -= 1;
+            d -= 1;
+        } else {
+            // lint: panic-ok — D(i, j) ≤ d guarantees one predecessor term
+            // of the DP recurrence holds; reaching here is a kernel bug.
+            unreachable!("traceback stuck at i={i} j={j} d={d}");
+        }
+    }
+    debug_assert_eq!(d, 0, "greedy traceback must spend the whole budget");
+    ops.reverse();
+    Some((score, Cigar::from_ops(&ops)))
+}
+
+/// Scalar reference alignment: the full-matrix traceback of
+/// [`edit::align`](crate::edit::align) re-encoded as a [`Cigar`]. This is
+/// the naive DP the packed kernel is property-tested against.
+#[must_use]
+pub fn align_bases(a: &[asmcap_genome::Base], b: &[asmcap_genome::Base]) -> (usize, Cigar) {
+    let alignment = crate::edit::align(a, b);
+    (alignment.distance, Cigar::from_ops(&alignment.ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance;
+    use asmcap_genome::{Base, DnaSeq, GenomeModel, PackedRef, PackedSeq};
+    use proptest::prelude::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_seq(&s.parse::<DnaSeq>().expect("valid test sequence"))
+    }
+
+    fn check(a: &str, b: &str, limit: usize) -> Option<(usize, String)> {
+        let (pa, pb) = (seq(a), seq(b));
+        align_packed(&pa, &pb, limit).map(|(score, cigar)| {
+            assert_eq!(
+                cigar.check_replay(&pa, &pb),
+                Some(score),
+                "cigar {cigar} does not replay {a} vs {b} at cost {score}"
+            );
+            (score, cigar.to_string())
+        })
+    }
+
+    #[test]
+    fn identical_reads_are_all_match() {
+        assert_eq!(check("ACGTACGT", "ACGTACGT", 0), Some((0, "8=".into())));
+    }
+
+    #[test]
+    fn single_edits_have_exact_transcripts() {
+        assert_eq!(check("ACGT", "AGGT", 2), Some((1, "1=1X2=".into())));
+        assert_eq!(check("ACGT", "ACGGT", 2), Some((1, "2=1D2=".into())));
+        assert_eq!(check("ACGT", "AGT", 2), Some((1, "1=1I2=".into())));
+    }
+
+    #[test]
+    fn band_rejection_mirrors_the_banded_distance() {
+        assert_eq!(check("AAAA", "TTTT", 3), None);
+        assert_eq!(check("AAAA", "TTTT", 4), Some((4, "4X".into())));
+        // Length-difference pruning fires before any DP work.
+        assert_eq!(check("AAAA", "AAAAAAAAAA", 3), None);
+    }
+
+    #[test]
+    fn empty_operands_are_pure_gap_runs() {
+        assert_eq!(check("", "", 0), Some((0, "*".into())));
+        assert_eq!(check("ACG", "", 3), Some((3, "3I".into())));
+        assert_eq!(check("", "ACG", 3), Some((3, "3D".into())));
+        assert_eq!(check("ACG", "", 2), None);
+    }
+
+    #[test]
+    fn oversized_limit_is_clamped_not_overallocated() {
+        assert_eq!(check("ACGT", "TGCA", usize::MAX), Some((4, "4X".into())));
+    }
+
+    #[test]
+    fn cigar_accessors_agree_with_the_transcript() {
+        let (pa, pb) = (seq("ACGTACGT"), seq("ACGAAACGT"));
+        let (score, cigar) = align_packed(&pa, &pb, 4).expect("within band");
+        assert_eq!(cigar.cost(), score);
+        assert_eq!(cigar.read_len(), 8);
+        assert_eq!(cigar.ref_len(), 9);
+        assert_eq!(
+            cigar.ops_len(),
+            cigar.runs().iter().map(|&(_, n)| n as usize).sum()
+        );
+        assert!(!cigar.is_empty());
+    }
+
+    #[test]
+    fn replay_rejects_forged_transcripts() {
+        let (pa, pb) = (seq("ACGT"), seq("ACGT"));
+        // Wrong op kind: claims a substitution where bases match.
+        let forged = Cigar::from_ops(&[
+            AlignOp::Substitute,
+            AlignOp::Match,
+            AlignOp::Match,
+            AlignOp::Match,
+        ]);
+        assert_eq!(forged.check_replay(&pa, &pb), None);
+        // Wrong length: leaves a reference base unconsumed.
+        let short = Cigar::from_ops(&[AlignOp::Match; 3]);
+        assert_eq!(short.check_replay(&pa, &pb), None);
+        // Overruns the read.
+        let long = Cigar::from_ops(&[AlignOp::Match; 5]);
+        assert_eq!(long.check_replay(&pa, &pb), None);
+    }
+
+    /// Deterministic sweep of every length 1..=256: mutate a window of the
+    /// genome, align packed, and pin score == scalar DP + exact replay.
+    /// Word-straddling reference views are covered via `PackedRef::segment`
+    /// at odd offsets.
+    #[test]
+    fn packed_matches_scalar_dp_on_all_lengths_to_256() {
+        let genome = GenomeModel::uniform().generate(1_024, 77);
+        let packed_ref = PackedRef::new(&genome);
+        for len in 1..=256usize {
+            let offset = (len * 7) % 96 + 1; // odd, word-straddling offsets
+            let read_bases: Vec<Base> = genome.as_slice()[offset..offset + len]
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| if i % 37 == 5 { b.substituted(1) } else { b })
+                .collect();
+            let read = PackedSeq::from_bases(&read_bases);
+            let view = packed_ref.segment(offset, len);
+            let expected = edit_distance(&read_bases, &genome.as_slice()[offset..offset + len]);
+            let (score, cigar) = align_packed(&read, &view, len).expect("distance is within len");
+            assert_eq!(score, expected, "len={len} offset={offset}");
+            assert_eq!(
+                cigar.check_replay(&read, &view),
+                Some(score),
+                "len={len} offset={offset}: {cigar}"
+            );
+        }
+    }
+
+    fn arbitrary_bases(max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+        proptest::collection::vec(0u8..4, 0..max_len)
+            .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+    }
+
+    proptest! {
+        /// Score equals the scalar DP (None exactly when beyond the limit)
+        /// and every emitted CIGAR replays at exactly the claimed cost.
+        #[test]
+        fn prop_score_and_replay_match_scalar(
+            a in arbitrary_bases(96),
+            b in arbitrary_bases(96),
+            limit in 0usize..24,
+        ) {
+            let pa = PackedSeq::from_bases(&a);
+            let pb = PackedSeq::from_bases(&b);
+            let full = edit_distance(&a, &b);
+            match align_packed(&pa, &pb, limit) {
+                Some((score, cigar)) => {
+                    prop_assert!(full <= limit);
+                    prop_assert_eq!(score, full);
+                    prop_assert_eq!(cigar.check_replay(&pa, &pb), Some(score));
+                    prop_assert_eq!(cigar.read_len(), a.len());
+                    prop_assert_eq!(cigar.ref_len(), b.len());
+                }
+                None => prop_assert!(full > limit),
+            }
+        }
+
+        /// Word-straddling `SegmentView` operands behave exactly like owned
+        /// packings of the same bases.
+        #[test]
+        fn prop_straddling_views_equal_owned_packings(
+            start in 0usize..192,
+            width in 1usize..200,
+            edits in 0usize..6,
+        ) {
+            let genome = GenomeModel::uniform().generate(512, 11);
+            let packed_ref = PackedRef::new(&genome);
+            let mut read_bases: Vec<Base> =
+                genome.as_slice()[start..start + width].to_vec();
+            for e in 0..edits.min(width) {
+                let at = (e * 31) % width;
+                read_bases[at] = read_bases[at].substituted((e % 3) as u8 + 1);
+            }
+            let read = PackedSeq::from_bases(&read_bases);
+            let view = packed_ref.segment(start, width);
+            let owned = PackedSeq::from_bases(&genome.as_slice()[start..start + width]);
+            let via_view = align_packed(&read, &view, width);
+            let via_owned = align_packed(&read, &owned, width);
+            prop_assert_eq!(via_view.clone(), via_owned);
+            let (score, cigar) = via_view.expect("distance bounded by width");
+            prop_assert_eq!(score, edit_distance(&read_bases, &genome.as_slice()[start..start + width]));
+            prop_assert_eq!(cigar.check_replay(&read, &view), Some(score));
+        }
+
+        /// The packed traceback agrees with the scalar full-matrix
+        /// traceback on cost, and both replay (op scripts may differ in
+        /// tie-breaking, costs may not).
+        #[test]
+        fn prop_packed_and_scalar_tracebacks_cost_the_same(
+            a in arbitrary_bases(64),
+            b in arbitrary_bases(64),
+        ) {
+            let (scalar_score, scalar_cigar) = align_bases(&a, &b);
+            let pa = PackedSeq::from_bases(&a);
+            let pb = PackedSeq::from_bases(&b);
+            let (packed_score, packed_cigar) =
+                align_packed(&pa, &pb, a.len().max(b.len()))
+                    .expect("distance bounded by max length");
+            prop_assert_eq!(packed_score, scalar_score);
+            prop_assert_eq!(scalar_cigar.check_replay(&pa, &pb), Some(scalar_score));
+            prop_assert_eq!(packed_cigar.check_replay(&pa, &pb), Some(packed_score));
+        }
+    }
+}

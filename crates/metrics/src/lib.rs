@@ -17,6 +17,10 @@
 //! readable reference implementations the kernels are property-tested
 //! against.
 //!
+//! [`align`] goes one step beyond distances: a GenASM-style banded
+//! bit-vector DP **with traceback** over the same packed operands, emitting
+//! [`Cigar`] edit transcripts for the pipeline's extension stage.
+//!
 //! [`confusion`] provides the TP/FP/FN/TN bookkeeping and the F1 score used
 //! throughout the evaluation (paper Eq. 3–4), and [`stats`] small numeric
 //! helpers shared by the experiment harness.
@@ -28,6 +32,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod align;
 pub mod confusion;
 pub mod edit;
 pub mod edstar;
@@ -35,6 +40,7 @@ pub mod hamming;
 pub mod kernels;
 pub mod stats;
 
+pub use align::{align_bases, align_packed, Alignment, Cigar};
 pub use confusion::ConfusionMatrix;
 pub use edit::{
     edit_distance, edit_distance_banded, edit_distance_banded_packed, edit_distance_myers,

@@ -72,16 +72,33 @@ fn sanitized_real_world_reference_loads() {
     let dirty = b">chrN\nACGTNNNNRYACGT\n";
     assert!(fasta::read_fasta(&dirty[..]).is_err());
     let mut clean_bytes = Vec::new();
-    // Sanitise just the sequence line.
+    // Sanitise sequence lines one at a time, threading the running record
+    // offset so the replacement bases match whole-record sanitising.
     let text = String::from_utf8_lossy(dirty);
+    let mut record_offset = 0usize;
     for line in text.lines() {
         if line.starts_with('>') {
             clean_bytes.extend_from_slice(line.as_bytes());
+            record_offset = 0;
         } else {
-            clean_bytes.extend_from_slice(&fasta::sanitize(line.as_bytes()));
+            clean_bytes.extend_from_slice(&fasta::sanitize_at(line.as_bytes(), record_offset));
+            record_offset += line.len();
         }
         clean_bytes.push(b'\n');
     }
     let parsed = fasta::read_fasta(&clean_bytes[..]).unwrap();
     assert_eq!(parsed[0].seq.len(), 14);
+    // Line-by-line with offsets equals sanitising the record in one call.
+    assert_eq!(
+        parsed[0].seq,
+        fasta::read_fasta(
+            format!(
+                ">chrN\n{}\n",
+                String::from_utf8(fasta::sanitize(b"ACGTNNNNRYACGT")).unwrap()
+            )
+            .as_bytes()
+        )
+        .unwrap()[0]
+            .seq
+    );
 }

@@ -5,11 +5,51 @@
 //! across the pipeline, the backends, the engine, and the array.
 
 use asmcap::{AsmMatcher as _, MappingBackend as _};
-use asmcap::{AsmcapPipeline, BackendKind, MapRecord, PipelineConfig};
+use asmcap::{AsmcapPipeline, BackendKind, ExtensionConfig, MapRecord, MapStatus, PipelineConfig};
 use asmcap_arch::{CamArray, MatchMode};
 use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, PackedRef, PackedSeq, ReadSampler};
 
 const WIDTH: usize = 128;
+
+/// Golden fingerprints of `map_batch` over the canonical equivalence
+/// workload, captured from the PR 7 tree before the extension stage landed
+/// (same constants `tests/prefilter_equivalence.rs` pins for the prefilter).
+const GOLDEN: [(BackendKind, &str, u64); 6] = [
+    (BackendKind::Device, "A", 0x111F_C2D0_7E2B_41E9),
+    (BackendKind::Pair, "A", 0xE448_E745_FEF2_98CE),
+    (BackendKind::Software, "A", 0xA122_42E8_F8A1_40C9),
+    (BackendKind::Device, "B", 0xAFB6_E0B4_4D6A_517B),
+    (BackendKind::Pair, "B", 0x6B96_3025_4F05_D529),
+    (BackendKind::Software, "B", 0x633A_8911_6649_4693),
+];
+
+/// FNV-1a over every *matching* field of every record. The enumeration is
+/// deliberately explicit — adding the `alignment` field to `MapRecord` must
+/// not perturb the hash of a run that never arms the extension stage.
+fn fingerprint(records: &[MapRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for r in records {
+        mix(r.index);
+        mix(match r.status {
+            MapStatus::Mapped => 1,
+            MapStatus::Unmapped => 2,
+            MapStatus::Truncated => 3,
+            MapStatus::Rejected => 4,
+        });
+        mix(r.positions.len() as u64);
+        for &p in &r.positions {
+            mix(p as u64);
+        }
+        mix(r.cycles);
+        mix(r.searches);
+        mix(r.energy_j.to_bits());
+    }
+    h
+}
 
 fn workload(genome: &DnaSeq, profile: ErrorProfile) -> Vec<DnaSeq> {
     let sampler = ReadSampler::new(WIDTH, profile);
@@ -128,6 +168,106 @@ fn batch_dispatch_matches_per_read_dispatch() {
                 prefilter.is_some()
             );
         }
+    }
+}
+
+/// Extension off (the default) ⇒ byte-identical to the PR 7 golden capture,
+/// across all three backends and both error conditions. The config spells
+/// `extension: None` out so the pin survives a future default change.
+#[test]
+fn extension_off_matches_pr7_golden_capture() {
+    let genome = GenomeModel::uniform().generate(16_384, 21);
+    for (kind, condition, golden) in GOLDEN {
+        let (profile, threshold) = match condition {
+            "A" => (ErrorProfile::condition_a(), 6),
+            _ => (ErrorProfile::condition_b(), 8),
+        };
+        let reads = workload(&genome, profile);
+        let p = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                row_width: WIDTH,
+                seed: 0xA5,
+                extension: None,
+                ..PipelineConfig::paper(threshold, profile)
+            })
+            .backend(kind)
+            .workers(2)
+            .build()
+            .expect("pipeline builds");
+        assert!(!p.extension_armed());
+        assert_eq!(
+            fingerprint(&p.map_batch(&reads)),
+            golden,
+            "{kind:?}/condition {condition} drifted from the PR 7 capture"
+        );
+    }
+}
+
+/// Arming the extension stage changes **only** the `alignment` field:
+/// stripping it restores records byte-identical to an extension-off run
+/// (whose matching fields still hash to the PR 7 golden capture), the
+/// alignments land on reported positions, and every transcript replays at
+/// exactly its claimed cost against the packed reference segment.
+#[test]
+fn extension_changes_only_the_alignment_field_and_replays_exactly() {
+    let genome = GenomeModel::uniform().generate(16_384, 21);
+    let packed_ref = PackedRef::new(&genome);
+    for (kind, condition, golden) in GOLDEN {
+        let (profile, threshold) = match condition {
+            "A" => (ErrorProfile::condition_a(), 6),
+            _ => (ErrorProfile::condition_b(), 8),
+        };
+        let reads = workload(&genome, profile);
+        let plain = pipeline(&genome, kind, profile, threshold).map_batch(&reads);
+        let extended = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                row_width: WIDTH,
+                seed: 0xA5,
+                ..PipelineConfig::paper(threshold, profile)
+            })
+            .backend(kind)
+            .workers(2)
+            .extension(ExtensionConfig::default())
+            .build()
+            .expect("pipeline builds")
+            .map_batch(&reads);
+        assert_eq!(
+            fingerprint(&extended),
+            golden,
+            "{kind:?}/condition {condition}: extension perturbed a matching field"
+        );
+        let mut aligned = 0usize;
+        for ((read, p), e) in reads.iter().zip(&plain).zip(&extended) {
+            let mut stripped = e.clone();
+            stripped.alignment = None;
+            assert_eq!(
+                &stripped, p,
+                "{kind:?}/condition {condition}: extension changed more than `alignment`"
+            );
+            if let Some(alignment) = &e.alignment {
+                aligned += 1;
+                assert!(
+                    e.positions.contains(&alignment.origin),
+                    "{kind:?}/condition {condition}: aligned at unreported origin {}",
+                    alignment.origin
+                );
+                let segment = packed_ref.segment(alignment.origin, WIDTH);
+                assert_eq!(
+                    alignment
+                        .cigar
+                        .check_replay(&PackedSeq::from_seq(read), &segment),
+                    Some(alignment.score),
+                    "{kind:?}/condition {condition}: CIGAR does not replay at origin {}",
+                    alignment.origin
+                );
+            }
+        }
+        assert!(
+            aligned >= 12,
+            "{kind:?}/condition {condition}: only {aligned} of the planted reads aligned"
+        );
     }
 }
 

@@ -110,6 +110,57 @@ fn prefiltered_map_batch_is_worker_count_independent() {
 }
 
 #[test]
+fn extended_map_batch_is_worker_count_independent() {
+    // The extension stage is pure DP over the packed reference — no RNG, no
+    // accounting — so arming it must preserve the determinism rule:
+    // identical records (alignments included) AND identical aggregated
+    // stats at workers 1, 2, and 8, on every backend.
+    use asmcap::ExtensionConfig;
+    use asmcap_genome::PackedSeq;
+    let genome = GenomeModel::uniform().generate(16_384, 25);
+    let reads = workload(&genome);
+    let packed: Vec<PackedSeq> = reads.iter().map(PackedSeq::from_seq).collect();
+    let build = |backend: BackendKind, workers: usize| {
+        AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(config(6))
+            .extension(ExtensionConfig::default())
+            .backend(backend)
+            .workers(workers)
+            .build()
+            .expect("pipeline builds")
+    };
+    for backend in [
+        BackendKind::Device,
+        BackendKind::Pair,
+        BackendKind::Software,
+    ] {
+        let reference_pipeline = build(backend, 1);
+        let reference_records = reference_pipeline.map_batch_packed(&packed);
+        let reference_stats = reference_pipeline.stats();
+        assert!(
+            reference_stats.aligned > 0,
+            "{backend:?}: extension armed but nothing aligned"
+        );
+        for workers in [2usize, 8] {
+            let pipeline = build(backend, workers);
+            let records = pipeline.map_batch_packed(&packed);
+            assert_eq!(
+                records, reference_records,
+                "{backend:?} records diverged at {workers} workers with extension on"
+            );
+            let mut stats = pipeline.stats();
+            // Wall-clock is the one legitimately worker-dependent field.
+            stats.wall_s = reference_stats.wall_s;
+            assert_eq!(
+                stats, reference_stats,
+                "{backend:?} stats diverged at {workers} workers with extension on"
+            );
+        }
+    }
+}
+
+#[test]
 fn skewed_shortlists_stay_worker_count_invariant() {
     // Adversarial skew for the work-stealing executor: the batch front-loads
     // a block of foreign reads whose shortlists come up empty, so (with the

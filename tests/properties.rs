@@ -283,6 +283,33 @@ proptest! {
         prop_assert_eq!(from_view, from_window, "segment({}, {})", offset, width);
     }
 
+    /// The banded bit-vector alignment over zero-copy segment views — at
+    /// any offset, word-aligned or straddling word boundaries — scores
+    /// exactly like the scalar DP over the unpacked window, and the CIGAR
+    /// it traces back replays against the view at exactly that score.
+    #[test]
+    fn packed_alignment_over_views_equals_scalar_dp(
+        reference in arbitrary_seq(140..400),
+        read in arbitrary_seq(1..129),
+        offset_frac in 0.0f64..1.0,
+        limit in 0usize..20
+    ) {
+        let width = read.len();
+        let offset = (((reference.len() - width) as f64) * offset_frac) as usize;
+        let packed_ref = asmcap_genome::PackedRef::new(&reference);
+        let view = packed_ref.segment(offset, width);
+        let window = reference.window(offset..offset + width);
+        let packed_read = asmcap_genome::PackedSeq::from_seq(&read);
+        let (distance, _) = asmcap_metrics::align_bases(read.as_slice(), window.as_slice());
+        match asmcap_metrics::align_packed(&packed_read, &view, limit) {
+            Some((score, cigar)) => {
+                prop_assert_eq!(score, distance, "segment({}, {})", offset, width);
+                prop_assert_eq!(cigar.check_replay(&packed_read, &view), Some(score));
+            }
+            None => prop_assert!(distance > limit, "segment({}, {})", offset, width),
+        }
+    }
+
     /// Device search finds an exact stored row at T=1 regardless of where
     /// it lands across arrays. (T=0 is a knife-edge by design: the V_ref
     /// boundary sits only ~3.3σ of SA offset above a perfect row, so a
