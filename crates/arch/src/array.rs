@@ -16,6 +16,7 @@
 //! sense-amplifier model, in row order. The per-cell functional model the
 //! pre-pass vectorises lives in [`crate::cell`] / [`crate::driver`].
 
+use crate::fault::{ArrayFaults, FaultPlan, FaultTally};
 use asmcap_circuit::energy::{asmcap_array_search_energy, edam_array_search_energy};
 use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, Rng, SenseAmp, VrefPolicy};
 use asmcap_genome::{Base, PackedSeq};
@@ -98,7 +99,8 @@ impl std::error::Error for StoreRowError {}
 pub struct RowSearchOutcome {
     /// Row index within the array.
     pub row: usize,
-    /// True mismatch count (`n_mis`) the matchline encodes.
+    /// Mismatch count the matchline encodes: the exact digital count, or
+    /// the stuck-cell-perturbed effective count when faults are installed.
     pub n_mis: usize,
     /// The sense amplifier's (noisy) decision.
     pub matched: bool,
@@ -162,6 +164,7 @@ pub struct CamArray<M> {
     max_rows: usize,
     sense: SenseAmp<M>,
     supports_hd: bool,
+    faults: Option<ArrayFaults>,
 }
 
 impl CamArray<ChargeDomainCam> {
@@ -223,6 +226,7 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
             max_rows,
             sense,
             supports_hd,
+            faults: None,
         }
     }
 
@@ -514,6 +518,248 @@ impl<M: MlCam + SearchEnergy> CamArray<M> {
         }
     }
 
+    /// Instantiates and installs `plan`'s faults for this array (as array
+    /// number `array_index` of the device), then runs the self-test
+    /// quarantine scan: each row is sensed `selftest_trials` times against
+    /// its own stored word (expected mismatch count = the row's welded
+    /// stuck-at-mismatch cells) from the dedicated self-test stream; rows
+    /// failing a strict majority of trials — dead rows always do — are
+    /// quarantined. An inactive plan uninstalls any fault state.
+    ///
+    /// Call after the rows are stored: faults are instantiated for the
+    /// occupied rows only.
+    pub fn install_faults(&mut self, plan: &FaultPlan, array_index: usize, threshold: usize) {
+        if !plan.is_active() {
+            self.faults = None;
+            return;
+        }
+        let mut faults = plan.instantiate(array_index, self.rows.len(), self.width);
+        if plan.selftest_trials > 0 {
+            let mut rng = plan.selftest_rng(array_index);
+            let drift = faults.drift_states;
+            for rf in &mut faults.rows {
+                let self_mis = rf.self_mismatches();
+                let mut fails = 0u32;
+                for _ in 0..plan.selftest_trials {
+                    // A dead matchline fails every trial without sensing;
+                    // live rows burn one self-test draw per trial.
+                    let pass = !rf.dead
+                        && self
+                            .sense
+                            .decide_with_offset(self_mis, self.width, threshold, drift, &mut rng);
+                    fails += u32::from(!pass);
+                }
+                rf.quarantined = fails * 2 > plan.selftest_trials;
+            }
+        }
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault state, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&ArrayFaults> {
+        self.faults.as_ref()
+    }
+
+    /// Number of quarantined rows (0 when no faults are installed).
+    #[must_use]
+    pub fn quarantined_rows(&self) -> usize {
+        self.faults
+            .as_ref()
+            .map_or(0, ArrayFaults::quarantined_rows)
+    }
+
+    /// One row's fault-aware decision: `(n_reported, matched)`.
+    ///
+    /// Draw discipline — the invariant the determinism pins rely on:
+    /// exactly **one** draw from the main sensing stream `rng` per live,
+    /// non-quarantined row (quarantined and dead rows draw nothing), and
+    /// every transient-flip or re-sense draw comes from the dedicated
+    /// per-read `fault_rng`, so the sensing stream's order matches the
+    /// fault-free path row for row.
+    #[allow(clippy::too_many_arguments)]
+    fn sense_row_faulty(
+        &self,
+        faults: &ArrayFaults,
+        row: usize,
+        stored: &PackedSeq,
+        read: &PackedSeq,
+        n_true: usize,
+        threshold: usize,
+        mode: MatchMode,
+        rng: &mut Rng,
+        fault_rng: &mut Rng,
+        tally: &mut FaultTally,
+    ) -> (usize, bool) {
+        // Rows stored after the plan was installed have no fault entry and
+        // sense cleanly.
+        let Some(rf) = faults.rows.get(row) else {
+            return (
+                n_true,
+                self.sense.decide(n_true, self.width, threshold, rng),
+            );
+        };
+        if rf.quarantined {
+            // The controller answers from its pristine stored copy: exact
+            // digital comparison, no analog sense, no draws.
+            tally.requarried += 1;
+            return (n_true, n_true <= threshold);
+        }
+        let n_eff = if rf.stuck.is_empty() {
+            n_true
+        } else {
+            ArrayFaults::effective_n_mis(rf, stored, read, n_true, mode)
+        };
+        if rf.dead {
+            // The matchline never discharges; the SA reads "no match".
+            return (n_eff, false);
+        }
+        let drift = faults.drift_states;
+        let flip_rate = faults.transient_flip_rate;
+        let mut decision = self
+            .sense
+            .decide_with_offset(n_eff, self.width, threshold, drift, rng);
+        if flip_rate > 0.0 && asmcap_circuit::noise::uniform(fault_rng) < flip_rate {
+            decision = !decision;
+        }
+        // Re-sense voting: when the analog decision disagrees with the
+        // matchline's digital expectation, sense again and let the
+        // majority win. Extra senses draw from the fault stream so the
+        // main stream stays in lockstep with the unvoted path.
+        let expected = n_eff <= threshold;
+        if faults.resense_votes > 1 && decision != expected {
+            tally.resensed += 1;
+            let mut yes = u32::from(decision);
+            for _ in 1..faults.resense_votes {
+                let mut vote = self
+                    .sense
+                    .decide_with_offset(n_eff, self.width, threshold, drift, fault_rng);
+                if flip_rate > 0.0 && asmcap_circuit::noise::uniform(fault_rng) < flip_rate {
+                    vote = !vote;
+                }
+                yes += u32::from(vote);
+            }
+            decision = yes * 2 > faults.resense_votes;
+        }
+        (n_eff, decision)
+    }
+
+    /// [`CamArray::search_packed`] through the installed fault model.
+    /// With no faults installed this forwards to the fault-free path and
+    /// is byte-identical to it; `fault_rng` is the read's dedicated fault
+    /// stream and `tally` accumulates the mitigation counters.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`CamArray::search_packed`].
+    #[must_use]
+    pub fn search_packed_with_faults(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        rng: &mut Rng,
+        fault_rng: &mut Rng,
+        tally: &mut FaultTally,
+    ) -> SearchOutcome {
+        let Some(faults) = &self.faults else {
+            return self.search_packed(read, threshold, mode, rng);
+        };
+        assert_eq!(read.len(), self.width, "read must match the array width");
+        self.check_mode(mode);
+        let rows: Vec<RowSearchOutcome> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(row, stored)| {
+                let n_true = match mode {
+                    MatchMode::EdStar => ed_star_packed(stored, read),
+                    MatchMode::Hamming => hamming_packed(stored, read),
+                };
+                let (n_mis, matched) = self.sense_row_faulty(
+                    faults, row, stored, read, n_true, threshold, mode, rng, fault_rng, tally,
+                );
+                RowSearchOutcome {
+                    row,
+                    n_mis,
+                    matched,
+                }
+            })
+            .collect();
+        self.finish_outcome(rows, mode, threshold)
+    }
+
+    /// [`CamArray::search_packed_rows`] through the installed fault model
+    /// (see [`CamArray::search_packed_with_faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`CamArray::search_packed_rows`].
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // mirrors search_packed_rows + the fault triple
+    pub fn search_packed_rows_with_faults(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        rows: &[usize],
+        rng: &mut Rng,
+        fault_rng: &mut Rng,
+        tally: &mut FaultTally,
+    ) -> SearchOutcome {
+        let Some(faults) = &self.faults else {
+            return self.search_packed_rows(read, threshold, mode, rows, rng);
+        };
+        assert_eq!(read.len(), self.width, "read must match the array width");
+        self.check_mode(mode);
+        assert!(
+            rows.windows(2).all(|pair| pair[0] < pair[1]),
+            "row shortlist must be strictly ascending"
+        );
+        let rows: Vec<RowSearchOutcome> = rows
+            .iter()
+            .map(|&row| {
+                let stored = &self.rows[row];
+                let n_true = match mode {
+                    MatchMode::EdStar => ed_star_packed(stored, read),
+                    MatchMode::Hamming => hamming_packed(stored, read),
+                };
+                let (n_mis, matched) = self.sense_row_faulty(
+                    faults, row, stored, read, n_true, threshold, mode, rng, fault_rng, tally,
+                );
+                RowSearchOutcome {
+                    row,
+                    n_mis,
+                    matched,
+                }
+            })
+            .collect();
+        self.finish_outcome(rows, mode, threshold)
+    }
+
+    fn finish_outcome(
+        &self,
+        rows: Vec<RowSearchOutcome>,
+        mode: MatchMode,
+        threshold: usize,
+    ) -> SearchOutcome {
+        let mean = if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().map(|r| r.n_mis as f64).sum::<f64>() / rows.len() as f64
+        };
+        let energy_j = self
+            .sense
+            .cam()
+            .search_energy_j(rows.len(), self.width, mean);
+        SearchOutcome {
+            rows,
+            mode,
+            threshold,
+            energy_j,
+        }
+    }
+
     fn check_mode(&self, mode: MatchMode) {
         assert!(
             self.supports_hd || mode == MatchMode::EdStar,
@@ -687,5 +933,182 @@ mod tests {
             energy_j: 0.0,
         };
         assert_eq!(outcome.mean_n_mis(), 3.0);
+    }
+
+    fn faulty_test_array() -> CamArray<ChargeDomainCam> {
+        let genome = GenomeModel::uniform().generate(8_000, 31);
+        let mut array = CamArray::asmcap(32, 64);
+        for i in 0..32 {
+            array
+                .store_row(&genome.as_slice()[i * 200..i * 200 + 64])
+                .unwrap();
+        }
+        array
+    }
+
+    #[test]
+    fn inactive_plan_installs_nothing_and_search_is_byte_identical() {
+        let mut array = faulty_test_array();
+        array.install_faults(&FaultPlan::none(), 0, 6);
+        assert!(array.faults().is_none());
+        assert_eq!(array.quarantined_rows(), 0);
+        let read = array
+            .stored_row(3)
+            .map(|bases| PackedSeq::from_bases(&bases))
+            .unwrap();
+        let mut tally = FaultTally::default();
+        let mut plain_rng = rng(42);
+        let mut fault_path_rng = rng(42);
+        let mut fault_rng = FaultPlan::none().read_fault_rng(42);
+        let plain = array.search_packed(&read, 6, MatchMode::EdStar, &mut plain_rng);
+        let faulted = array.search_packed_with_faults(
+            &read,
+            6,
+            MatchMode::EdStar,
+            &mut fault_path_rng,
+            &mut fault_rng,
+            &mut tally,
+        );
+        assert_eq!(plain, faulted);
+        assert_eq!(tally, FaultTally::default());
+        // The main stream consumed identically on both paths.
+        assert_eq!(
+            array.search_packed(&read, 6, MatchMode::EdStar, &mut plain_rng),
+            array.search_packed(&read, 6, MatchMode::EdStar, &mut fault_path_rng),
+        );
+    }
+
+    #[test]
+    fn installed_faults_are_deterministic_across_installs() {
+        let plan = FaultPlan::paper_corner(11);
+        let mut a = faulty_test_array();
+        let mut b = faulty_test_array();
+        a.install_faults(&plan, 5, 6);
+        b.install_faults(&plan, 5, 6);
+        assert_eq!(a.faults(), b.faults());
+        let read = a
+            .stored_row(9)
+            .map(|bases| PackedSeq::from_bases(&bases))
+            .unwrap();
+        let mut tally_a = FaultTally::default();
+        let mut tally_b = FaultTally::default();
+        let out_a = a.search_packed_with_faults(
+            &read,
+            6,
+            MatchMode::EdStar,
+            &mut rng(77),
+            &mut plan.read_fault_rng(77),
+            &mut tally_a,
+        );
+        let out_b = b.search_packed_with_faults(
+            &read,
+            6,
+            MatchMode::EdStar,
+            &mut rng(77),
+            &mut plan.read_fault_rng(77),
+            &mut tally_b,
+        );
+        assert_eq!(out_a, out_b);
+        assert_eq!(tally_a, tally_b);
+    }
+
+    #[test]
+    fn dead_rows_are_quarantined_and_answered_exactly() {
+        // A plan that kills every row: the self-test scan must quarantine
+        // all of them, and searches then answer with the exact digital
+        // fallback without touching the sensing stream.
+        let plan = FaultPlan {
+            seed: 3,
+            dead_row_rate: 1.0,
+            selftest_trials: 3,
+            ..FaultPlan::none()
+        };
+        // dead_row_rate makes it active.
+        assert!(plan.is_active());
+        let mut array = faulty_test_array();
+        array.install_faults(&plan, 0, 6);
+        assert_eq!(array.quarantined_rows(), array.rows());
+        let read = array
+            .stored_row(7)
+            .map(|bases| PackedSeq::from_bases(&bases))
+            .unwrap();
+        let mut tally = FaultTally::default();
+        let mut main = rng(5);
+        let before: u64 = {
+            let mut probe = main.clone();
+            use rand::Rng as _;
+            probe.gen()
+        };
+        let out = array.search_packed_with_faults(
+            &read,
+            6,
+            MatchMode::EdStar,
+            &mut main,
+            &mut plan.read_fault_rng(5),
+            &mut tally,
+        );
+        // Exact digital answers: row 7 matches itself, all else by count.
+        assert!(out.rows[7].matched);
+        for row in &out.rows {
+            assert_eq!(row.matched, row.n_mis <= 6, "row {}", row.row);
+        }
+        assert_eq!(tally.requarried, array.rows() as u64);
+        // No draws were consumed from the main sensing stream.
+        use rand::Rng as _;
+        assert_eq!(main.gen::<u64>(), before);
+    }
+
+    #[test]
+    fn quarantine_catches_heavily_stuck_rows() {
+        // Weld enough stuck-at-mismatch cells that a row can never sense
+        // below a small threshold: the self-test must quarantine it.
+        let plan = FaultPlan {
+            seed: 8,
+            stuck_mismatch_rate: 0.5,
+            selftest_trials: 5,
+            ..FaultPlan::none()
+        };
+        let mut array = faulty_test_array();
+        array.install_faults(&plan, 2, 3);
+        let faults = array.faults().unwrap();
+        for (row, rf) in faults.rows.iter().enumerate() {
+            if rf.self_mismatches() > 10 {
+                assert!(rf.quarantined, "row {row} with heavy welds must quarantine");
+            }
+        }
+        assert!(array.quarantined_rows() > 0);
+    }
+
+    #[test]
+    fn masked_fault_search_agrees_with_full_on_listed_rows_draw_order() {
+        let plan = FaultPlan::paper_corner(21);
+        let mut array = faulty_test_array();
+        array.install_faults(&plan, 1, 6);
+        let read = array
+            .stored_row(0)
+            .map(|bases| PackedSeq::from_bases(&bases))
+            .unwrap();
+        let all_rows: Vec<usize> = (0..array.rows()).collect();
+        let mut tally_full = FaultTally::default();
+        let mut tally_masked = FaultTally::default();
+        let full = array.search_packed_with_faults(
+            &read,
+            6,
+            MatchMode::EdStar,
+            &mut rng(9),
+            &mut plan.read_fault_rng(9),
+            &mut tally_full,
+        );
+        let masked = array.search_packed_rows_with_faults(
+            &read,
+            6,
+            MatchMode::EdStar,
+            &all_rows,
+            &mut rng(9),
+            &mut plan.read_fault_rng(9),
+            &mut tally_masked,
+        );
+        assert_eq!(full, masked, "full row list must be byte-identical");
+        assert_eq!(tally_full, tally_masked);
     }
 }

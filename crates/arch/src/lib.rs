@@ -11,6 +11,9 @@
 //! * [`mod@array`] — an `M×N` CAM array with matchline sensing through a
 //!   pluggable [`asmcap_circuit::MlCam`] model (charge-domain for ASMCap,
 //!   current-domain for EDAM) and sense amplifiers;
+//! * [`fault`] — seeded device fault injection ([`FaultPlan`]): stuck
+//!   cells, dead rows, capacitance drift, transient sense flips, plus the
+//!   re-sense voting and row-quarantine mitigations;
 //! * [`controller`] — the instruction sequencer with cycle accounting;
 //! * [`top`] — the full device: 512 arrays behind a global buffer and
 //!   H-tree, storing a segmented reference and searching reads against all
@@ -26,6 +29,7 @@ pub mod array;
 pub mod cell;
 pub mod controller;
 pub mod driver;
+pub mod fault;
 pub mod registers;
 pub mod top;
 pub mod trace;
@@ -34,6 +38,7 @@ pub use array::{CamArray, MatchMode, RowSearchOutcome, SearchOutcome};
 pub use cell::AsmcapCell;
 pub use controller::{Controller, Instruction, RunStats};
 pub use driver::SlDriver;
+pub use fault::{ArrayFaults, FaultPlan, FaultTally, RowFaults, StuckCell};
 pub use registers::{RotateDirection, ShiftRegisterFile};
 pub use top::{
     AsmcapDevice, CapacityError, DeviceBuilder, DeviceMatch, DeviceSearchResult, RowId, RowMask,

@@ -7,6 +7,7 @@
 //! every array and senses all matchlines in parallel.
 
 use crate::array::{CamArray, MatchMode, SearchEnergy};
+use crate::fault::{FaultPlan, FaultTally};
 use asmcap_circuit::{ChargeDomainCam, CurrentDomainCam, MlCam, Rng};
 use asmcap_genome::{Base, DnaSeq, PackedRef, PackedSeq, PackedWords as _};
 use std::fmt;
@@ -148,6 +149,11 @@ pub struct SearchStats {
     pub energy_j: f64,
     /// Wall-clock latency (arrays operate in parallel), in seconds.
     pub latency_s: f64,
+    /// Rows where re-sense majority voting fired (0 without faults).
+    pub resensed: u64,
+    /// Quarantined rows answered by the exact digital fallback (0 without
+    /// faults).
+    pub requarried: u64,
 }
 
 /// Result of searching one read against the whole device.
@@ -331,6 +337,29 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
         &self.arrays
     }
 
+    /// Installs `plan`'s faults on every array (array index = stream
+    /// index) and runs each array's self-test quarantine scan at the
+    /// pipeline's search `threshold`. Call **after** the reference is
+    /// stored so faults land on the occupied rows. An inactive plan
+    /// uninstalls all fault state.
+    pub fn install_faults(&mut self, plan: &FaultPlan, threshold: usize) {
+        for (array_index, array) in self.arrays.iter_mut().enumerate() {
+            array.install_faults(plan, array_index, threshold);
+        }
+    }
+
+    /// Total quarantined rows across all arrays (0 without faults).
+    #[must_use]
+    pub fn quarantined_rows(&self) -> usize {
+        self.arrays.iter().map(CamArray::quarantined_rows).sum()
+    }
+
+    /// Whether any array has fault state installed.
+    #[must_use]
+    pub fn has_faults(&self) -> bool {
+        self.arrays.iter().any(|a| a.faults().is_some())
+    }
+
     /// Segments `reference` into row-width windows every `stride` bases and
     /// stores them across the arrays in order.
     ///
@@ -485,6 +514,7 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
                 array_searches: searches,
                 energy_j: energy,
                 latency_s: latency,
+                ..SearchStats::default()
             },
         }
     }
@@ -755,8 +785,314 @@ impl<M: MlCam + SearchEnergy> AsmcapDevice<M> {
                 array_searches: searches,
                 energy_j: energy,
                 latency_s: latency,
+                ..SearchStats::default()
             },
         }
+    }
+
+    /// [`AsmcapDevice::search_packed`] through each array's installed
+    /// fault model: `fault_rng` is this read's dedicated fault stream and
+    /// the result's stats carry the `resensed`/`requarried` mitigation
+    /// counters. With no faults installed the walk is byte-identical to
+    /// the fault-free path.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`AsmcapDevice::search_packed`].
+    #[must_use]
+    pub fn search_packed_with_faults(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        rng: &mut Rng,
+        fault_rng: &mut Rng,
+    ) -> DeviceSearchResult {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        let mut matches = Vec::new();
+        let mut energy = 0.0;
+        let mut searches = 0usize;
+        let mut latency: f64 = 0.0;
+        let mut tally = FaultTally::default();
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            let outcome =
+                array.search_packed_with_faults(read, threshold, mode, rng, fault_rng, &mut tally);
+            energy += outcome.energy_j;
+            searches += 1;
+            latency = latency.max(array.sense().cam().search_time_s());
+            for row in &outcome.rows {
+                if row.matched {
+                    matches.push(DeviceMatch {
+                        id: RowId {
+                            array: array_idx,
+                            row: row.row,
+                        },
+                        origin: self.origins[flat_base + row.row],
+                        n_mis: row.n_mis,
+                    });
+                }
+            }
+            flat_base += array.rows();
+        }
+        DeviceSearchResult {
+            matches,
+            stats: SearchStats {
+                array_searches: searches,
+                energy_j: energy,
+                latency_s: latency,
+                resensed: tally.resensed,
+                requarried: tally.requarried,
+            },
+        }
+    }
+
+    /// [`AsmcapDevice::search_packed_masked`] through the fault model
+    /// (see [`AsmcapDevice::search_packed_with_faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`AsmcapDevice::search_packed_masked`].
+    #[must_use]
+    pub fn search_packed_masked_with_faults(
+        &self,
+        read: &PackedSeq,
+        threshold: usize,
+        mode: MatchMode,
+        mask: &RowMask,
+        rng: &mut Rng,
+        fault_rng: &mut Rng,
+    ) -> DeviceSearchResult {
+        assert_eq!(read.len(), self.width, "read must match the row width");
+        assert_eq!(
+            mask.len(),
+            self.origins.len(),
+            "mask must cover the stored rows"
+        );
+        let mut matches = Vec::new();
+        let mut energy = 0.0;
+        let mut searches = 0usize;
+        let mut latency: f64 = 0.0;
+        let mut tally = FaultTally::default();
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            let rows: Vec<usize> = mask
+                .ones_in(flat_base..flat_base + array.rows())
+                .map(|flat| flat - flat_base)
+                .collect();
+            if !rows.is_empty() {
+                let outcome = array.search_packed_rows_with_faults(
+                    read, threshold, mode, &rows, rng, fault_rng, &mut tally,
+                );
+                energy += outcome.energy_j;
+                searches += 1;
+                latency = latency.max(array.sense().cam().search_time_s());
+                for row in &outcome.rows {
+                    if row.matched {
+                        matches.push(DeviceMatch {
+                            id: RowId {
+                                array: array_idx,
+                                row: row.row,
+                            },
+                            origin: self.origins[flat_base + row.row],
+                            n_mis: row.n_mis,
+                        });
+                    }
+                }
+            }
+            flat_base += array.rows();
+        }
+        DeviceSearchResult {
+            matches,
+            stats: SearchStats {
+                array_searches: searches,
+                energy_j: energy,
+                latency_s: latency,
+                resensed: tally.resensed,
+                requarried: tally.requarried,
+            },
+        }
+    }
+
+    /// [`AsmcapDevice::search_packed_batch`] through the fault model:
+    /// read `i` draws sensing noise from `rngs[i]` and fault events from
+    /// `fault_rngs[i]`, visiting arrays and rows in exactly the order
+    /// [`AsmcapDevice::search_packed_with_faults`] would — so
+    /// `results[i]` is byte-identical to the solo faulted search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads`, `rngs`, and `fault_rngs` lengths differ or any
+    /// read width differs from the row width.
+    #[must_use]
+    pub fn search_packed_batch_with_faults(
+        &self,
+        reads: &[PackedSeq],
+        threshold: usize,
+        mode: MatchMode,
+        rngs: &mut [Rng],
+        fault_rngs: &mut [Rng],
+    ) -> Vec<DeviceSearchResult> {
+        assert_eq!(
+            reads.len(),
+            rngs.len(),
+            "one sensing RNG stream per batched read"
+        );
+        assert_eq!(
+            reads.len(),
+            fault_rngs.len(),
+            "one fault RNG stream per batched read"
+        );
+        let mut results: Vec<DeviceSearchResult> = reads
+            .iter()
+            .map(|_| DeviceSearchResult {
+                matches: Vec::new(),
+                stats: SearchStats::default(),
+            })
+            .collect();
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            for (i, read) in reads.iter().enumerate() {
+                let mut tally = FaultTally::default();
+                let outcome = array.search_packed_with_faults(
+                    read,
+                    threshold,
+                    mode,
+                    &mut rngs[i],
+                    &mut fault_rngs[i],
+                    &mut tally,
+                );
+                let result = &mut results[i];
+                result.stats.energy_j += outcome.energy_j;
+                result.stats.array_searches += 1;
+                result.stats.latency_s = result
+                    .stats
+                    .latency_s
+                    .max(array.sense().cam().search_time_s());
+                result.stats.resensed += tally.resensed;
+                result.stats.requarried += tally.requarried;
+                for row in &outcome.rows {
+                    if row.matched {
+                        result.matches.push(DeviceMatch {
+                            id: RowId {
+                                array: array_idx,
+                                row: row.row,
+                            },
+                            origin: self.origins[flat_base + row.row],
+                            n_mis: row.n_mis,
+                        });
+                    }
+                }
+            }
+            flat_base += array.rows();
+        }
+        results
+    }
+
+    /// [`AsmcapDevice::search_packed_batch_masked`] through the fault
+    /// model (see [`AsmcapDevice::search_packed_batch_with_faults`]):
+    /// `results[i]` is byte-identical to
+    /// `search_packed_masked_with_faults(&reads[i], …, &masks[i], …)` run
+    /// on its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads`, `masks`, `rngs`, and `fault_rngs` lengths
+    /// differ, any read width differs from the row width, or a mask does
+    /// not cover exactly the stored rows.
+    #[must_use]
+    pub fn search_packed_batch_masked_with_faults(
+        &self,
+        reads: &[PackedSeq],
+        threshold: usize,
+        mode: MatchMode,
+        masks: &[RowMask],
+        rngs: &mut [Rng],
+        fault_rngs: &mut [Rng],
+    ) -> Vec<DeviceSearchResult> {
+        assert_eq!(
+            reads.len(),
+            rngs.len(),
+            "one sensing RNG stream per batched read"
+        );
+        assert_eq!(
+            reads.len(),
+            fault_rngs.len(),
+            "one fault RNG stream per batched read"
+        );
+        assert_eq!(reads.len(), masks.len(), "one row mask per batched read");
+        for (read, mask) in reads.iter().zip(masks) {
+            assert_eq!(read.len(), self.width, "read must match the row width");
+            assert_eq!(
+                mask.len(),
+                self.origins.len(),
+                "mask must cover the stored rows"
+            );
+        }
+        let mut results: Vec<DeviceSearchResult> = reads
+            .iter()
+            .map(|_| DeviceSearchResult {
+                matches: Vec::new(),
+                stats: SearchStats::default(),
+            })
+            .collect();
+        let mut flat_base = 0usize;
+        for (array_idx, array) in self.arrays.iter().enumerate() {
+            if array.rows() == 0 {
+                continue;
+            }
+            for (i, (read, mask)) in reads.iter().zip(masks).enumerate() {
+                let rows: Vec<usize> = mask
+                    .ones_in(flat_base..flat_base + array.rows())
+                    .map(|flat| flat - flat_base)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let mut tally = FaultTally::default();
+                let outcome = array.search_packed_rows_with_faults(
+                    read,
+                    threshold,
+                    mode,
+                    &rows,
+                    &mut rngs[i],
+                    &mut fault_rngs[i],
+                    &mut tally,
+                );
+                let result = &mut results[i];
+                result.stats.energy_j += outcome.energy_j;
+                result.stats.array_searches += 1;
+                result.stats.latency_s = result
+                    .stats
+                    .latency_s
+                    .max(array.sense().cam().search_time_s());
+                result.stats.resensed += tally.resensed;
+                result.stats.requarried += tally.requarried;
+                for row in &outcome.rows {
+                    if row.matched {
+                        result.matches.push(DeviceMatch {
+                            id: RowId {
+                                array: array_idx,
+                                row: row.row,
+                            },
+                            origin: self.origins[flat_base + row.row],
+                            n_mis: row.n_mis,
+                        });
+                    }
+                }
+            }
+            flat_base += array.rows();
+        }
+        results
     }
 }
 
@@ -1009,6 +1345,122 @@ mod tests {
         let mask = device.mask_for_origins(&[128]);
         assert_eq!(mask.count_ones(), 2, "both stored copies of origin 128");
         assert!(mask.get(2) && mask.get(12));
+    }
+
+    #[test]
+    fn device_fault_install_is_observable_and_inactive_plan_clears() {
+        use crate::fault::FaultPlan;
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 51);
+        device.store_reference(&genome, 16).unwrap();
+        assert!(!device.has_faults());
+        let plan = FaultPlan {
+            seed: 2,
+            dead_row_rate: 1.0,
+            selftest_trials: 3,
+            ..FaultPlan::none()
+        };
+        device.install_faults(&plan, 6);
+        assert!(device.has_faults());
+        assert_eq!(device.quarantined_rows(), device.stored_rows());
+        let read = asmcap_genome::PackedSeq::from_seq(&genome.window(320..384));
+        let result = device.search_packed_with_faults(
+            &read,
+            6,
+            MatchMode::EdStar,
+            &mut rng(1),
+            &mut plan.read_fault_rng(1),
+        );
+        assert_eq!(result.stats.requarried, device.stored_rows() as u64);
+        // Quarantined rows answer exactly: the true origin matches.
+        assert!(result.matches.iter().any(|m| m.origin == 320));
+        device.install_faults(&FaultPlan::none(), 6);
+        assert!(!device.has_faults());
+        assert_eq!(device.quarantined_rows(), 0);
+    }
+
+    #[test]
+    fn faultless_faulted_search_is_byte_identical_to_plain() {
+        use crate::fault::FaultPlan;
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 52);
+        device.store_reference(&genome, 16).unwrap();
+        let read = asmcap_genome::PackedSeq::from_seq(&genome.window(160..224));
+        let plan = FaultPlan::none();
+        let mut rng_a = rng(61);
+        let mut rng_b = rng(61);
+        let plain = device.search_packed(&read, 4, MatchMode::EdStar, &mut rng_a);
+        let faulted = device.search_packed_with_faults(
+            &read,
+            4,
+            MatchMode::EdStar,
+            &mut rng_b,
+            &mut plan.read_fault_rng(61),
+        );
+        assert_eq!(plain, faulted);
+        assert_eq!(faulted.stats.resensed, 0);
+        assert_eq!(faulted.stats.requarried, 0);
+    }
+
+    #[test]
+    fn faulted_batch_is_byte_identical_to_solo_faulted() {
+        use crate::fault::FaultPlan;
+        let mut device = small_device();
+        let genome = GenomeModel::uniform().generate(offset_len(60, 64, 16), 53);
+        device.store_reference(&genome, 16).unwrap();
+        let plan = FaultPlan::paper_corner(17);
+        device.install_faults(&plan, 4);
+        let reads: Vec<asmcap_genome::PackedSeq> = (0..5)
+            .map(|i| asmcap_genome::PackedSeq::from_seq(&genome.window(i * 120..i * 120 + 64)))
+            .collect();
+        let mut rngs: Vec<_> = (0..5).map(|i| rng(700 + i)).collect();
+        let mut fault_rngs: Vec<_> = (0..5).map(|i| plan.read_fault_rng(700 + i)).collect();
+        let batched = device.search_packed_batch_with_faults(
+            &reads,
+            4,
+            MatchMode::EdStar,
+            &mut rngs,
+            &mut fault_rngs,
+        );
+        for (i, read) in reads.iter().enumerate() {
+            let solo = device.search_packed_with_faults(
+                read,
+                4,
+                MatchMode::EdStar,
+                &mut rng(700 + i as u64),
+                &mut plan.read_fault_rng(700 + i as u64),
+            );
+            assert_eq!(batched[i], solo, "faulted read {i} diverged");
+        }
+        // Masked with a full mask degenerates to the unmasked faulted walk.
+        let mask = RowMask::full(device.stored_rows());
+        for (i, read) in reads.iter().enumerate() {
+            let masked = device.search_packed_masked_with_faults(
+                read,
+                4,
+                MatchMode::EdStar,
+                &mask,
+                &mut rng(700 + i as u64),
+                &mut plan.read_fault_rng(700 + i as u64),
+            );
+            assert_eq!(batched[i], masked, "masked faulted read {i} diverged");
+        }
+        let masks: Vec<RowMask> = (0..5)
+            .map(|_| RowMask::full(device.stored_rows()))
+            .collect();
+        let mut rngs2: Vec<_> = (0..5).map(|i| rng(700 + i)).collect();
+        let mut fault_rngs2: Vec<_> = (0..5).map(|i| plan.read_fault_rng(700 + i)).collect();
+        assert_eq!(
+            device.search_packed_batch_masked_with_faults(
+                &reads,
+                4,
+                MatchMode::EdStar,
+                &masks,
+                &mut rngs2,
+                &mut fault_rngs2
+            ),
+            batched,
+        );
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub fn normal(mean: f64, sigma: f64, rng: &mut Rng) -> f64 {
     mean + sigma * standard_normal(rng)
 }
 
+/// Draws one uniform sample in `[0, 1)` — the Bernoulli primitive the
+/// fault-injection models use for per-cell and per-sense event draws.
+#[must_use]
+pub fn uniform(rng: &mut Rng) -> f64 {
+    rng.gen()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

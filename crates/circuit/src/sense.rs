@@ -83,6 +83,22 @@ impl<M: MlCam> SenseAmp<M> {
         self.cam.measure(n_mis, n, rng) <= self.policy.boundary_states(threshold)
     }
 
+    /// [`SenseAmp::decide`] with a systematic matchline offset in state
+    /// units — the fault-injection hook for per-array capacitance drift.
+    /// A positive offset pushes every measurement away from "match",
+    /// eroding the sense margin. `decide_with_offset(.., 0.0, ..)` draws
+    /// and decides exactly as [`SenseAmp::decide`].
+    pub fn decide_with_offset(
+        &self,
+        n_mis: usize,
+        n: usize,
+        threshold: usize,
+        offset_states: f64,
+        rng: &mut Rng,
+    ) -> bool {
+        self.cam.measure(n_mis, n, rng) + offset_states <= self.policy.boundary_states(threshold)
+    }
+
     /// Analytic probability that a row with `n_mis` mismatches is declared
     /// a match at `threshold`, assuming Gaussian sensing noise (and
     /// accounting for any systematic gain error of the model).

@@ -32,7 +32,7 @@
 //! [`asmcap_arch::AsmcapDevice::search_packed_masked`].
 
 use crate::mapper::MapperConfig;
-use asmcap_arch::{AsmcapDevice, DeviceSearchResult, MatchMode, RowId, RowMask};
+use asmcap_arch::{AsmcapDevice, DeviceSearchResult, FaultPlan, MatchMode, RowId, RowMask};
 use asmcap_circuit::ChargeDomainCam;
 use asmcap_genome::{DnaSeq, PackedRef, PackedSeq};
 use asmcap_metrics::ed_star_packed;
@@ -50,6 +50,12 @@ pub struct BackendOutcome {
     pub searches: u64,
     /// Energy in joules (0 for backends without a circuit energy model).
     pub energy_j: f64,
+    /// Rows where re-sense majority voting fired (0 without fault
+    /// injection).
+    pub resensed: u64,
+    /// Quarantined rows answered by the exact digital fallback (0 without
+    /// fault injection).
+    pub requarried: u64,
 }
 
 /// One execution engine the pipeline can map reads through.
@@ -199,13 +205,39 @@ pub fn segment_count(reference_len: usize, width: usize, stride: usize) -> usize
 pub struct DeviceBackend {
     device: AsmcapDevice<ChargeDomainCam>,
     config: MapperConfig,
+    fault: Option<FaultPlan>,
 }
 
 impl DeviceBackend {
     /// Wraps a device that already stores the segmented reference.
     #[must_use]
     pub fn new(device: AsmcapDevice<ChargeDomainCam>, config: MapperConfig) -> Self {
-        Self { device, config }
+        Self {
+            device,
+            config,
+            fault: None,
+        }
+    }
+
+    /// Installs `plan` on the wrapped device (instantiation + self-test
+    /// quarantine at this backend's threshold) and arms the per-read fault
+    /// streams. An inactive plan (e.g. [`FaultPlan::none`]) uninstalls all
+    /// fault state, leaving the backend byte-identical to a fresh one.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        self.device.install_faults(plan, self.config.threshold);
+        self.fault = plan.is_active().then(|| plan.clone());
+    }
+
+    /// The armed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Quarantined rows across the device (0 without faults).
+    #[must_use]
+    pub fn quarantined_rows(&self) -> usize {
+        self.device.quarantined_rows()
     }
 
     /// The wrapped device.
@@ -220,7 +252,9 @@ impl DeviceBackend {
         &self.config
     }
 
-    /// One device search, full or row-masked.
+    /// One device search, full or row-masked, optionally through the
+    /// installed fault model (the caller threads one fault stream per
+    /// read across all of that read's searches).
     fn search(
         &self,
         read: &PackedSeq,
@@ -228,12 +262,19 @@ impl DeviceBackend {
         mode: MatchMode,
         mask: Option<&RowMask>,
         rng: &mut crate::Rng,
+        fault_rng: Option<&mut crate::Rng>,
     ) -> DeviceSearchResult {
-        match mask {
-            Some(mask) => self
+        match (mask, fault_rng) {
+            (Some(mask), Some(fault_rng)) => self
+                .device
+                .search_packed_masked_with_faults(read, threshold, mode, mask, rng, fault_rng),
+            (Some(mask), None) => self
                 .device
                 .search_packed_masked(read, threshold, mode, mask, rng),
-            None => self.device.search_packed(read, threshold, mode, rng),
+            (None, Some(fault_rng)) => self
+                .device
+                .search_packed_with_faults(read, threshold, mode, rng, fault_rng),
+            (None, None) => self.device.search_packed(read, threshold, mode, rng),
         }
     }
 
@@ -249,24 +290,46 @@ impl DeviceBackend {
         );
         let t = self.config.threshold;
         // Same split as the deprecated `ReadMapper`: one stream for sensing
-        // noise, one for the host-side HDAC draw.
+        // noise, one for the host-side HDAC draw. Fault injection adds a
+        // third, dedicated stream so the first two keep their draw order.
         let mut sense_rng = crate::rng(seed);
         let mut host_rng = crate::rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut fault_rng = self.fault.as_ref().map(|plan| plan.read_fault_rng(seed));
         let mut searches = 0u64;
         let mut energy = 0.0f64;
+        let mut resensed = 0u64;
+        let mut requarried = 0u64;
 
         // Cycle 1 (after the latch): the ED* search.
-        let base = self.search(read, t, MatchMode::EdStar, mask, &mut sense_rng);
+        let base = self.search(
+            read,
+            t,
+            MatchMode::EdStar,
+            mask,
+            &mut sense_rng,
+            fault_rng.as_mut(),
+        );
         searches += 1;
         energy += base.stats.energy_j;
+        resensed += base.stats.resensed;
+        requarried += base.stats.requarried;
         let mut matched: BTreeMap<RowId, usize> = collect(&base);
 
         // HDAC: one HD-mode search, one host-side draw for the result MUX.
         if let Some(hdac) = self.config.hdac {
             if hdac.enabled(&self.config.profile, t) {
-                let hd = self.search(read, t, MatchMode::Hamming, mask, &mut sense_rng);
+                let hd = self.search(
+                    read,
+                    t,
+                    MatchMode::Hamming,
+                    mask,
+                    &mut sense_rng,
+                    fault_rng.as_mut(),
+                );
                 searches += 1;
                 energy += hd.stats.energy_j;
+                resensed += hd.stats.resensed;
+                requarried += hd.stats.requarried;
                 if host_rng.gen::<f64>() < hdac.probability(&self.config.profile, t) {
                     matched = collect(&hd);
                 }
@@ -280,10 +343,18 @@ impl DeviceBackend {
             if tasr.active(&self.config.profile, read.len(), t) {
                 for i in 1..=tasr.rotations {
                     let rotated_read = tasr.schedule.rotated_packed(read, i);
-                    let rotated =
-                        self.search(&rotated_read, t, MatchMode::EdStar, mask, &mut sense_rng);
+                    let rotated = self.search(
+                        &rotated_read,
+                        t,
+                        MatchMode::EdStar,
+                        mask,
+                        &mut sense_rng,
+                        fault_rng.as_mut(),
+                    );
                     searches += 1;
                     energy += rotated.stats.energy_j;
+                    resensed += rotated.stats.resensed;
+                    requarried += rotated.stats.requarried;
                     for (id, n_mis) in collect(&rotated) {
                         matched.entry(id).or_insert(n_mis);
                     }
@@ -302,6 +373,8 @@ impl DeviceBackend {
             cycles: 1 + searches,
             searches,
             energy_j: energy,
+            resensed,
+            requarried,
         }
     }
 
@@ -321,34 +394,65 @@ impl DeviceBackend {
     ) -> Vec<BackendOutcome> {
         let t = self.config.threshold;
         // Same stream split as `run`: one sensing stream and one host-side
-        // HDAC stream per read.
+        // HDAC stream per read, plus one dedicated fault stream per read
+        // when a fault plan is armed.
         let mut sense_rngs: Vec<crate::Rng> = seeds.iter().map(|&s| crate::rng(s)).collect();
         let mut host_rngs: Vec<crate::Rng> = seeds
             .iter()
             .map(|&s| crate::rng(s.wrapping_mul(0x9E37_79B9).wrapping_add(1)))
             .collect();
-        let search_batch =
-            |queue: &[PackedSeq], mode: MatchMode, rngs: &mut [crate::Rng]| match masks {
-                Some(masks) => self
+        let mut fault_rngs: Option<Vec<crate::Rng>> = self
+            .fault
+            .as_ref()
+            .map(|plan| seeds.iter().map(|&s| plan.read_fault_rng(s)).collect());
+        let search_batch = |queue: &[PackedSeq],
+                            mode: MatchMode,
+                            rngs: &mut [crate::Rng],
+                            fault_rngs: Option<&mut [crate::Rng]>| {
+            match (masks, fault_rngs) {
+                (Some(masks), Some(fault_rngs)) => {
+                    self.device.search_packed_batch_masked_with_faults(
+                        queue, t, mode, masks, rngs, fault_rngs,
+                    )
+                }
+                (Some(masks), None) => self
                     .device
                     .search_packed_batch_masked(queue, t, mode, masks, rngs),
-                None => self.device.search_packed_batch(queue, t, mode, rngs),
-            };
+                (None, Some(fault_rngs)) => self
+                    .device
+                    .search_packed_batch_with_faults(queue, t, mode, rngs, fault_rngs),
+                (None, None) => self.device.search_packed_batch(queue, t, mode, rngs),
+            }
+        };
 
         // Cycle 1 (after the latch): the ED* search, whole queue at once.
-        let base = search_batch(reads, MatchMode::EdStar, &mut sense_rngs);
+        let base = search_batch(
+            reads,
+            MatchMode::EdStar,
+            &mut sense_rngs,
+            fault_rngs.as_deref_mut(),
+        );
         let mut searches: Vec<u64> = vec![1; reads.len()];
         let mut energy: Vec<f64> = base.iter().map(|r| r.stats.energy_j).collect();
+        let mut resensed: Vec<u64> = base.iter().map(|r| r.stats.resensed).collect();
+        let mut requarried: Vec<u64> = base.iter().map(|r| r.stats.requarried).collect();
         let mut matched: Vec<BTreeMap<RowId, usize>> = base.iter().map(collect).collect();
 
         // HDAC: one batched HD-mode search, one host-side draw per read.
         if let Some(hdac) = self.config.hdac {
             if hdac.enabled(&self.config.profile, t) {
-                let hd = search_batch(reads, MatchMode::Hamming, &mut sense_rngs);
+                let hd = search_batch(
+                    reads,
+                    MatchMode::Hamming,
+                    &mut sense_rngs,
+                    fault_rngs.as_deref_mut(),
+                );
                 let p = hdac.probability(&self.config.profile, t);
                 for (i, result) in hd.iter().enumerate() {
                     searches[i] += 1;
                     energy[i] += result.stats.energy_j;
+                    resensed[i] += result.stats.resensed;
+                    requarried[i] += result.stats.requarried;
                     if host_rngs[i].gen::<f64>() < p {
                         matched[i] = collect(result);
                     }
@@ -365,10 +469,17 @@ impl DeviceBackend {
                         .iter()
                         .map(|read| tasr.schedule.rotated_packed(read, amount))
                         .collect();
-                    let results = search_batch(&rotated, MatchMode::EdStar, &mut sense_rngs);
+                    let results = search_batch(
+                        &rotated,
+                        MatchMode::EdStar,
+                        &mut sense_rngs,
+                        fault_rngs.as_deref_mut(),
+                    );
                     for (i, result) in results.iter().enumerate() {
                         searches[i] += 1;
                         energy[i] += result.stats.energy_j;
+                        resensed[i] += result.stats.resensed;
+                        requarried[i] += result.stats.requarried;
                         for (id, n_mis) in collect(result) {
                             matched[i].entry(id).or_insert(n_mis);
                         }
@@ -381,20 +492,25 @@ impl DeviceBackend {
             .into_iter()
             .zip(searches)
             .zip(energy)
-            .map(|((matched, searches), energy_j)| {
-                let mut positions: Vec<usize> = matched
-                    .keys()
-                    .filter_map(|&id| self.device.origin_of(id))
-                    .collect();
-                positions.sort_unstable();
-                positions.dedup();
-                BackendOutcome {
-                    positions,
-                    cycles: 1 + searches,
-                    searches,
-                    energy_j,
-                }
-            })
+            .zip(resensed.into_iter().zip(requarried))
+            .map(
+                |(((matched, searches), energy_j), (resensed, requarried))| {
+                    let mut positions: Vec<usize> = matched
+                        .keys()
+                        .filter_map(|&id| self.device.origin_of(id))
+                        .collect();
+                    positions.sort_unstable();
+                    positions.dedup();
+                    BackendOutcome {
+                        positions,
+                        cycles: 1 + searches,
+                        searches,
+                        energy_j,
+                        resensed,
+                        requarried,
+                    }
+                },
+            )
             .collect()
     }
 }
@@ -530,6 +646,7 @@ impl PairBackend {
             cycles: 1 + max_cycles,
             searches: max_cycles,
             energy_j: 0.0,
+            ..BackendOutcome::default()
         }
     }
 }
@@ -606,6 +723,7 @@ impl SoftwareBackend {
             cycles: 2,
             searches: 1,
             energy_j: 0.0,
+            ..BackendOutcome::default()
         }
     }
 }

@@ -94,6 +94,10 @@ pub use pipeline::{
 };
 pub use tasr::{RotationSchedule, Tasr, TasrParams};
 
+// The fault model lives in `asmcap-arch` (faults are a device artefact);
+// re-exported here because the pipeline config embeds the plan.
+pub use asmcap_arch::FaultPlan;
+
 // The prefilter's types live in `asmcap-genome` (the index is a genome
 // artefact, like the packing); re-exported here because the pipeline
 // config embeds them.

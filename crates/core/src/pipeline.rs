@@ -49,7 +49,7 @@ use crate::extension::{ExtensionConfig, ExtensionStage};
 use crate::hdac::HdacParams;
 use crate::mapper::MapperConfig;
 use crate::tasr::TasrParams;
-use asmcap_arch::DeviceBuilder;
+use asmcap_arch::{DeviceBuilder, FaultPlan};
 use asmcap_genome::{
     DnaSeq, ErrorProfile, PackedRef, PackedSeq, PrefilterConfig, PrefilterError, PrefilterIndex,
 };
@@ -95,6 +95,16 @@ pub struct PipelineConfig {
     /// field stays byte-identical to an extension-off run (pinned by
     /// `tests/packed_equivalence.rs`).
     pub extension: Option<ExtensionConfig>,
+    /// Device fault-injection plan, or `None` (the default) for a pristine
+    /// device. An **inactive** plan (e.g. [`FaultPlan::none`]) is treated
+    /// exactly like `None` — nothing is installed and every result stays
+    /// byte-identical. An active plan is only supported on
+    /// [`BackendKind::Device`]; other backends fail the build with
+    /// [`PipelineError::FaultUnsupported`]. Faults are installed **after**
+    /// the reference is stored, then each array's self-test quarantine scan
+    /// runs at the pipeline threshold (pinned by `tests/fault_injection.rs`
+    /// and the fault pins in `tests/packed_equivalence.rs`).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for PipelineConfig {
@@ -113,6 +123,7 @@ impl Default for PipelineConfig {
             seed: 0,
             prefilter: None,
             extension: None,
+            fault: None,
         }
     }
 }
@@ -202,6 +213,12 @@ pub enum PipelineError {
     BadPrefilter(PrefilterError),
     /// The segmented reference does not fit the device.
     Capacity(asmcap_arch::CapacityError),
+    /// An active fault plan was configured on a backend without a device
+    /// to inject faults into (only [`BackendKind::Device`] supports it).
+    FaultUnsupported {
+        /// Display name of the backend that cannot host the plan.
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -220,6 +237,10 @@ impl fmt::Display for PipelineError {
             PipelineError::ZeroStride => write!(f, "segmentation stride must be positive"),
             PipelineError::BadPrefilter(e) => write!(f, "bad prefilter configuration: {e}"),
             PipelineError::Capacity(e) => write!(f, "{e}"),
+            PipelineError::FaultUnsupported { backend } => write!(
+                f,
+                "fault injection requires the device backend ('{backend}' cannot host a fault plan)"
+            ),
         }
     }
 }
@@ -283,6 +304,16 @@ pub struct MapRecord {
     /// the extension stage is armed and a candidate aligned within the
     /// band. Always `None` with extension off.
     pub alignment: Option<Alignment>,
+    /// Rows where re-sense majority voting fired for this read (0 without
+    /// fault injection).
+    pub resensed: u64,
+    /// Quarantined rows answered by the exact digital fallback for this
+    /// read (0 without fault injection).
+    pub requarried: u64,
+    /// Whether any fault mitigation fired for this read
+    /// (`resensed + requarried > 0`) — the read completed, but through a
+    /// degraded path.
+    pub degraded: bool,
 }
 
 impl MapRecord {
@@ -316,6 +347,13 @@ pub struct PipelineStats {
     /// Reads that received an alignment from the extension stage (always
     /// zero with extension off).
     pub aligned: u64,
+    /// Reads that completed through a degraded path (any mitigation
+    /// fired; always zero without fault injection).
+    pub degraded: u64,
+    /// Total re-sense voting events across all reads.
+    pub resensed: u64,
+    /// Total quarantined-row digital fallbacks across all reads.
+    pub requarried: u64,
     /// Host wall-clock spent inside `map`/`map_batch`, in seconds.
     pub wall_s: f64,
 }
@@ -335,6 +373,9 @@ impl PipelineStats {
         if record.alignment.is_some() {
             self.aligned += 1;
         }
+        self.degraded += u64::from(record.degraded);
+        self.resensed += record.resensed;
+        self.requarried += record.requarried;
     }
 }
 
@@ -472,6 +513,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Arms seeded device fault injection ([`FaultPlan`]). Only the
+    /// [`BackendKind::Device`] backend can host a plan; building any other
+    /// backend with an active plan fails with
+    /// [`PipelineError::FaultUnsupported`]. An inactive plan (all rates
+    /// zero, e.g. [`FaultPlan::none`]) is equivalent to not calling this.
+    #[must_use]
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.config.fault = Some(plan);
+        self
+    }
+
     /// A user-supplied backend, overriding [`PipelineBuilder::backend`].
     /// The backend's row width replaces the configured one.
     #[must_use]
@@ -533,11 +585,19 @@ impl PipelineBuilder {
                 .extension
                 .map(|extension| ExtensionStage::new(reference, width, config.threshold, extension))
         };
+        // An active fault plan needs a simulated device to inject into.
+        let fault_active = config.fault.as_ref().is_some_and(FaultPlan::is_active);
+        let mut quarantined = 0usize;
         let (backend, prefilter, extension): (
             Box<dyn MappingBackend>,
             Option<PrefilterIndex>,
             Option<ExtensionStage>,
         ) = if let Some(custom) = self.custom {
+            if fault_active {
+                return Err(PipelineError::FaultUnsupported {
+                    backend: custom.name(),
+                });
+            }
             let width = custom.row_width();
             // Both optional stages need the reference; a custom backend
             // alone does not.
@@ -573,20 +633,41 @@ impl PipelineBuilder {
                     device
                         .store_reference(&reference, config.stride)
                         .map_err(PipelineError::Capacity)?;
-                    Box::new(DeviceBackend::new(device, config.mapper()))
+                    let mut backend = DeviceBackend::new(device, config.mapper());
+                    if let Some(plan) = &config.fault {
+                        // Install after the reference is stored, so faults
+                        // land on occupied rows and the self-test scan sees
+                        // the real stored words. An inactive plan is a
+                        // no-op by construction.
+                        backend.install_fault_plan(plan);
+                        quarantined = backend.quarantined_rows();
+                    }
+                    Box::new(backend)
                 }
-                BackendKind::Pair => Box::new(PairBackend::new(
-                    reference,
-                    config.stride,
-                    config.row_width,
-                    config.mapper(),
-                )),
-                BackendKind::Software => Box::new(SoftwareBackend::new(
-                    reference,
-                    config.stride,
-                    config.row_width,
-                    config.threshold,
-                )),
+                BackendKind::Pair => {
+                    if fault_active {
+                        return Err(PipelineError::FaultUnsupported { backend: "pair" });
+                    }
+                    Box::new(PairBackend::new(
+                        reference,
+                        config.stride,
+                        config.row_width,
+                        config.mapper(),
+                    ))
+                }
+                BackendKind::Software => {
+                    if fault_active {
+                        return Err(PipelineError::FaultUnsupported {
+                            backend: "software",
+                        });
+                    }
+                    Box::new(SoftwareBackend::new(
+                        reference,
+                        config.stride,
+                        config.row_width,
+                        config.threshold,
+                    ))
+                }
             };
             (backend, prefilter, extension)
         };
@@ -603,6 +684,8 @@ impl PipelineBuilder {
             extension,
             workers,
             seed: config.seed,
+            fault_armed: fault_active,
+            quarantined,
             counter: AtomicU64::new(0),
             stats: Mutex::new(PipelineStats::default()),
         })
@@ -619,6 +702,8 @@ pub struct AsmcapPipeline {
     width: usize,
     workers: usize,
     seed: u64,
+    fault_armed: bool,
+    quarantined: usize,
     counter: AtomicU64,
     stats: Mutex<PipelineStats>,
 }
@@ -675,6 +760,19 @@ impl AsmcapPipeline {
     #[must_use]
     pub fn extension_armed(&self) -> bool {
         self.extension.is_some()
+    }
+
+    /// Whether an active fault plan is installed on the device.
+    #[must_use]
+    pub fn fault_armed(&self) -> bool {
+        self.fault_armed
+    }
+
+    /// Rows quarantined by the install-time self-test scan. Zero when no
+    /// fault plan is armed; static after build.
+    #[must_use]
+    pub fn quarantined_rows(&self) -> usize {
+        self.quarantined
     }
 
     /// Aggregated statistics across everything mapped so far.
@@ -773,6 +871,9 @@ impl AsmcapPipeline {
                         searches: 0,
                         energy_j: 0.0,
                         alignment: None,
+                        resensed: 0,
+                        requarried: 0,
+                        degraded: false,
                     };
                 }
                 let outcome = outcomes
@@ -798,6 +899,9 @@ impl AsmcapPipeline {
                     searches: outcome.searches,
                     energy_j: outcome.energy_j,
                     alignment,
+                    resensed: outcome.resensed,
+                    requarried: outcome.requarried,
+                    degraded: outcome.resensed + outcome.requarried > 0,
                 }
             })
             .collect()
@@ -813,6 +917,9 @@ impl AsmcapPipeline {
                 searches: 0,
                 energy_j: 0.0,
                 alignment: None,
+                resensed: 0,
+                requarried: 0,
+                degraded: false,
             };
         }
         let truncated = read.len() > self.width;
@@ -839,6 +946,9 @@ impl AsmcapPipeline {
             searches: outcome.searches,
             energy_j: outcome.energy_j,
             alignment,
+            resensed: outcome.resensed,
+            requarried: outcome.requarried,
+            degraded: outcome.resensed + outcome.requarried > 0,
         }
     }
 
@@ -1151,6 +1261,7 @@ mod tests {
                     cycles: 2,
                     searches: 1,
                     energy_j: 0.0,
+                    ..BackendOutcome::default()
                 }
             }
         }
@@ -1217,5 +1328,120 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(read_seed(7, 42), read_seed(7, 42));
+    }
+
+    #[test]
+    fn active_fault_plan_requires_the_device_backend() {
+        let genome = GenomeModel::uniform().generate(2_048, 3);
+        let build_with = |backend: BackendKind, plan: FaultPlan| {
+            AsmcapPipeline::builder()
+                .reference(genome.clone())
+                .config(PipelineConfig {
+                    threshold: 2,
+                    row_width: 64,
+                    ..PipelineConfig::default()
+                })
+                .backend(backend)
+                .fault(plan)
+                .build()
+        };
+        for backend in [BackendKind::Pair, BackendKind::Software] {
+            let err = build_with(backend, FaultPlan::paper_corner(1)).unwrap_err();
+            assert!(matches!(err, PipelineError::FaultUnsupported { .. }));
+            assert!(err.to_string().contains("device"), "{err}");
+            // An inactive plan is a no-op on every backend.
+            let pipeline = build_with(backend, FaultPlan::none()).unwrap();
+            assert!(!pipeline.fault_armed());
+            assert_eq!(pipeline.quarantined_rows(), 0);
+        }
+    }
+
+    #[test]
+    fn inactive_fault_plan_on_device_is_byte_identical_to_none() {
+        let genome = GenomeModel::uniform().generate(2_048, 3);
+        let build = |plan: Option<FaultPlan>| {
+            let mut builder = AsmcapPipeline::builder()
+                .reference(genome.clone())
+                .config(PipelineConfig {
+                    threshold: 2,
+                    row_width: 64,
+                    ..PipelineConfig::default()
+                })
+                .backend(BackendKind::Device)
+                .workers(2);
+            if let Some(plan) = plan {
+                builder = builder.fault(plan);
+            }
+            builder.build().unwrap()
+        };
+        let plain = build(None);
+        let off = build(Some(FaultPlan::none()));
+        assert!(!off.fault_armed());
+        let reads: Vec<DnaSeq> = (0..8)
+            .map(|i| genome.window(i * 64..(i + 1) * 64))
+            .collect();
+        assert_eq!(plain.map_batch(&reads), off.map_batch(&reads));
+    }
+
+    #[test]
+    fn fault_plan_degradation_is_observable_and_deterministic() {
+        let genome = GenomeModel::uniform().generate(4_096, 11);
+        let build = |workers: usize| {
+            AsmcapPipeline::builder()
+                .reference(genome.clone())
+                .config(PipelineConfig {
+                    threshold: 2,
+                    row_width: 64,
+                    seed: 0x0DD5,
+                    ..PipelineConfig::default()
+                })
+                .backend(BackendKind::Device)
+                .fault(FaultPlan {
+                    dead_row_rate: 0.05,
+                    transient_flip_rate: 0.01,
+                    resense_votes: 3,
+                    ..FaultPlan::paper_corner(9)
+                })
+                .workers(workers)
+                .build()
+                .unwrap()
+        };
+        let pipeline = build(1);
+        assert!(pipeline.fault_armed());
+        assert!(
+            pipeline.quarantined_rows() > 0,
+            "5% dead rows must trip the self-test"
+        );
+        let reads: Vec<DnaSeq> = (0..16)
+            .map(|i| genome.window(i * 64..(i + 1) * 64))
+            .collect();
+        let records = pipeline.map_batch(&reads);
+        let stats = pipeline.stats();
+        // Every mitigated read is flagged, and the aggregate counters
+        // account for exactly the per-record ones.
+        assert_eq!(
+            stats.degraded,
+            records.iter().filter(|r| r.degraded).count() as u64
+        );
+        assert_eq!(
+            stats.resensed,
+            records.iter().map(|r| r.resensed).sum::<u64>()
+        );
+        assert_eq!(
+            stats.requarried,
+            records.iter().map(|r| r.requarried).sum::<u64>()
+        );
+        assert!(stats.requarried > 0, "quarantined rows must be consulted");
+        for record in &records {
+            assert_eq!(record.degraded, record.resensed + record.requarried > 0);
+        }
+        // Same seed + plan => identical records, independent of workers.
+        for workers in [2usize, 8] {
+            assert_eq!(
+                build(workers).map_batch(&reads),
+                records,
+                "workers={workers}"
+            );
+        }
     }
 }

@@ -25,6 +25,10 @@
 //!                     --extension)
 //!   --ext-candidates N  origins aligned per read (default 4, implies
 //!                     --extension)
+//!   --fault-preset P  none|paper-corner — arm the device fault model
+//!                     (default none; requires --backend device)
+//!   --fault-seed N    fault-plan seed (default 0xFA17, implies
+//!                     --fault-preset paper-corner)
 //! ```
 //!
 //! Output columns: `read_id  n_candidates  positions(;)  cycles  status`;
@@ -84,6 +88,7 @@ fn run() -> Result<(), String> {
     }
     config.prefilter = parse_prefilter(&args)?;
     config.extension = parse_extension(&args)?;
+    config.fault = parse_fault(&args)?;
     let backend = match flag_value(&args, "--backend") {
         Some(name) => BackendKind::parse(&name)?,
         None => BackendKind::Device,
@@ -195,6 +200,25 @@ fn parse_extension(args: &[String]) -> Result<Option<asmcap::ExtensionConfig>, S
     Ok(Some(extension))
 }
 
+/// Parses the fault-injection flag family. `--fault-seed` implies the
+/// paper-corner preset; `--fault-preset none` (the default) leaves the
+/// device pristine.
+fn parse_fault(args: &[String]) -> Result<Option<asmcap::FaultPlan>, String> {
+    let seed: u64 = match flag_value(args, "--fault-seed") {
+        Some(n) => n.parse().map_err(|_| format!("bad fault seed '{n}'"))?,
+        None => 0xFA17,
+    };
+    match flag_value(args, "--fault-preset").as_deref() {
+        Some("paper-corner") => Ok(Some(asmcap::FaultPlan::paper_corner(seed))),
+        Some("none") => Ok(None),
+        Some(other) => Err(format!("bad fault preset '{other}' (none|paper-corner)")),
+        None if args.iter().any(|a| a == "--fault-seed") => {
+            Ok(Some(asmcap::FaultPlan::paper_corner(seed)))
+        }
+        None => Ok(None),
+    }
+}
+
 fn demo_data(row_width: usize) -> (DnaSeq, Vec<fastq::FastqRecord>) {
     use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
     let genome = GenomeModel::human_like().generate(20_000, 7);
@@ -252,6 +276,12 @@ options:
                     implies --extension)
   --ext-candidates N  candidate origins aligned per read (default 4;
                     implies --extension)
+  --fault-preset P  none|paper-corner — arm the seeded device fault model:
+                    stuck cells, dead rows, capacitance drift, transient
+                    sense flips, with re-sense voting and install-time row
+                    quarantine (default none; requires --backend device)
+  --fault-seed N    fault-plan seed (default 0xFA17; implies
+                    --fault-preset paper-corner)
   --demo            generate a reference and reads instead of reading files
 
 output (TSV): read_id  n_candidates  positions(;-separated, * if none)

@@ -181,6 +181,12 @@ impl MapRun {
         if s.aligned > 0 {
             summary.push_str(&format!("\nextension: {} reads aligned", s.aligned));
         }
+        if s.degraded > 0 || s.resensed > 0 || s.requarried > 0 {
+            summary.push_str(&format!(
+                "\nfaults: {} reads degraded ({} re-senses, {} quarantined-row hits)",
+                s.degraded, s.resensed, s.requarried
+            ));
+        }
         summary
     }
 }

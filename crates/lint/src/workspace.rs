@@ -199,6 +199,16 @@ mod tests {
         assert!(serve.determinism && serve.panic_policy && !serve.timing_allowed);
         assert!(context_for("crates/serve/src/perf.rs").timing_allowed);
 
+        // The fault model draws every fault from seeded streams; D101
+        // (no entropy-seeded RNG) and D102 (no free timing) must cover
+        // it, or a stray `thread_rng` would silently break the
+        // faults-on determinism pins.
+        let fault = context_for("crates/arch/src/fault.rs");
+        assert!(fault.determinism && !fault.timing_allowed);
+        assert_eq!(fault.unsafe_policy, UnsafePolicy::Forbidden);
+        // Same for the sense path the faults are injected into.
+        assert!(context_for("crates/arch/src/array.rs").determinism);
+
         assert!(context_for("src/lib.rs").crate_root);
         assert!(context_for("crates/genome/src/lib.rs").crate_root);
         assert!(!context_for("crates/genome/src/kmer.rs").crate_root);

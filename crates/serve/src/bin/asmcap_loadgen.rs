@@ -17,12 +17,17 @@
 //!   --read-seed N     read sampling seed (default 11)
 //!   --out PATH        write the sweep summary as JSON
 //!   --shutdown        send a shutdown request after the last run
+//!   --chaos           make ~2/3 of clients hostile: mid-frame connection
+//!                     aborts and stalled readers (robustness soak)
+//!   --chaos-seed N    seed for the chaos behavior draw (default 13)
 //! ```
 //!
 //! Each client runs a paced sender thread and a receiver thread;
-//! round-trip latency is measured per request id. Every map request gets
-//! exactly one response (map reply or typed overload), so a run is
-//! complete when `requests` responses have arrived per client.
+//! round-trip latency is measured per request id. Every **successfully
+//! sent** map request gets exactly one response (map reply or typed
+//! overload), so a run is complete when that many responses have arrived
+//! per client; a failed send is counted in `send_errors`, never as a
+//! completed request.
 //!
 //! Reads are sampled from the same generated reference the server
 //! stores (Condition-A error profile), so the mapped fraction is high
@@ -30,12 +35,13 @@
 //! deterministic regardless of pacing.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use asmcap_genome::{ErrorProfile, GenomeModel, ReadSampler};
 use asmcap_serve::perf::{self, LatencyHistogram, LatencySummary};
-use asmcap_serve::{MapClient, OverloadReason, Request, Response};
+use asmcap_serve::{MapClient, OverloadReason, Request, Response, WireError};
 use rand::Rng as _;
 
 fn main() -> ExitCode {
@@ -60,6 +66,10 @@ struct RunResult {
     rejected: u64,
     queue_full: u64,
     shed: u64,
+    deadline: u64,
+    send_errors: u64,
+    chaos_resets: u64,
+    chaos_stalls: u64,
     elapsed_s: f64,
     latency: Option<LatencySummary>,
 }
@@ -103,6 +113,11 @@ fn run() -> Result<(), String> {
         None => vec![parse_or(&args, "--rate", 100_000)?],
     };
     let window: u64 = parse_or(&args, "--window", 0)?;
+    let chaos: Option<u64> = if args.iter().any(|a| a == "--chaos") {
+        Some(parse_or(&args, "--chaos-seed", 13)?)
+    } else {
+        None
+    };
     if clients == 0 || requests == 0 || rates.is_empty() {
         return Err("need at least one client, one request, and one rate".to_string());
     }
@@ -157,6 +172,7 @@ fn run() -> Result<(), String> {
             window,
             round as u64,
             &reads_per_client,
+            chaos,
         )?;
         print_result(&result);
         results.push(result);
@@ -178,9 +194,34 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+/// How one chaos client misbehaves (drawn deterministically from the
+/// chaos seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosMode {
+    /// Well-behaved: the normal paced sender/receiver pair.
+    Normal,
+    /// Sends part of the stream, then a torn half-frame, then shuts the
+    /// socket — the server must answer with a drop-for-cause, not a
+    /// panic.
+    MidFrameAbort,
+    /// Sends everything but stops reading replies for a while — the
+    /// server's slow-reader policy must keep the executor unblocked.
+    StalledReader,
+}
+
+/// SplitMix64 finalizer for the chaos behavior draw (seeded; a chaos
+/// run's misbehavior pattern reproduces).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Drives one offered-load point: `clients` connections, `requests` map
 /// requests each, paced to `rate` reads/s aggregate (0 = unpaced), with
-/// at most `window` requests in flight per client (0 = uncapped).
+/// at most `window` requests in flight per client (0 = uncapped). With
+/// `chaos` set, roughly two thirds of the clients turn hostile.
 #[allow(clippy::too_many_arguments)]
 fn run_once(
     addr: &str,
@@ -190,6 +231,7 @@ fn run_once(
     window: u64,
     round: u64,
     reads_per_client: &[Vec<Vec<u8>>],
+    chaos: Option<u64>,
 ) -> Result<RunResult, String> {
     let interval = if rate == 0 {
         Duration::ZERO
@@ -225,10 +267,21 @@ fn run_once(
     let mut workers = Vec::with_capacity(clients);
     for (client_idx, frames) in frames_per_client.into_iter().enumerate() {
         let addr = addr.to_string();
+        let mode = match chaos {
+            None => ChaosMode::Normal,
+            Some(seed) => match mix(seed ^ (round << 32) ^ client_idx as u64) % 3 {
+                0 => ChaosMode::Normal,
+                1 => ChaosMode::MidFrameAbort,
+                _ => ChaosMode::StalledReader,
+            },
+        };
         let handle = std::thread::Builder::new()
             .name(format!("loadgen-client-{client_idx}"))
-            .spawn(move || {
-                client_thread(&addr, client_idx as u64, requests, interval, window, frames)
+            .spawn(move || match mode {
+                ChaosMode::Normal => {
+                    client_thread(&addr, client_idx as u64, requests, interval, window, frames)
+                }
+                hostile => chaos_client_thread(&addr, hostile, &frames),
             })
             .map_err(|e| format!("spawning client thread: {e}"))?;
         workers.push(handle);
@@ -252,6 +305,10 @@ fn run_once(
         rejected: total.rejected,
         queue_full: total.queue_full,
         shed: total.shed,
+        deadline: total.deadline,
+        send_errors: total.send_errors,
+        chaos_resets: total.chaos_resets,
+        chaos_stalls: total.chaos_stalls,
         elapsed_s,
         latency: total.latency.summary(),
     })
@@ -266,6 +323,10 @@ struct ClientTally {
     rejected: u64,
     queue_full: u64,
     shed: u64,
+    deadline: u64,
+    send_errors: u64,
+    chaos_resets: u64,
+    chaos_stalls: u64,
     latency: LatencyHistogram,
 }
 
@@ -277,6 +338,10 @@ impl ClientTally {
         self.rejected += other.rejected;
         self.queue_full += other.queue_full;
         self.shed += other.shed;
+        self.deadline += other.deadline;
+        self.send_errors += other.send_errors;
+        self.chaos_resets += other.chaos_resets;
+        self.chaos_stalls += other.chaos_stalls;
         self.latency.merge(&other.latency);
     }
 }
@@ -303,15 +368,29 @@ fn client_thread(
     let (mut tx, mut rx) = client
         .into_split()
         .map_err(|e| format!("splitting client stream: {e}"))?;
+    rx.set_read_timeout(Some(Duration::from_millis(500)))
+        .map_err(|e| format!("arming receive timeout: {e}"))?;
     let slots = usize::try_from(requests).unwrap_or(usize::MAX);
     let in_flight: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; slots]));
     // Closed-loop credits: the sender spends one per request, the
     // receiver returns one per response. Zero window = open loop.
     let credits: Arc<(Mutex<u64>, Condvar)> = Arc::new((Mutex::new(window), Condvar::new()));
+    // Send-side truth shared with the receiver: how many requests
+    // actually went out, and whether the sender is finished. A failed
+    // send is counted in `send_errors` and NEVER as a completed request
+    // — the receiver only waits for replies to what was really sent.
+    let sent = Arc::new(AtomicU64::new(0));
+    let send_errors = Arc::new(AtomicU64::new(0));
+    let sender_done = Arc::new(AtomicBool::new(false));
+    let sender_failed = Arc::new(AtomicBool::new(false));
 
     let sender = {
         let in_flight = Arc::clone(&in_flight);
         let credits = Arc::clone(&credits);
+        let sent = Arc::clone(&sent);
+        let send_errors = Arc::clone(&send_errors);
+        let sender_done = Arc::clone(&sender_done);
+        let sender_failed = Arc::clone(&sender_failed);
         std::thread::Builder::new()
             .name(format!("loadgen-send-{client_idx}"))
             .spawn(move || -> Result<(), String> {
@@ -327,6 +406,10 @@ fn client_thread(
                     }
                 };
                 let mut next_send = perf::now();
+                // A send/flush failure stops the sender: the unsent
+                // remainder is tallied as send errors, and `sent` stays
+                // the receiver's reply target.
+                let mut result = Ok(());
                 for i in 0..requests {
                     if !interval.is_zero() && i % pace_burst == 0 {
                         let now = perf::now();
@@ -344,7 +427,12 @@ fn client_thread(
                             // Push buffered frames out before sleeping:
                             // their replies are the only credit source.
                             drop(avail);
-                            tx.flush().map_err(|e| format!("send flush: {e}"))?;
+                            if let Err(e) = tx.flush() {
+                                result = Err(format!("send flush: {e}"));
+                                // lint: relaxed-ok — summary counter, read after join
+                                send_errors.fetch_add(requests - i, Ordering::Relaxed);
+                                break;
+                            }
                             avail = credits.0.lock().expect("credit lock poisoned");
                             while *avail == 0 {
                                 avail = returned.wait(avail).expect("credit lock poisoned");
@@ -361,16 +449,38 @@ fn client_thread(
                     {
                         *entry = Some(perf::now());
                     }
-                    tx.send_framed(frame).map_err(|e| format!("send: {e}"))?;
+                    if let Err(e) = tx.send_framed(frame) {
+                        result = Err(format!("send: {e}"));
+                        // lint: relaxed-ok — summary counter, read after join
+                        send_errors.fetch_add(requests - i, Ordering::Relaxed);
+                        break;
+                    }
+                    // lint: relaxed-ok — receiver re-reads it every poll tick
+                    sent.fetch_add(1, Ordering::Relaxed);
                     // Flush at burst boundaries so frames go out on
                     // schedule, and periodically in between so no block
                     // of frames outlives the buffer.
                     if i % 64 == 63 || (!interval.is_zero() && (i + 1) % pace_burst == 0) {
-                        tx.flush().map_err(|e| format!("send flush: {e}"))?;
+                        if let Err(e) = tx.flush() {
+                            result = Err(format!("send flush: {e}"));
+                            // lint: relaxed-ok — summary counter, read after join
+                            send_errors.fetch_add(requests - i - 1, Ordering::Relaxed);
+                            break;
+                        }
                     }
                 }
-                tx.flush().map_err(|e| format!("send flush: {e}"))?;
-                Ok(())
+                if result.is_ok() {
+                    if let Err(e) = tx.flush() {
+                        result = Err(format!("send flush: {e}"));
+                    }
+                }
+                if result.is_err() {
+                    // lint: relaxed-ok — advisory one-way flag, polled
+                    sender_failed.store(true, Ordering::Relaxed);
+                }
+                // lint: relaxed-ok — advisory one-way flag, polled
+                sender_done.store(true, Ordering::Relaxed);
+                result
             })
             .map_err(|e| format!("spawning sender thread: {e}"))?
     };
@@ -384,19 +494,67 @@ fn client_thread(
     };
     let mut tally = ClientTally::default();
     let mut received = 0u64;
-    while received < requests {
-        let response = rx.recv().map_err(|e| format!("recv: {e}"))?;
-        return_credit();
-        tally_response(
-            response,
-            &mut in_flight.lock().expect("in-flight table lock poisoned"),
-            &mut tally,
-        )?;
-        received += 1;
+    // Wait only for replies to requests that actually went out; the
+    // 500 ms receive timeout turns the blocking read into a poll so the
+    // exit condition is re-checked even when the stream idles.
+    loop {
+        // lint: relaxed-ok — `sent` only grows; a stale read just loops once more
+        if sender_done.load(Ordering::Relaxed) && received >= sent.load(Ordering::Relaxed) {
+            break;
+        }
+        match rx.recv() {
+            Ok(response) => {
+                return_credit();
+                tally_response(
+                    response,
+                    &mut in_flight.lock().expect("in-flight table lock poisoned"),
+                    &mut tally,
+                )?;
+                received += 1;
+            }
+            Err(WireError::Io(std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)) => {
+                // Idle poll tick. A failed sender may have lost frames in
+                // its buffer — their replies will never come, so stop
+                // once the stream goes quiet.
+                // lint: relaxed-ok — one-way flags; a stale read retries the poll
+                if sender_failed.load(Ordering::Relaxed) && sender_done.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(e) => {
+                // lint: relaxed-ok — one-way flag; a stale read falls to the retry
+                if sender_done.load(Ordering::Relaxed) {
+                    // The tail of replies is lost with the connection;
+                    // what was received still counts.
+                    break;
+                }
+                // Give the sender a beat to notice the same breakage,
+                // then fail the run loudly — a healthy-server loadgen run
+                // should never lose its reply stream mid-send.
+                std::thread::sleep(Duration::from_millis(50));
+                // lint: relaxed-ok — one-way flag, re-checked after the grace beat
+                if sender_done.load(Ordering::Relaxed) {
+                    break;
+                }
+                return Err(format!("recv: {e}"));
+            }
+        }
     }
-    sender
+    // Unblock a sender still parked on closed-loop credits (possible if
+    // the receiver broke out early), then collect its verdict.
+    if window > 0 {
+        let (avail, returned) = &*credits;
+        *avail.lock().expect("credit lock poisoned") += requests;
+        returned.notify_all();
+    }
+    if let Err(e) = sender
         .join()
-        .map_err(|_| "sender thread panicked".to_string())??;
+        .map_err(|_| "sender thread panicked".to_string())?
+    {
+        eprintln!("asmcap-loadgen: client {client_idx} sender stopped early: {e}");
+    }
+    // lint: relaxed-ok — read after the sender thread is joined
+    tally.send_errors += send_errors.load(Ordering::Relaxed);
     Ok(tally)
 }
 
@@ -431,29 +589,119 @@ fn closed_loop_thread(
         tx.send_framed(frame).map_err(|e| format!("send: {e}"))
     };
 
+    // A send/flush failure ends the sending side: the unsent remainder
+    // becomes `send_errors` (never counted as completed), and the drain
+    // below settles for the replies already owed.
+    let mut send_failed = false;
     while next < window.min(requests) {
-        send_one(&mut tx, &mut sent_at, next)?;
+        if send_one(&mut tx, &mut sent_at, next).is_err() {
+            tally.send_errors += requests - next;
+            send_failed = true;
+            break;
+        }
         next += 1;
     }
-    tx.flush().map_err(|e| format!("send flush: {e}"))?;
+    if !send_failed && tx.flush().is_err() {
+        tally.send_errors += requests - next;
+        send_failed = true;
+    }
 
     // Trade half-window blocks: small enough to keep the server fed,
     // large enough to amortize the flush syscall.
     let block = (window / 2).clamp(1, 64);
-    while received < requests {
+    'drain: while received < next {
         let burst = block.min(next - received);
         for _ in 0..burst {
-            let response = rx.recv().map_err(|e| format!("recv: {e}"))?;
-            tally_response(response, &mut sent_at, &mut tally)?;
-            received += 1;
+            match rx.recv() {
+                Ok(response) => {
+                    tally_response(response, &mut sent_at, &mut tally)?;
+                    received += 1;
+                }
+                Err(e) if send_failed => {
+                    // The connection died with the send side; whatever
+                    // replies are missing are already accounted as send
+                    // errors' counterparts.
+                    let _ = e;
+                    break 'drain;
+                }
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+        if send_failed {
+            continue;
         }
         let refill = burst.min(requests - next);
         for _ in 0..refill {
-            send_one(&mut tx, &mut sent_at, next)?;
+            if send_one(&mut tx, &mut sent_at, next).is_err() {
+                tally.send_errors += requests - next;
+                send_failed = true;
+                break;
+            }
             next += 1;
         }
-        if refill > 0 {
-            tx.flush().map_err(|e| format!("send flush: {e}"))?;
+        if refill > 0 && !send_failed && tx.flush().is_err() {
+            tally.send_errors += requests - next;
+            send_failed = true;
+        }
+    }
+    Ok(tally)
+}
+
+/// One hostile connection. Failures here are the point — everything is
+/// best-effort and the tally records what the server managed to answer;
+/// the real assertion (made by the chaos CI job) is that the server
+/// neither panics nor wedges.
+fn chaos_client_thread(
+    addr: &str,
+    mode: ChaosMode,
+    frames: &[Vec<u8>],
+) -> Result<ClientTally, String> {
+    let mut tally = ClientTally::default();
+    let Ok(client) = MapClient::connect(addr) else {
+        // A refused connect under chaos load is a valid outcome.
+        return Ok(tally);
+    };
+    let Ok((mut tx, mut rx)) = client.into_split() else {
+        return Ok(tally);
+    };
+    let _ = rx.set_read_timeout(Some(Duration::from_millis(200)));
+    match mode {
+        ChaosMode::Normal => unreachable!("normal clients use client_thread"),
+        ChaosMode::MidFrameAbort => {
+            let half = frames.len() / 2;
+            for frame in frames.iter().take(half) {
+                if tx.send_framed(frame).is_err() {
+                    break;
+                }
+            }
+            // A torn frame — half the bytes of the next request — then
+            // the socket slams shut. The server must classify this as a
+            // truncated frame and drop the connection for cause.
+            if let Some(frame) = frames.get(half) {
+                // lint: index-ok — half of the frame's own length
+                let _ = tx.send_framed(&frame[..frame.len() / 2]);
+            }
+            let _ = tx.flush();
+            let _ = tx.abort();
+            tally.chaos_resets = 1;
+        }
+        ChaosMode::StalledReader => {
+            for frame in frames {
+                if tx.send_framed(frame).is_err() {
+                    break;
+                }
+            }
+            let _ = tx.flush();
+            let _ = tx.finish();
+            tally.chaos_stalls = 1;
+            // Stop reading long enough for the reply stream to back up
+            // against the server's write timeout, then drain whatever
+            // survives until the stream idles or dies.
+            std::thread::sleep(Duration::from_millis(400));
+            let mut empty: [Option<Instant>; 0] = [];
+            while let Ok(response) = rx.recv() {
+                let _ = tally_response(response, &mut empty, &mut tally);
+            }
         }
     }
     Ok(tally)
@@ -488,12 +736,13 @@ fn tally_response(
             match reason {
                 OverloadReason::QueueFull => tally.queue_full += 1,
                 OverloadReason::Shed => tally.shed += 1,
+                OverloadReason::Deadline => tally.deadline += 1,
             }
         }
         Response::ProtocolError { code, detail } => {
             return Err(format!("server protocol error {code}: {detail}"));
         }
-        Response::Stats(_) | Response::ShutdownAck => {
+        Response::Stats(_) | Response::ShutdownAck | Response::Health(_) => {
             return Err("unexpected response type during load run".to_string());
         }
     }
@@ -519,14 +768,23 @@ fn print_result(result: &RunResult) {
         result.elapsed_s
     );
     println!(
-        "  mapped {}  unmapped {}  truncated {}  rejected {}  queue_full {}  shed {}",
+        "  mapped {}  unmapped {}  truncated {}  rejected {}  queue_full {}  shed {}  \
+         deadline {}  send_errors {}",
         result.mapped,
         result.unmapped,
         result.truncated,
         result.rejected,
         result.queue_full,
-        result.shed
+        result.shed,
+        result.deadline,
+        result.send_errors
     );
+    if result.chaos_resets + result.chaos_stalls > 0 {
+        println!(
+            "  chaos: mid-frame aborts {}  stalled readers {}",
+            result.chaos_resets, result.chaos_stalls
+        );
+    }
     match &result.latency {
         Some(latency) => println!(
             "  latency_us  p50 {}  p90 {}  p99 {}  max {}  mean {:.0}  (n={})",
@@ -556,6 +814,10 @@ fn to_json(results: &[RunResult]) -> String {
         out.push_str(&format!("\"rejected\": {}, ", r.rejected));
         out.push_str(&format!("\"queue_full\": {}, ", r.queue_full));
         out.push_str(&format!("\"shed\": {}, ", r.shed));
+        out.push_str(&format!("\"deadline\": {}, ", r.deadline));
+        out.push_str(&format!("\"send_errors\": {}, ", r.send_errors));
+        out.push_str(&format!("\"chaos_resets\": {}, ", r.chaos_resets));
+        out.push_str(&format!("\"chaos_stalls\": {}, ", r.chaos_stalls));
         out.push_str(&format!("\"elapsed_s\": {:.6}, ", r.elapsed_s));
         out.push_str(&format!("\"achieved_rps\": {:.1}", r.achieved_rps()));
         if let Some(latency) = &r.latency {
@@ -616,4 +878,7 @@ options:
   --read-seed N     read sampling seed (default 11)
   --out PATH        write the sweep summary as JSON
   --shutdown        send a shutdown request after the last run
+  --chaos           make ~2/3 of clients hostile (mid-frame aborts and
+                    stalled readers) to soak the server's fault handling
+  --chaos-seed N    seed for the chaos behavior draw (default 13)
 ";

@@ -20,6 +20,14 @@
 //!   --batch-max N     largest coalesced batch (default 256)
 //!   --flush-us N      partial-batch flush timeout, microseconds (default 500)
 //!   --max-conns N     concurrent connection cap (default 64)
+//!   --deadline-us N   per-request queue deadline in microseconds; requests
+//!                     still queued past it are answered with a Deadline
+//!                     overload instead of being mapped (default 0 = off)
+//!   --drain-timeout-ms N  shutdown drain bound before stragglers are
+//!                     force-closed (default 10000)
+//!   --fault-preset P  none|paper-corner — arm the device fault model
+//!                     (default none; requires --backend device)
+//!   --fault-seed N    fault-plan seed for the preset (default 0xFA17)
 //!   --no-remote-shutdown  refuse client shutdown requests (default: allowed,
 //!                     so the load generator / CI harness can stop the server)
 //! ```
@@ -30,7 +38,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use asmcap::{AsmcapPipeline, BackendKind, PipelineConfig, PrefilterConfig};
+use asmcap::{AsmcapPipeline, BackendKind, FaultPlan, PipelineConfig, PrefilterConfig};
 use asmcap_genome::GenomeModel;
 use asmcap_serve::{CoalescerConfig, Server, ServerConfig};
 
@@ -88,14 +96,33 @@ fn run() -> Result<(), String> {
         None => 7,
     };
 
+    let fault_seed: u64 = match flag_value(&args, "--fault-seed") {
+        Some(n) => n.parse().map_err(|_| format!("bad fault seed '{n}'"))?,
+        None => 0xFA17,
+    };
+    let fault = match flag_value(&args, "--fault-preset").as_deref() {
+        None | Some("none") => None,
+        Some("paper-corner") => Some(FaultPlan::paper_corner(fault_seed)),
+        Some(other) => return Err(format!("bad fault preset '{other}' (none|paper-corner)")),
+    };
+
     let mut builder = AsmcapPipeline::builder()
         .reference(GenomeModel::uniform().generate(ref_len, ref_seed))
         .config(config)
         .backend(backend);
+    if let Some(plan) = fault {
+        builder = builder.fault(plan);
+    }
     if let Some(n) = flag_value(&args, "--workers") {
         builder = builder.workers(n.parse().map_err(|_| format!("bad worker count '{n}'"))?);
     }
     let pipeline = builder.build().map_err(|e| e.to_string())?;
+    if pipeline.fault_armed() {
+        eprintln!(
+            "asmcap-serve: fault plan armed — {} row(s) quarantined at install",
+            pipeline.quarantined_rows()
+        );
+    }
 
     let queue_cap: usize = match flag_value(&args, "--queue-cap") {
         Some(n) => n.parse().map_err(|_| format!("bad queue cap '{n}'"))?,
@@ -117,6 +144,14 @@ fn run() -> Result<(), String> {
         Some(n) => n.parse().map_err(|_| format!("bad connection cap '{n}'"))?,
         None => 64,
     };
+    let deadline_us: u64 = match flag_value(&args, "--deadline-us") {
+        Some(n) => n.parse().map_err(|_| format!("bad deadline '{n}'"))?,
+        None => 0,
+    };
+    let drain_timeout_ms: u64 = match flag_value(&args, "--drain-timeout-ms") {
+        Some(n) => n.parse().map_err(|_| format!("bad drain timeout '{n}'"))?,
+        None => 10_000,
+    };
 
     let server_config = ServerConfig {
         addr: flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4321".to_string()),
@@ -126,8 +161,10 @@ fn run() -> Result<(), String> {
             shed_watermark,
             batch_max,
             flush_timeout: Duration::from_micros(flush_us),
+            deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
         },
         write_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_millis(drain_timeout_ms),
         allow_remote_shutdown: !args.iter().any(|a| a == "--no-remote-shutdown"),
     };
 
@@ -136,7 +173,8 @@ fn run() -> Result<(), String> {
     let counters_at_exit = server.wait();
     eprintln!(
         "asmcap-serve: done — accepted {} mapped {} unmapped {} truncated {} rejected {} \
-         overloaded {} shed {} batches {} batched_reads {} dropped_conns {}",
+         overloaded {} shed {} deadline_expired {} batches {} batched_reads {} \
+         dropped_conns {} force_closed {}",
         counters_at_exit.accepted,
         counters_at_exit.mapped,
         counters_at_exit.unmapped,
@@ -144,9 +182,11 @@ fn run() -> Result<(), String> {
         counters_at_exit.rejected,
         counters_at_exit.overloaded,
         counters_at_exit.shed,
+        counters_at_exit.deadline_expired,
         counters_at_exit.batches,
         counters_at_exit.batched_reads,
         counters_at_exit.dropped_connections,
+        counters_at_exit.force_closed,
     );
     Ok(())
 }
@@ -182,5 +222,9 @@ options:
   --batch-max N     largest coalesced batch (default 256)
   --flush-us N      partial-batch flush timeout in microseconds (default 500)
   --max-conns N     concurrent connection cap (default 64)
+  --deadline-us N   per-request queue deadline in microseconds (default 0 = off)
+  --drain-timeout-ms N  shutdown drain bound before force-close (default 10000)
+  --fault-preset P  none|paper-corner device fault model (default none)
+  --fault-seed N    fault-plan seed for the preset (default 0xFA17)
   --no-remote-shutdown  refuse client shutdown requests
 ";

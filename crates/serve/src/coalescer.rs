@@ -52,17 +52,25 @@ pub struct CoalescerConfig {
     /// How long a partial batch may wait for company before it is flushed
     /// anyway. Bounds queueing latency under light load.
     pub flush_timeout: Duration,
+    /// Per-request queueing deadline. A request that has waited longer
+    /// than this when its batch is drained is answered with a typed
+    /// deadline overload instead of being mapped (see
+    /// [`Coalescer::next_drain`]). `None` disables expiry. Deadlines are
+    /// checked at drain time, so they should sit well above
+    /// `flush_timeout` to be meaningful.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for CoalescerConfig {
     /// 4096-deep queue, shedding above 3072, 256-read batches, 500 µs
-    /// flush.
+    /// flush, no deadline.
     fn default() -> Self {
         Self {
             queue_cap: 4096,
             shed_watermark: 3072,
             batch_max: 256,
             flush_timeout: Duration::from_micros(500),
+            deadline: None,
         }
     }
 }
@@ -96,6 +104,18 @@ pub enum Admission {
     Shed,
     /// Refused: [`Coalescer::close`] has been called.
     Closed,
+}
+
+/// What one [`Coalescer::next_drain`] call hands the executor: the live
+/// batch to map, plus any requests whose deadline expired in the queue
+/// (to be answered with a typed overload, never silently dropped).
+#[derive(Debug)]
+pub struct Drain<T> {
+    /// Requests still inside their deadline, round-robin fair.
+    pub batch: Vec<Pending<T>>,
+    /// Requests that outlived [`CoalescerConfig::deadline`] in the queue.
+    /// Always empty when no deadline is configured.
+    pub expired: Vec<Pending<T>>,
 }
 
 #[derive(Debug)]
@@ -196,22 +216,37 @@ impl<T> Coalescer<T> {
     }
 
     /// Blocks until a batch is ready and returns it, or `None` once the
-    /// coalescer is closed **and** drained (requests queued before
-    /// [`Coalescer::close`] still come out).
-    ///
-    /// A batch is ready when `batch_max` requests are queued, or when the
-    /// oldest queued request has waited `flush_timeout` — whichever comes
-    /// first. Assembly is round-robin one-per-client (see the
-    /// [module docs](self)).
+    /// coalescer is closed **and** drained. Convenience wrapper over
+    /// [`Coalescer::next_drain`] for deadline-free configurations; with a
+    /// deadline configured, expired requests are **discarded** here — use
+    /// `next_drain` so they can be answered.
     ///
     /// # Panics
     ///
     /// Panics if a thread panicked while holding the queue lock.
     pub fn next_batch(&self) -> Option<Vec<Pending<T>>> {
+        self.next_drain().map(|drain| drain.batch)
+    }
+
+    /// Blocks until a batch is ready and returns it together with any
+    /// deadline-expired requests, or `None` once the coalescer is closed
+    /// **and** drained (requests queued before [`Coalescer::close`] still
+    /// come out).
+    ///
+    /// A batch is ready when `batch_max` requests are queued, or when the
+    /// oldest queued request has waited `flush_timeout` — whichever comes
+    /// first. Assembly is round-robin one-per-client (see the
+    /// [module docs](self)); expired requests do not count against
+    /// `batch_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread panicked while holding the queue lock.
+    pub fn next_drain(&self) -> Option<Drain<T>> {
         let mut state = self.state.lock().expect("coalescer lock poisoned");
         loop {
             if state.len >= self.config.batch_max || (state.closed && state.len > 0) {
-                return Some(Self::assemble(&mut state, self.config.batch_max));
+                return Some(self.assemble(&mut state));
             }
             if state.closed {
                 return None;
@@ -227,7 +262,7 @@ impl<T> Coalescer<T> {
             // from request ids, so batch timing cannot change results.
             let waited = Instant::now().saturating_duration_since(oldest);
             if waited >= self.config.flush_timeout {
-                return Some(Self::assemble(&mut state, self.config.batch_max));
+                return Some(self.assemble(&mut state));
             }
             let (next, _timeout) = self
                 .wakeup
@@ -261,11 +296,19 @@ impl<T> Coalescer<T> {
             .expect("oldest_enqueue called on a non-empty queue")
     }
 
-    /// Takes up to `cap` requests round-robin, one per client per turn,
-    /// resuming after the last-served client id. Clients emptied along the
-    /// way are dropped from the map.
-    fn assemble(state: &mut State<T>, cap: usize) -> Vec<Pending<T>> {
+    /// Takes up to `batch_max` live requests round-robin, one per client
+    /// per turn, resuming after the last-served client id. Clients emptied
+    /// along the way are dropped from the map. Requests past the
+    /// configured deadline are diverted to [`Drain::expired`] without
+    /// counting against the cap.
+    fn assemble(&self, state: &mut State<T>) -> Drain<T> {
+        let cap = self.config.batch_max;
+        // lint: timing-ok — expiry steers only which requests get a typed
+        // deadline answer, never a mapped read's result.
+        let now = Instant::now();
+        let deadline = self.config.deadline;
         let mut batch = Vec::with_capacity(cap.min(state.len));
+        let mut expired = Vec::new();
         while batch.len() < cap && state.len > 0 {
             // One full round: every client with queued work contributes
             // one read, in client-id order starting after `resume_after`.
@@ -298,10 +341,16 @@ impl<T> Coalescer<T> {
                 }
                 state.len -= 1;
                 state.resume_after = client;
-                batch.push(pending);
+                let is_expired =
+                    deadline.is_some_and(|d| now.saturating_duration_since(pending.enqueued) > d);
+                if is_expired {
+                    expired.push(pending);
+                } else {
+                    batch.push(pending);
+                }
             }
         }
-        batch
+        Drain { batch, expired }
     }
 }
 
@@ -326,6 +375,7 @@ mod tests {
             shed_watermark: shed,
             batch_max,
             flush_timeout: Duration::from_millis(5),
+            deadline: None,
         }
     }
 
@@ -383,6 +433,36 @@ mod tests {
         let batch = c.next_batch().expect("flush fires");
         assert_eq!(batch.len(), 1);
         assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn expired_requests_are_diverted_not_dropped() {
+        let c: Coalescer<()> = Coalescer::new(CoalescerConfig {
+            deadline: Some(Duration::from_millis(1)),
+            ..config(64, 64, 4)
+        });
+        // One request ages past the deadline; a fresh one does not.
+        let mut stale = pending(1, 0);
+        stale.enqueued = Instant::now() - Duration::from_millis(50);
+        assert_eq!(c.offer(stale, || false), Admission::Enqueued);
+        assert_eq!(c.offer(pending(2, 1), || false), Admission::Enqueued);
+        let drain = c.next_drain().expect("drain ready");
+        assert_eq!(drain.batch.len(), 1);
+        assert_eq!(drain.batch[0].req_id, 1); // lint: index-ok — asserted 1 long above
+        assert_eq!(drain.expired.len(), 1);
+        assert_eq!(drain.expired[0].req_id, 0); // lint: index-ok — asserted 1 long above
+        assert!(c.is_empty(), "expired entries leave the queue");
+    }
+
+    #[test]
+    fn no_deadline_means_nothing_expires() {
+        let c: Coalescer<()> = Coalescer::new(config(64, 64, 4));
+        let mut stale = pending(1, 0);
+        stale.enqueued = Instant::now() - Duration::from_secs(3600);
+        assert_eq!(c.offer(stale, || false), Admission::Enqueued);
+        let drain = c.next_drain().expect("drain ready");
+        assert_eq!(drain.batch.len(), 1);
+        assert!(drain.expired.is_empty());
     }
 
     #[test]

@@ -77,11 +77,11 @@ pub mod perf;
 pub mod protocol;
 pub mod server;
 
-pub use client::{MapClient, RecvHalf, SendHalf};
-pub use coalescer::{Admission, Coalescer, CoalescerConfig, Pending};
+pub use client::{MapClient, RecvHalf, RetryOutcome, RetryPolicy, SendHalf};
+pub use coalescer::{Admission, Coalescer, CoalescerConfig, Drain, Pending};
 pub use perf::{LatencyHistogram, LatencySummary};
 pub use protocol::{
-    error_code, read_frame, write_frame, MapReply, OverloadReason, Request, Response,
+    error_code, read_frame, write_frame, HealthReply, MapReply, OverloadReason, Request, Response,
     ServerCounters, WireError, WireStatus, MAX_FRAME,
 };
 pub use server::{Server, ServerConfig};

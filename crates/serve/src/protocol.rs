@@ -11,11 +11,13 @@
 //! | `0x01` | c → s | [`Request::Map`] — `req_id: u64`, then ASCII bases |
 //! | `0x02` | c → s | [`Request::Stats`] |
 //! | `0x03` | c → s | [`Request::Shutdown`] |
+//! | `0x04` | c → s | [`Request::Health`] |
 //! | `0x81` | s → c | [`Response::Map`] — see [`MapReply`] |
 //! | `0x82` | s → c | [`Response::Overload`] — `req_id: u64`, `reason: u8` |
 //! | `0x83` | s → c | [`Response::ProtocolError`] — `code: u8`, UTF-8 detail |
 //! | `0x84` | s → c | [`Response::Stats`] — see [`ServerCounters`] |
 //! | `0x85` | s → c | [`Response::ShutdownAck`] |
+//! | `0x86` | s → c | [`Response::Health`] — see [`HealthReply`] |
 //!
 //! # Robustness contract
 //!
@@ -216,6 +218,10 @@ pub enum Request {
     Stats,
     /// Ask the server to finish queued work and shut down.
     Shutdown,
+    /// Ask for readiness and degradation state (quarantined rows, queue
+    /// depth). Answered from the connection's reader thread, so it works
+    /// even while the mapping executor is saturated.
+    Health,
 }
 
 impl Request {
@@ -232,6 +238,7 @@ impl Request {
             }
             Request::Stats => vec![0x02],
             Request::Shutdown => vec![0x03],
+            Request::Health => vec![0x04],
         }
     }
 
@@ -278,6 +285,10 @@ impl Request {
             0x03 => {
                 c.finish()?;
                 Ok(Request::Shutdown)
+            }
+            0x04 => {
+                c.finish()?;
+                Ok(Request::Health)
             }
             other => Err(WireError::UnknownOpcode(other)),
         }
@@ -360,6 +371,9 @@ pub enum OverloadReason {
     /// full reference scan (no prefilter shortlist) — the most expensive
     /// class is degraded first.
     Shed,
+    /// The request's deadline expired while it waited in the queue; it
+    /// was answered without being mapped.
+    Deadline,
 }
 
 impl OverloadReason {
@@ -367,6 +381,7 @@ impl OverloadReason {
         match self {
             OverloadReason::QueueFull => 0,
             OverloadReason::Shed => 1,
+            OverloadReason::Deadline => 2,
         }
     }
 
@@ -374,6 +389,7 @@ impl OverloadReason {
         match code {
             0 => Ok(OverloadReason::QueueFull),
             1 => Ok(OverloadReason::Shed),
+            2 => Ok(OverloadReason::Deadline),
             _ => Err(WireError::Malformed("unknown overload reason code")),
         }
     }
@@ -421,6 +437,27 @@ pub struct ServerCounters {
     /// Connections dropped for protocol errors or undeliverable replies
     /// (slow readers).
     pub dropped_connections: u64,
+    /// Requests answered with [`OverloadReason::Deadline`] because they
+    /// expired in the queue.
+    pub deadline_expired: u64,
+    /// Connections force-closed because they were still open when the
+    /// shutdown drain timeout fired.
+    pub force_closed: u64,
+}
+
+/// The readiness and degradation snapshot a [`Response::Health`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthReply {
+    /// The server is accepting map requests (not shutting down).
+    pub ready: bool,
+    /// An active fault plan is installed on the device.
+    pub fault_armed: bool,
+    /// Rows the install-time self-test quarantined (static after build).
+    pub quarantined_rows: u64,
+    /// Requests currently waiting in the coalescing queue.
+    pub queue_depth: u64,
+    /// The queue's capacity.
+    pub queue_cap: u64,
 }
 
 /// Server → client messages.
@@ -447,6 +484,8 @@ pub enum Response {
     Stats(ServerCounters),
     /// Shutdown acknowledged; the server stops accepting work.
     ShutdownAck,
+    /// Readiness and degradation snapshot.
+    Health(HealthReply),
 }
 
 impl Response {
@@ -485,7 +524,7 @@ impl Response {
                 out
             }
             Response::Stats(counters) => {
-                let mut out = Vec::with_capacity(1 + 10 * 8);
+                let mut out = Vec::with_capacity(1 + 12 * 8);
                 out.push(0x84);
                 for field in [
                     counters.accepted,
@@ -498,12 +537,24 @@ impl Response {
                     counters.batches,
                     counters.batched_reads,
                     counters.dropped_connections,
+                    counters.deadline_expired,
+                    counters.force_closed,
                 ] {
                     out.extend_from_slice(&field.to_le_bytes());
                 }
                 out
             }
             Response::ShutdownAck => vec![0x85],
+            Response::Health(health) => {
+                let mut out = Vec::with_capacity(1 + 2 + 3 * 8);
+                out.push(0x86);
+                out.push(u8::from(health.ready));
+                out.push(u8::from(health.fault_armed));
+                out.extend_from_slice(&health.quarantined_rows.to_le_bytes());
+                out.extend_from_slice(&health.queue_depth.to_le_bytes());
+                out.extend_from_slice(&health.queue_cap.to_le_bytes());
+                out
+            }
         }
     }
 
@@ -570,6 +621,8 @@ impl Response {
                     batches: c.u64()?,
                     batched_reads: c.u64()?,
                     dropped_connections: c.u64()?,
+                    deadline_expired: c.u64()?,
+                    force_closed: c.u64()?,
                 };
                 c.finish()?;
                 Ok(Response::Stats(counters))
@@ -577,6 +630,22 @@ impl Response {
             0x85 => {
                 c.finish()?;
                 Ok(Response::ShutdownAck)
+            }
+            0x86 => {
+                let flag = |byte: u8, what: &'static str| match byte {
+                    0 => Ok(false),
+                    1 => Ok(true),
+                    _ => Err(WireError::Malformed(what)),
+                };
+                let health = HealthReply {
+                    ready: flag(c.u8()?, "health ready flag is not 0 or 1")?,
+                    fault_armed: flag(c.u8()?, "health fault flag is not 0 or 1")?,
+                    quarantined_rows: c.u64()?,
+                    queue_depth: c.u64()?,
+                    queue_cap: c.u64()?,
+                };
+                c.finish()?;
+                Ok(Response::Health(health))
             }
             other => Err(WireError::UnknownOpcode(other)),
         }
@@ -615,6 +684,7 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Health,
         ];
         for request in requests {
             assert_eq!(Request::decode(&request.encode()).unwrap(), request);
@@ -661,6 +731,10 @@ mod tests {
                 code: error_code::BAD_BASE,
                 detail: "byte 0x51 is not an ACGT base".to_string(),
             },
+            Response::Overload {
+                req_id: 10,
+                reason: OverloadReason::Deadline,
+            },
             Response::Stats(ServerCounters {
                 accepted: 10,
                 mapped: 6,
@@ -672,12 +746,31 @@ mod tests {
                 batches: 4,
                 batched_reads: 10,
                 dropped_connections: 1,
+                deadline_expired: 5,
+                force_closed: 2,
             }),
             Response::ShutdownAck,
+            Response::Health(HealthReply {
+                ready: true,
+                fault_armed: true,
+                quarantined_rows: 17,
+                queue_depth: 3,
+                queue_cap: 1024,
+            }),
         ];
         for response in responses {
             assert_eq!(Response::decode(&response.encode()).unwrap(), response);
         }
+    }
+
+    #[test]
+    fn health_flags_reject_non_boolean_bytes() {
+        let mut evil = Response::Health(HealthReply::default()).encode();
+        evil[1] = 2;
+        assert!(matches!(
+            Response::decode(&evil),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //! stops the accept loop, shuts the **read** half of every connection
 //! (readers exit at EOF, write halves stay open), then closes the
 //! coalescer — the executor drains every admitted request and answers it
-//! before exiting. Nothing admitted is dropped.
+//! before exiting. Nothing admitted is dropped. The drain itself is
+//! bounded by [`ServerConfig::drain_timeout`]: a watchdog force-closes
+//! any connection still open past it (counted in
+//! [`ServerCounters::force_closed`]) so a stalled peer cannot wedge
+//! shutdown.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -45,8 +49,8 @@ use asmcap_genome::{DnaSeq, PackedSeq};
 use crate::coalescer::{Admission, Coalescer, CoalescerConfig, Pending};
 use crate::perf;
 use crate::protocol::{
-    error_code, error_response, read_frame, write_frame, MapReply, OverloadReason, Request,
-    Response, ServerCounters, WireError,
+    error_code, error_response, read_frame, write_frame, HealthReply, MapReply, OverloadReason,
+    Request, Response, ServerCounters, WireError,
 };
 
 /// Everything [`Server::spawn`] needs beyond the pipeline.
@@ -67,11 +71,17 @@ pub struct ServerConfig {
     /// unless the client is trusted (the loopback CI harness and the
     /// load generator use it).
     pub allow_remote_shutdown: bool,
+    /// Upper bound on the drain-then-close shutdown phase. If the
+    /// executor has not finished answering admitted requests within this
+    /// window, every remaining connection is force-closed (counted in
+    /// [`ServerCounters::force_closed`]) so shutdown cannot hang behind a
+    /// stalled peer.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     /// Ephemeral loopback port, 64 connections, default coalescer, 5 s
-    /// write timeout, remote shutdown off.
+    /// write timeout, remote shutdown off, 10 s drain bound.
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
@@ -79,6 +89,7 @@ impl Default for ServerConfig {
             coalescer: CoalescerConfig::default(),
             write_timeout: Duration::from_secs(5),
             allow_remote_shutdown: false,
+            drain_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -96,6 +107,8 @@ struct Counters {
     batches: AtomicU64,
     batched_reads: AtomicU64,
     dropped_connections: AtomicU64,
+    deadline_expired: AtomicU64,
+    force_closed: AtomicU64,
 }
 
 impl Counters {
@@ -118,6 +131,8 @@ impl Counters {
             batches: read(&self.batches),
             batched_reads: read(&self.batched_reads),
             dropped_connections: read(&self.dropped_connections),
+            deadline_expired: read(&self.deadline_expired),
+            force_closed: read(&self.force_closed),
         }
     }
 }
@@ -180,16 +195,25 @@ struct Shared {
     coalescer: Coalescer<Arc<Conn>>,
     counters: Counters,
     stop: AtomicBool,
+    /// Set by the executor once the coalescer is drained; the shutdown
+    /// watchdog polls it to decide whether force-closing is needed.
+    drained: AtomicBool,
     /// Live connections, for read-half shutdown at stop time. Weak so a
     /// finished connection frees itself.
     conns: Mutex<Vec<Weak<Conn>>>,
     allow_remote_shutdown: bool,
+    drain_timeout: Duration,
+    /// The drain watchdog spawned by `trigger_shutdown`, joined by
+    /// `Server::join_all` so `force_closed` is final when shutdown
+    /// returns.
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Shared {
     /// Idempotent stop: end the accept loop, EOF every reader, close the
-    /// coalescer so the executor drains and exits.
-    fn trigger_shutdown(&self) {
+    /// coalescer so the executor drains and exits, and arm the
+    /// drain-timeout watchdog that bounds that drain.
+    fn trigger_shutdown(self: &Arc<Self>) {
         // lint: relaxed-ok — one-way flag; the accept loop polls it
         if self.stop.swap(true, Ordering::Relaxed) {
             return;
@@ -204,10 +228,65 @@ impl Shared {
         }
         drop(conns);
         self.coalescer.close();
+        let shared = Arc::clone(self);
+        let watchdog = std::thread::Builder::new()
+            .name("asmcap-serve-drain-watchdog".to_string())
+            .spawn(move || run_drain_watchdog(&shared));
+        if let Ok(handle) = watchdog {
+            *self.watchdog.lock().expect("watchdog lock poisoned") = Some(handle);
+        }
     }
 
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Relaxed) // lint: relaxed-ok — advisory poll of a one-way flag
+    }
+
+    /// The readiness/degradation snapshot a [`Request::Health`] gets.
+    fn health(&self) -> HealthReply {
+        HealthReply {
+            ready: !self.stopping(),
+            fault_armed: self.pipeline.fault_armed(),
+            quarantined_rows: self.pipeline.quarantined_rows() as u64,
+            queue_depth: self.coalescer.len() as u64,
+            queue_cap: self.coalescer.config().queue_cap as u64,
+        }
+    }
+}
+
+/// Bounds the drain-then-close phase: once `drain_timeout` elapses with
+/// the executor still draining, every remaining connection is shut down
+/// (failing the executor's pending writes, which unblocks it) and counted
+/// in `force_closed`.
+fn run_drain_watchdog(shared: &Arc<Shared>) {
+    // lint: timing-ok — shutdown pacing only; cannot reach a mapping
+    // decision.
+    let start = perf::now();
+    // lint: relaxed-ok — advisory poll of a one-way flag
+    while !shared.drained.load(Ordering::Relaxed) {
+        if start.elapsed() >= shared.drain_timeout {
+            let conns = shared
+                .conns
+                .lock()
+                .expect("connection registry lock poisoned");
+            let mut closed = 0u64;
+            for conn in conns.iter().filter_map(Weak::upgrade) {
+                // lint: relaxed-ok — idempotence flag for a stats counter
+                if !conn.dropped.swap(true, Ordering::Relaxed) {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    Counters::bump(&shared.counters.force_closed);
+                    closed += 1;
+                }
+            }
+            drop(conns);
+            if closed > 0 {
+                eprintln!(
+                    "asmcap-serve: shutdown drain exceeded {:?}; force-closed {closed} connection(s)",
+                    shared.drain_timeout
+                );
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
@@ -259,8 +338,11 @@ impl Server {
             coalescer: Coalescer::new(config.coalescer),
             counters: Counters::default(),
             stop: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             allow_remote_shutdown: config.allow_remote_shutdown,
+            drain_timeout: config.drain_timeout,
+            watchdog: Mutex::new(None),
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let executor = {
@@ -335,6 +417,15 @@ impl Server {
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.readers.lock().expect("reader registry lock poisoned"));
         for handle in handles {
+            let _ = handle.join();
+        }
+        let watchdog = self
+            .shared
+            .watchdog
+            .lock()
+            .expect("watchdog lock poisoned")
+            .take();
+        if let Some(handle) = watchdog {
             let _ = handle.join();
         }
     }
@@ -521,6 +612,7 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, client: u64, request: 
             &Response::Stats(shared.counters.snapshot()),
             &shared.counters,
         ),
+        Request::Health => conn.send(&Response::Health(shared.health()), &shared.counters),
         Request::Shutdown => {
             if shared.allow_remote_shutdown {
                 let _ = conn.send(&Response::ShutdownAck, &shared.counters);
@@ -540,9 +632,24 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, client: u64, request: 
 }
 
 /// The executor loop: drain batches until the coalescer closes and
-/// empties.
+/// empties. Deadline-expired requests are answered with a typed overload
+/// before the live batch is mapped.
 fn run_executor(shared: &Arc<Shared>) {
-    while let Some(batch) = shared.coalescer.next_batch() {
+    while let Some(drain) = shared.coalescer.next_drain() {
+        for pending in &drain.expired {
+            Counters::bump(&shared.counters.deadline_expired);
+            let _ = pending.tag.send(
+                &Response::Overload {
+                    req_id: pending.req_id,
+                    reason: OverloadReason::Deadline,
+                },
+                &shared.counters,
+            );
+        }
+        let batch = drain.batch;
+        if batch.is_empty() {
+            continue;
+        }
         let drain_start = perf::now();
         let reads: Vec<PackedSeq> = batch.iter().map(|p| p.read.clone()).collect();
         // The request id IS the read index: seeds derive from it, so the
@@ -588,4 +695,6 @@ fn run_executor(shared: &Arc<Shared>) {
             let _ = conn.send_raw(&framed, &shared.counters);
         }
     }
+    // lint: relaxed-ok — one-way flag; the drain watchdog polls it
+    shared.drained.store(true, Ordering::Relaxed);
 }

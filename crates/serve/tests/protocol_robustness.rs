@@ -267,6 +267,168 @@ fn zero_length_frames_get_a_typed_error() {
     }
 }
 
+// ---------------------------------------------------------------- corpus
+
+/// SplitMix64 — the corpus below must be reproducible from its seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random payload for corpus slot `i`: length 0..64,
+/// bytes from the seeded stream. Slot 0 is the empty payload.
+fn corpus_payload(seed: u64, i: u64) -> Vec<u8> {
+    let len = (mix(seed ^ i) % 64) as usize;
+    (0..len)
+        .map(|j| (mix(seed ^ i ^ (j as u64) << 32) & 0xFF) as u8)
+        .collect()
+}
+
+/// Codec half of the corpus: 1000 seeded random payloads through both
+/// decoders. Every one must come back `Ok` or a typed [`WireError`] —
+/// the assertion is simply that the call returns.
+#[test]
+fn random_byte_corpus_decodes_to_typed_results() {
+    const SEED: u64 = 0xF0CC_ED01;
+    let mut typed_errors = 0usize;
+    for i in 0..1_000u64 {
+        let payload = corpus_payload(SEED, i);
+        if Request::decode(&payload).is_err() {
+            typed_errors += 1;
+        }
+        let _ = Response::decode(&payload);
+        // Re-framed, the same bytes must read back losslessly or fail typed.
+        let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        let mut cursor: &[u8] = &frame;
+        assert_eq!(
+            read_frame(&mut cursor).expect("well-framed payload reads back"),
+            payload
+        );
+    }
+    // Random bytes should almost never form a valid request; if most of
+    // the corpus decoded cleanly the generator is broken, not the codec.
+    assert!(
+        typed_errors > 900,
+        "suspicious corpus: {typed_errors} errors"
+    );
+}
+
+/// Server half of the corpus: 1000 seeded random frames against a live
+/// server. Every reply must be a typed response; `Map`/`Overload` replies
+/// may only carry req_ids from corpus slots that really decoded as map
+/// requests (never a wrong-keyed reply); a dropped connection is
+/// drop-for-cause and the test reconnects. The server must still map
+/// correctly afterwards.
+#[test]
+fn server_survives_a_random_byte_corpus() {
+    const SEED: u64 = 0xF0CC_ED02;
+    let server = spawn_server();
+    let addr = server.local_addr();
+
+    // The req_ids a hostile frame could legitimately be answered under.
+    let mut valid_map_ids = std::collections::HashSet::new();
+    let mut valid_stats = false;
+    let mut valid_health = false;
+    for i in 0..1_000u64 {
+        match Request::decode(&corpus_payload(SEED, i)) {
+            Ok(Request::Map { req_id, .. }) => {
+                valid_map_ids.insert(req_id);
+            }
+            Ok(Request::Stats) => valid_stats = true,
+            Ok(Request::Health) => valid_health = true,
+            _ => {}
+        }
+    }
+
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .expect("read timeout set");
+        stream
+    };
+    let mut stream = connect();
+    let mut replies = 0usize;
+    let mut drops = 0usize;
+    for i in 0..1_000u64 {
+        let payload = corpus_payload(SEED, i);
+        let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        if stream.write_all(&frame).is_err() {
+            // The server closed on us mid-send: drop-for-cause.
+            drops += 1;
+            stream = connect();
+            continue;
+        }
+        // Drain whatever typed responses are ready; never block long.
+        loop {
+            match recv_response(&mut stream) {
+                Ok(Response::ProtocolError { .. }) => replies += 1,
+                Ok(Response::Map(reply)) => {
+                    assert!(
+                        valid_map_ids.contains(&reply.req_id),
+                        "map reply keyed to never-sent req_id {}",
+                        reply.req_id
+                    );
+                    replies += 1;
+                }
+                Ok(Response::Overload { req_id, .. }) => {
+                    assert!(
+                        valid_map_ids.contains(&req_id),
+                        "overload keyed to never-sent req_id {req_id}"
+                    );
+                    replies += 1;
+                }
+                Ok(Response::Stats(_)) => {
+                    assert!(valid_stats, "stats reply without a stats request");
+                    replies += 1;
+                }
+                Ok(Response::Health(_)) => {
+                    assert!(valid_health, "health reply without a health request");
+                    replies += 1;
+                }
+                Ok(Response::ShutdownAck) => panic!("corpus must never shut the server down"),
+                Err(WireError::Io(
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock,
+                )) => {
+                    break; // nothing more buffered — next frame
+                }
+                Err(_) => {
+                    // Dropped for cause (or the stream is mid-garbage and
+                    // the framing desynced us): start a fresh connection.
+                    drops += 1;
+                    stream = connect();
+                    break;
+                }
+            }
+        }
+    }
+    assert!(
+        replies > 0,
+        "server answered nothing across the whole corpus ({drops} drops)"
+    );
+
+    // After the storm: a clean connection still maps correctly.
+    let genome = test_genome();
+    let mut client = MapClient::connect(addr).expect("connects");
+    let response = client
+        .map_one(
+            424_242,
+            genome.window(512..512 + WIDTH).to_string().as_bytes(),
+        )
+        .expect("map request answered after the corpus");
+    match response {
+        Response::Map(reply) => {
+            assert_eq!(reply.req_id, 424_242);
+            assert!(reply.positions.contains(&512));
+        }
+        other => panic!("expected a map reply, got {other:?}"),
+    }
+}
+
 #[test]
 fn shutdown_drains_admitted_work_before_closing() {
     let server = spawn_server();

@@ -5,7 +5,9 @@
 //! across the pipeline, the backends, the engine, and the array.
 
 use asmcap::{AsmMatcher as _, MappingBackend as _};
-use asmcap::{AsmcapPipeline, BackendKind, ExtensionConfig, MapRecord, MapStatus, PipelineConfig};
+use asmcap::{
+    AsmcapPipeline, BackendKind, ExtensionConfig, FaultPlan, MapRecord, MapStatus, PipelineConfig,
+};
 use asmcap_arch::{CamArray, MatchMode};
 use asmcap_genome::{DnaSeq, ErrorProfile, GenomeModel, PackedRef, PackedSeq, ReadSampler};
 
@@ -269,6 +271,78 @@ fn extension_changes_only_the_alignment_field_and_replays_exactly() {
             "{kind:?}/condition {condition}: only {aligned} of the planted reads aligned"
         );
     }
+}
+
+/// `FaultPlan::none()` is a true no-op: carrying an empty plan through the
+/// builder produces records byte-identical to the PR 7 golden capture on
+/// all three backends and both error conditions — the fault hooks on the
+/// sense path cost zero draws and zero decisions when the plan is inert.
+#[test]
+fn fault_off_matches_pr7_golden_capture() {
+    let genome = GenomeModel::uniform().generate(16_384, 21);
+    for (kind, condition, golden) in GOLDEN {
+        let (profile, threshold) = match condition {
+            "A" => (ErrorProfile::condition_a(), 6),
+            _ => (ErrorProfile::condition_b(), 8),
+        };
+        let reads = workload(&genome, profile);
+        let p = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                row_width: WIDTH,
+                seed: 0xA5,
+                ..PipelineConfig::paper(threshold, profile)
+            })
+            .backend(kind)
+            .workers(2)
+            .fault(FaultPlan::none())
+            .build()
+            .expect("an inert fault plan builds on every backend");
+        assert!(!p.fault_armed());
+        assert_eq!(
+            fingerprint(&p.map_batch(&reads)),
+            golden,
+            "{kind:?}/condition {condition}: FaultPlan::none() perturbed results"
+        );
+    }
+}
+
+/// Faults on: the same seed and plan reproduce identical records at
+/// workers 1, 2, and 8 — fault draws key off the per-read seed, never off
+/// scheduling — and a different fault seed really does change the fabric.
+#[test]
+fn fault_on_is_deterministic_across_worker_counts() {
+    let genome = GenomeModel::uniform().generate(16_384, 21);
+    let reads = workload(&genome, ErrorProfile::condition_a());
+    let run = |workers: usize, fault_seed: u64| {
+        let p = AsmcapPipeline::builder()
+            .reference(genome.clone())
+            .config(PipelineConfig {
+                row_width: WIDTH,
+                seed: 0xA5,
+                ..PipelineConfig::paper(6, ErrorProfile::condition_a())
+            })
+            .backend(BackendKind::Device)
+            .workers(workers)
+            .fault(FaultPlan::paper_corner(fault_seed))
+            .build()
+            .expect("pipeline builds");
+        assert!(p.fault_armed());
+        p.map_batch(&reads)
+    };
+    let baseline = run(1, 0xFA17);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            run(workers, 0xFA17),
+            baseline,
+            "faulted records diverged at {workers} workers"
+        );
+    }
+    assert_ne!(
+        run(1, 0xFA17 + 1),
+        baseline,
+        "a different fault seed left every record untouched — the plan is not landing"
+    );
 }
 
 /// The trait's mutual defaults: a backend reached through `map_seeded`

@@ -403,6 +403,8 @@ fn custom_backends_plug_in() {
                 cycles: 2,
                 searches: 1,
                 energy_j: 0.0,
+                resensed: 0,
+                requarried: 0,
             }
         }
     }
